@@ -1,0 +1,24 @@
+//! E9: wall-clock of the baselines (randomized trial coloring, greedy) for
+//! context next to the deterministic algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_bench::gnp_instance;
+use dcl_coloring::baselines;
+
+fn baselines_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(20);
+    for n in [96usize, 192] {
+        let inst = gnp_instance(n, 8.0 / n as f64, 11);
+        group.bench_with_input(BenchmarkId::new("johansson", n), &inst, |b, inst| {
+            b.iter(|| baselines::johansson(inst, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {
+            b.iter(|| baselines::greedy(inst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baselines_bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E6: wall-clock of the Theorem 1.3 CONGESTED CLIQUE coloring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_bench::gnp_instance;
+use dcl_clique::coloring::{clique_color, CliqueColoringConfig};
+
+fn clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_1_3");
+    group.sample_size(10);
+    for n in [32usize, 64, 96] {
+        let inst = gnp_instance(n, 8.0 / n as f64, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| clique_color(inst, &CliqueColoringConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, clique);
+criterion_main!(benches);

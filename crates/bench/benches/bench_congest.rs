@@ -1,0 +1,29 @@
+//! E4: wall-clock of the full Theorem 1.1 CONGEST coloring across the
+//! n-sweep and D-sweep workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_bench::regular_instance;
+use dcl_coloring::congest_coloring::{color_list_instance, CongestColoringConfig};
+use dcl_coloring::instance::ListInstance;
+use dcl_graphs::generators;
+
+fn theorem_11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_1_1");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let inst = regular_instance(n, 6, 5);
+        group.bench_with_input(BenchmarkId::new("n_sweep", n), &inst, |b, inst| {
+            b.iter(|| color_list_instance(inst, &CongestColoringConfig::default()))
+        });
+    }
+    for (name, g) in [("ring64", generators::ring(64)), ("hcube6", generators::hypercube(6))] {
+        let inst = ListInstance::degree_plus_one(g);
+        group.bench_with_input(BenchmarkId::new("d_sweep", name), &inst, |b, inst| {
+            b.iter(|| color_list_instance(inst, &CongestColoringConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, theorem_11);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E5: wall-clock of the network decomposition construction and of the full
+//! Corollary 1.2 coloring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_coloring::instance::ListInstance;
+use dcl_congest::network::Network;
+use dcl_decomp::coloring::{color_via_decomposition, DecompColoringConfig};
+use dcl_decomp::rg::{decompose, RgConfig};
+use dcl_graphs::generators;
+
+fn decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rg_decomposition");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let g = generators::gnp(n, 6.0 / n as f64, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut net = Network::with_default_cap(g, 64);
+                decompose(&mut net, &RgConfig::default())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("corollary_1_2");
+    group.sample_size(10);
+    for k in [8usize, 16] {
+        let g = generators::cluster_chain(k, 8, 0.5, 2);
+        let inst = ListInstance::degree_plus_one(g);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, inst| {
+            b.iter(|| color_via_decomposition(inst, &DecompColoringConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decomposition);
+criterion_main!(benches);

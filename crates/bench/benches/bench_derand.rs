@@ -1,0 +1,26 @@
+//! E10 support: micro-benchmarks of the derandomization machinery — the
+//! conditional-probability digit DP and the incremental form updates that
+//! dominate the inner loop of Lemma 2.6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcl_derand::seed::PartialSeed;
+use dcl_derand::slice::SliceFamily;
+
+fn derand_core(c: &mut Criterion) {
+    let fam = SliceFamily::new(10, 14);
+    let mut seed = PartialSeed::new(fam.seed_len());
+    for i in (0..fam.seed_len()).step_by(2) {
+        seed.fix(i, i % 4 == 0);
+    }
+    let fx = fam.forms_for(&seed, 0b1011001101);
+    let fy = fam.forms_for(&seed, 0b0111010010);
+
+    c.bench_function("joint_coin_probs", |b| {
+        b.iter(|| fam.joint_coin_probs_forms(&fx, 9000, &fy, 4000))
+    });
+    c.bench_function("prob_lt", |b| b.iter(|| fam.prob_lt_forms(&fx, 9000)));
+    c.bench_function("forms_for", |b| b.iter(|| fam.forms_for(&seed, 0b1011001101)));
+}
+
+criterion_group!(benches, derand_core);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E7/E8: wall-clock of the MPC colorings (linear and sublinear memory).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_bench::regular_instance;
+use dcl_mpc::coloring::{mpc_color_linear, mpc_color_sublinear};
+
+fn mpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_1_4_linear");
+    group.sample_size(10);
+    for d in [4usize, 8] {
+        let inst = regular_instance(48, d, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &inst, |b, inst| {
+            b.iter(|| mpc_color_linear(inst))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("theorem_1_5_sublinear");
+    group.sample_size(10);
+    for alpha in [0.5f64, 0.7] {
+        let inst = regular_instance(48, 4, 6);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{alpha:.1}")),
+            &inst,
+            |b, inst| b.iter(|| mpc_color_sublinear(inst, alpha)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mpc);
+criterion_main!(benches);

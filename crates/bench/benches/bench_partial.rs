@@ -1,0 +1,38 @@
+//! E2/E3: wall-clock of one Lemma 2.1 partial coloring (the derandomized
+//! core) at increasing sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_bench::gnp_instance;
+use dcl_coloring::linial::linial_from_ids;
+use dcl_coloring::partial::{partial_coloring, PartialConfig};
+use dcl_congest::bfs::build_bfs_forest;
+use dcl_congest::network::Network;
+
+fn partial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_2_1");
+    group.sample_size(10);
+    for n in [48usize, 96, 192] {
+        let inst = gnp_instance(n, 8.0 / n as f64, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let n = inst.graph().n();
+                let mut net = Network::with_default_cap(inst.graph(), inst.color_space());
+                let forest = build_bfs_forest(&mut net);
+                let lin = linial_from_ids(&mut net);
+                partial_coloring(
+                    &mut net,
+                    &forest,
+                    inst,
+                    &vec![true; n],
+                    &lin.colors,
+                    lin.palette,
+                    PartialConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partial);
+criterion_main!(benches);

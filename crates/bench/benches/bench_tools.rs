@@ -1,0 +1,43 @@
+//! E11: wall-clock of the Section 5 MPC toolbox (sort, prefix sums, set
+//! difference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_mpc::machine::Mpc;
+use dcl_mpc::tools;
+
+fn mpc_tools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section_5_tools");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let items: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 99_991).collect();
+        group.bench_with_input(BenchmarkId::new("sort", n), &items, |b, items| {
+            b.iter(|| {
+                let mut mpc = Mpc::new(8, 512);
+                tools::sort(&mut mpc, tools::scatter(8, items))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("prefix", n), &items, |b, items| {
+            b.iter(|| {
+                let mut mpc = Mpc::new(8, 512);
+                let dist = tools::scatter(8, items);
+                tools::prefix_sums(&mut mpc, &dist, |a, b| a.wrapping_add(*b))
+            })
+        });
+        let a: Vec<(u64, u64)> = items.iter().map(|&x| (x % 5, x % 300)).collect();
+        let bset: Vec<(u64, u64)> = items.iter().map(|&x| (x % 5, (x / 7) % 300)).collect();
+        group.bench_with_input(BenchmarkId::new("set_difference", n), &(a, bset), |b, input| {
+            b.iter(|| {
+                let mut mpc = Mpc::new(8, 512);
+                tools::set_difference(
+                    &mut mpc,
+                    &tools::scatter(8, &input.0),
+                    &tools::scatter(8, &input.1),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mpc_tools);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Prints every experiment table (E1–E11). Run with:
+//!
+//! ```text
+//! cargo run -p dcl-bench --bin experiments --release
+//! ```
+
+fn main() {
+    print!("{}", dcl_bench::run_all_experiments());
+}

@@ -1,0 +1,36 @@
+//! CSV sweeps for plotting the round-complexity scalings (finer-grained
+//! than the `experiments` tables). Each series prints `series,x,rounds`
+//! rows to stdout.
+//!
+//! ```text
+//! cargo run -p dcl-bench --bin sweep --release > sweeps.csv
+//! ```
+
+use dcl_coloring::congest_coloring::{color_list_instance, CongestColoringConfig};
+use dcl_coloring::instance::ListInstance;
+use dcl_graphs::generators;
+
+fn main() {
+    println!("series,x,rounds,iterations");
+    // Rounds vs n at fixed degree (D grows slowly).
+    for n in [24usize, 32, 48, 64, 96, 128, 192, 256] {
+        let g = generators::random_regular(n, 6, 5);
+        let inst = ListInstance::degree_plus_one(g);
+        let r = color_list_instance(&inst, &CongestColoringConfig::default());
+        println!("rounds_vs_n,{n},{},{}", r.metrics.rounds, r.iterations);
+    }
+    // Rounds vs Δ at fixed n.
+    for d in [2usize, 3, 4, 6, 8, 12, 16, 24] {
+        let g = generators::random_regular(96, d, 5);
+        let inst = ListInstance::degree_plus_one(g);
+        let r = color_list_instance(&inst, &CongestColoringConfig::default());
+        println!("rounds_vs_delta,{d},{},{}", r.metrics.rounds, r.iterations);
+    }
+    // Rounds vs D: rings of growing length (n = D·2, Δ = 2 fixed).
+    for n in [16usize, 32, 64, 128, 192] {
+        let g = generators::ring(n);
+        let inst = ListInstance::degree_plus_one(g);
+        let r = color_list_instance(&inst, &CongestColoringConfig::default());
+        println!("rounds_vs_D,{},{},{}", n / 2, r.metrics.rounds, r.iterations);
+    }
+}

@@ -1,0 +1,404 @@
+//! Theorem 1.3: deterministic `(degree+1)`-list coloring in the CONGESTED
+//! CLIQUE.
+//!
+//! Three clique-specific accelerations over the CONGEST algorithm (Section
+//! 4 of the paper):
+//!
+//! 1. **No diameter factor** — conditional expectations travel directly to
+//!    the leader instead of over a BFS tree.
+//! 2. **Segment-parallel derandomization** — the shared seed is split into
+//!    segments of `λ ≤ log₂ n` bits; all `2^λ` candidate values of a segment
+//!    are evaluated simultaneously (each candidate by a responsible node)
+//!    and the argmin is fixed in `O(1)` rounds, instead of `Θ(λ)` rounds of
+//!    bit-by-bit fixing. The input coloring is the node ids (`K = n`), so no
+//!    Linial step is needed.
+//! 3. **Accelerating batches + final collect** — once at most `n/2^i` nodes
+//!    remain uncolored, the routing headroom fixes `i` prefix bits per
+//!    `O(1)`-round batch (implemented via `2^i`-ary digits with quantile
+//!    thresholds on the same coin family), and once the residual subgraph
+//!    (edges + lists) fits into a single Lenzen routing instance it is
+//!    shipped to the leader and solved locally.
+//!
+//! Final conflicts are resolved with the MIS-avoidance trick of Section 4
+//! (coins a `(Δ+1)` factor more accurate; surviving conflict graph is a
+//! matching; larger id wins), so no distributed MIS is needed — matching the
+//! clique/MPC presentation of the paper.
+
+use crate::network::CliqueNetwork;
+use dcl_coloring::derand_step::accuracy_bits;
+use dcl_coloring::instance::ListInstance;
+use dcl_coloring::prefix::PrefixState;
+use dcl_derand::seed::PartialSeed;
+use dcl_derand::slice::{coin_threshold, BitForm, SliceFamily};
+
+/// Configuration of the clique coloring.
+#[derive(Debug, Clone, Copy)]
+pub struct CliqueColoringConfig {
+    /// Cap on the seed-segment length `λ` (the effective value is
+    /// `min(λ_cap, ⌈log₂ n⌉)`; candidates per segment = `2^λ`).
+    pub segment_bits: u32,
+    /// Cap on the batch width `i` (bits of candidate color fixed per batch).
+    pub max_batch_width: u32,
+    /// Safety cap on partial-coloring iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for CliqueColoringConfig {
+    fn default() -> Self {
+        CliqueColoringConfig { segment_bits: 6, max_batch_width: 3, max_iterations: 200 }
+    }
+}
+
+/// Result of [`clique_color`].
+#[derive(Debug, Clone)]
+pub struct CliqueColoringResult {
+    /// The proper list coloring.
+    pub colors: Vec<u64>,
+    /// Simulator cost counters.
+    pub metrics: crate::network::CliqueMetrics,
+    /// Partial-coloring iterations before the final collect.
+    pub iterations: usize,
+    /// Number of nodes colored locally at the leader in the final step.
+    pub collected_nodes: usize,
+}
+
+/// Colors a `(degree+1)`-list instance in the CONGESTED CLIQUE
+/// (Theorem 1.3).
+///
+/// # Panics
+///
+/// Panics if the iteration cap is exceeded (progress bug).
+pub fn clique_color(
+    instance: &ListInstance,
+    config: &CliqueColoringConfig,
+) -> CliqueColoringResult {
+    let g = instance.graph();
+    let n = g.n();
+    let mut net = CliqueNetwork::with_default_cap(n.max(2));
+    let mut colors: Vec<Option<u64>> = vec![None; n];
+    if n == 0 {
+        return CliqueColoringResult {
+            colors: Vec::new(),
+            metrics: net.metrics(),
+            iterations: 0,
+            collected_nodes: 0,
+        };
+    }
+    let mut residual = instance.clone();
+    let mut active = vec![true; n];
+    let mut uncolored = n;
+    let mut iterations = 0;
+    let mut collected_nodes = 0;
+    // ψ = ids; K = n.
+    let psi: Vec<u64> = (0..n as u64).collect();
+    let m_bits = (64 - (n.max(2) as u64 - 1).leading_zeros()).max(1);
+
+    while uncolored > 0 {
+        // --- Final collect: residual graph + lists fit one routing step. ---
+        let active_deg = |v: usize| g.neighbors(v).iter().filter(|&&u| active[u]).count();
+        let message_count: usize = (0..n)
+            .filter(|&v| active[v])
+            .map(|v| active_deg(v) + residual.list(v).len() + 1)
+            .sum();
+        if message_count <= n || uncolored <= 4 {
+            let leader = 0usize;
+            // Ship the subgraph and lists to the leader (edge and list
+            // entries as one message each; small instances skip routing).
+            let mut msgs: Vec<(usize, usize, (u64, u64))> = Vec::new();
+            for v in 0..n {
+                if !active[v] {
+                    continue;
+                }
+                for &u in g.neighbors(v) {
+                    if active[u] && u > v {
+                        msgs.push((v, leader, (v as u64, u as u64)));
+                    }
+                }
+                for &c in residual.list(v) {
+                    msgs.push((v, leader, (v as u64 | 1 << 63, c)));
+                }
+            }
+            if message_count <= n {
+                let _ = net.lenzen_route(msgs);
+            } else {
+                // Tiny instance: a constant number of plain rounds suffices.
+                net.charge_rounds(msgs.len().div_ceil(n.max(2) - 1) as u64);
+            }
+            // Leader solves greedily on the collected instance.
+            let order: Vec<usize> = (0..n).filter(|&v| active[v]).collect();
+            let mut local: Vec<Option<u64>> = vec![None; n];
+            for &v in &order {
+                let taken: Vec<u64> = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| active[u])
+                    .filter_map(|&u| local[u])
+                    .collect();
+                let c = residual
+                    .list(v)
+                    .iter()
+                    .copied()
+                    .find(|c| !taken.contains(c))
+                    .expect("(degree+1) slack guarantees a free color");
+                local[v] = Some(c);
+            }
+            // Leader distributes the colors (one unicast round).
+            net.charge_rounds(1);
+            for &v in &order {
+                colors[v] = local[v];
+                active[v] = false;
+            }
+            collected_nodes = order.len();
+            break;
+        }
+
+        // --- One partial-coloring iteration with batched digits. -----------
+        assert!(iterations < config.max_iterations, "iteration cap exceeded");
+        iterations += 1;
+        let delta_act =
+            (0..n).filter(|&v| active[v]).map(active_deg).max().unwrap_or(0);
+        // Batch width from the routing headroom: uncolored ≤ n/2^i ⇒ width i.
+        let headroom = (n / uncolored).max(1);
+        let width_budget = 63 - (headroom as u64).leading_zeros(); // ⌊log₂⌋
+        let width = width_budget.clamp(1, config.max_batch_width);
+        // MIS-avoidance accuracy: the (Δ+1) factor of Section 4, plus the
+        // 2^w digit-alphabet factor.
+        let extra = (delta_act as u64 + 1).saturating_mul(1 << width);
+        let b = accuracy_bits(delta_act, residual.color_bits(), extra);
+        let family = SliceFamily::new(m_bits, b);
+        let seed_len = family.seed_len();
+        let lambda = config.segment_bits.min(m_bits).max(1);
+
+        let mut state = PrefixState::new(&residual, &active);
+        while state.remaining_bits() > 0 {
+            let w_eff = width.min(state.remaining_bits());
+            let digits = 1usize << w_eff;
+            // Per-node digit thresholds (cumulative quantiles of Lemma 2.5).
+            let mut thresholds: Vec<Vec<u64>> = vec![Vec::new(); n];
+            let mut inv: Vec<Vec<f64>> = vec![Vec::new(); n];
+            for v in 0..n {
+                if !active[v] {
+                    continue;
+                }
+                let counts = state.split_digits(&residual, v, w_eff);
+                let len = counts.iter().sum::<usize>() as u64;
+                let mut ts = Vec::with_capacity(digits + 1);
+                let mut cum = 0u64;
+                ts.push(0);
+                for &k in &counts {
+                    cum += k as u64;
+                    ts.push(coin_threshold(cum, len, b));
+                }
+                thresholds[v] = ts;
+                inv[v] =
+                    counts.iter().map(|&k| if k > 0 { 1.0 / k as f64 } else { 0.0 }).collect();
+            }
+            // One round: neighbors exchange their digit-count vectors (2^w
+            // words; within the routing headroom by choice of w).
+            net.charge_rounds(1);
+
+            // Segmented derandomization of the shared seed.
+            let mut seed = PartialSeed::new(seed_len);
+            let mut forms: Vec<Vec<BitForm>> = (0..n)
+                .map(|v| if active[v] { family.forms_for(&seed, psi[v]) } else { Vec::new() })
+                .collect();
+            let edges = state.conflict_edges();
+            let mut start = 0usize;
+            while start < seed_len {
+                let end = (start + lambda as usize).min(seed_len);
+                let candidates = 1u64 << (end - start);
+                let mut best = (f64::INFINITY, 0u64);
+                for cand in 0..candidates {
+                    // Candidate forms: base forms with the segment fixed.
+                    let mut scratch: Vec<Vec<BitForm>> = forms.clone();
+                    for (offset, j) in (start..end).enumerate() {
+                        let bit = cand >> offset & 1 == 1;
+                        for v in 0..n {
+                            if active[v] {
+                                family.update_forms_on_fix(&mut scratch[v], psi[v], j, bit);
+                            }
+                        }
+                    }
+                    let mut total = 0.0f64;
+                    for &(u, v) in &edges {
+                        for a in 0..digits {
+                            let (ul, uh) = (thresholds[u][a], thresholds[u][a + 1]);
+                            let (vl, vh) = (thresholds[v][a], thresholds[v][a + 1]);
+                            if uh == ul || vh == vl {
+                                continue;
+                            }
+                            let p = joint_interval(
+                                &family, &scratch[u], ul, uh, &scratch[v], vl, vh,
+                            );
+                            total += p * (inv[u][a] + inv[v][a]);
+                        }
+                    }
+                    if total < best.0 {
+                        best = (total, cand);
+                    }
+                }
+                // Fix the winning segment; O(1) rounds (responsible-node
+                // evaluation + leader argmin + broadcast).
+                for (offset, j) in (start..end).enumerate() {
+                    let bit = best.1 >> offset & 1 == 1;
+                    seed.fix(j, bit);
+                    for v in 0..n {
+                        if active[v] {
+                            family.update_forms_on_fix(&mut forms[v], psi[v], j, bit);
+                        }
+                    }
+                }
+                net.charge_rounds(4);
+                start = end;
+            }
+
+            // Apply digits and update the conflict graph (one round).
+            for v in 0..n {
+                if !active[v] {
+                    continue;
+                }
+                let z = family.evaluate(&seed, psi[v]);
+                let digit = thresholds[v].partition_point(|&t| t <= z) - 1;
+                state.extend_digit(&residual, v, w_eff, digit as u64);
+            }
+            state.finish_phase_digits(w_eff);
+            net.charge_rounds(1);
+        }
+
+        // Conflict resolution: matching by larger id (one round).
+        net.charge_rounds(1);
+        let mut newly = Vec::new();
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            let keeps = match state.conflict_neighbors(v) {
+                [] => true,
+                [w] => state.conflict_degree(*w) > 1 || v > *w,
+                _ => false,
+            };
+            if keeps {
+                newly.push((v, state.candidate_color(&residual, v)));
+            }
+        }
+        // Announce colors, prune lists (one round).
+        net.charge_rounds(1);
+        for &(v, c) in &newly {
+            colors[v] = Some(c);
+            active[v] = false;
+            uncolored -= 1;
+            for &u in g.neighbors(v) {
+                if active[u] {
+                    residual.remove_color(u, c);
+                }
+            }
+        }
+    }
+
+    CliqueColoringResult {
+        colors: colors.into_iter().map(|c| c.expect("all nodes colored")).collect(),
+        metrics: net.metrics(),
+        iterations,
+        collected_nodes,
+    }
+}
+
+/// `Pr[z_u ∈ [ul, uh) ∧ z_v ∈ [vl, vh)]` by inclusion–exclusion over the
+/// joint CDF.
+fn joint_interval(
+    family: &SliceFamily,
+    forms_u: &[BitForm],
+    ul: u64,
+    uh: u64,
+    forms_v: &[BitForm],
+    vl: u64,
+    vh: u64,
+) -> f64 {
+    let j = |a: u64, b: u64| family.prob_joint_lt_forms(forms_u, a, forms_v, b);
+    (j(uh, vh) - j(ul, vh) - j(uh, vl) + j(ul, vl)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::{generators, validation};
+
+    fn color_dp1(g: dcl_graphs::Graph) -> (dcl_graphs::Graph, CliqueColoringResult) {
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let result = clique_color(&inst, &CliqueColoringConfig::default());
+        (g, result)
+    }
+
+    #[test]
+    fn colors_random_graphs_properly() {
+        for seed in 0..4 {
+            let (g, result) = color_dp1(generators::gnp(24, 0.25, seed));
+            assert_eq!(validation::check_proper(&g, &result.colors), None, "seed {seed}");
+            let delta = g.max_degree() as u64;
+            assert!(result.colors.iter().all(|&c| c <= delta));
+        }
+    }
+
+    #[test]
+    fn colors_structured_graphs() {
+        for g in [
+            generators::ring(20),
+            generators::complete(10),
+            generators::star(16),
+            generators::grid(4, 5),
+        ] {
+            let (g, result) = color_dp1(g);
+            assert_eq!(validation::check_proper(&g, &result.colors), None);
+        }
+    }
+
+    #[test]
+    fn small_instances_collect_immediately() {
+        let (g, result) = color_dp1(generators::path(4));
+        assert_eq!(validation::check_proper(&g, &result.colors), None);
+        assert_eq!(result.iterations, 0);
+        assert_eq!(result.collected_nodes, 4);
+    }
+
+    #[test]
+    fn respects_custom_lists() {
+        let g = generators::ring(12);
+        let lists: Vec<Vec<u64>> = (0..12u64).map(|v| vec![v % 5, 5 + v % 3, 9 + v % 4]).collect();
+        let inst = ListInstance::new(g.clone(), 16, lists.clone()).unwrap();
+        let result = clique_color(&inst, &CliqueColoringConfig::default());
+        assert_eq!(validation::check_list_coloring(&g, &lists, &result.colors), None);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = generators::gnp(20, 0.3, 5);
+        let (_, r1) = color_dp1(g.clone());
+        let (_, r2) = color_dp1(g);
+        assert_eq!(r1.colors, r2.colors);
+        assert_eq!(r1.metrics, r2.metrics);
+    }
+
+    #[test]
+    fn rounds_do_not_scale_with_diameter() {
+        // A long ring has D = n/2 but the clique algorithm's round count
+        // must stay small (no D factor).
+        let (_, small) = color_dp1(generators::ring(16));
+        let (_, large) = color_dp1(generators::ring(64));
+        assert!(
+            large.metrics.rounds < 40 * small.metrics.rounds.max(1),
+            "rounds grew too fast: {} -> {}",
+            small.metrics.rounds,
+            large.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn handles_trivial_graphs() {
+        let (_, r) = color_dp1(dcl_graphs::Graph::empty(6));
+        assert_eq!(r.colors, vec![0; 6]);
+        let empty = dcl_graphs::Graph::empty(0);
+        let inst = ListInstance::degree_plus_one(empty);
+        let r = clique_color(&inst, &CliqueColoringConfig::default());
+        assert!(r.colors.is_empty());
+    }
+}

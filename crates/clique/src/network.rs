@@ -1,0 +1,219 @@
+//! CONGESTED CLIQUE simulator.
+//!
+//! Each round, every node may send one `O(log n)`-bit message to *every*
+//! other node (unicast: different messages to different peers). The
+//! simulator enforces per-node send budgets and meters rounds, messages and
+//! bits. Bulk data movement uses [`CliqueNetwork::lenzen_route`], the
+//! cost-model form of Lenzen's deterministic routing theorem \[Len13\]: any
+//! instance where every node sends and receives at most `n` messages is
+//! delivered in `O(1)` (charged: 2) rounds.
+
+use dcl_congest::wire::Wire;
+
+/// Cost counters of a [`CliqueNetwork`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CliqueMetrics {
+    /// Synchronous rounds elapsed.
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Bits delivered.
+    pub bits: u64,
+}
+
+/// A congested clique on `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use dcl_clique::network::CliqueNetwork;
+///
+/// let mut net = CliqueNetwork::new(4, 64);
+/// // Node 0 sends its id to everyone else.
+/// let inboxes = net.round(|v| if v == 0 { vec![(1, 7u32), (2, 7), (3, 7)] } else { vec![] });
+/// assert_eq!(inboxes[3], vec![(0, 7)]);
+/// assert_eq!(net.metrics().rounds, 1);
+/// ```
+#[derive(Debug)]
+pub struct CliqueNetwork {
+    n: usize,
+    cap_bits: u32,
+    metrics: CliqueMetrics,
+}
+
+/// Per-node inboxes: `(sender, payload)` pairs.
+pub type Inboxes<M> = Vec<Vec<(usize, M)>>;
+
+impl CliqueNetwork {
+    /// Creates a clique of `n` nodes with a per-message cap in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_bits == 0`.
+    pub fn new(n: usize, cap_bits: u32) -> Self {
+        assert!(cap_bits > 0, "bandwidth cap must be positive");
+        CliqueNetwork { n, cap_bits, metrics: CliqueMetrics::default() }
+    }
+
+    /// Creates a clique with the default cap (two 64-bit words, covering
+    /// `O(log n)`-bit ids and colors plus a word-sized value).
+    pub fn with_default_cap(n: usize) -> Self {
+        CliqueNetwork::new(n, 128)
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Accumulated cost counters.
+    pub fn metrics(&self) -> CliqueMetrics {
+        self.metrics
+    }
+
+    /// Rounds elapsed.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// One synchronous round: `sender(v)` lists `(recipient, payload)`
+    /// pairs — at most one message per ordered pair per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range recipients, self-messages, duplicate
+    /// recipients, or oversized payloads.
+    pub fn round<M, F>(&mut self, mut sender: F) -> Inboxes<M>
+    where
+        M: Wire,
+        F: FnMut(usize) -> Vec<(usize, M)>,
+    {
+        self.metrics.rounds += 1;
+        let mut inboxes: Inboxes<M> = (0..self.n).map(|_| Vec::new()).collect();
+        for u in 0..self.n {
+            let mut seen = Vec::new();
+            for (v, msg) in sender(u) {
+                assert!(v < self.n, "recipient {v} out of range");
+                assert_ne!(u, v, "node {u} sent a message to itself");
+                assert!(!seen.contains(&v), "node {u} sent two messages to {v} in one round");
+                seen.push(v);
+                self.account(msg.wire_bits());
+                inboxes[v].push((u, msg));
+            }
+        }
+        inboxes
+    }
+
+    /// Lenzen routing: delivers an arbitrary multiset of messages in a
+    /// charged constant number of rounds (2), after verifying the theorem's
+    /// precondition that every node sends at most `n` and receives at most
+    /// `n` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a send or receive budget is exceeded or a payload is
+    /// oversized.
+    pub fn lenzen_route<M>(&mut self, messages: Vec<(usize, usize, M)>) -> Inboxes<M>
+    where
+        M: Wire,
+    {
+        let mut sent = vec![0usize; self.n];
+        let mut received = vec![0usize; self.n];
+        let mut inboxes: Inboxes<M> = (0..self.n).map(|_| Vec::new()).collect();
+        for (src, dst, msg) in messages {
+            assert!(src < self.n && dst < self.n, "endpoint out of range");
+            sent[src] += 1;
+            received[dst] += 1;
+            assert!(sent[src] <= self.n, "node {src} exceeds the Lenzen send budget");
+            assert!(received[dst] <= self.n, "node {dst} exceeds the Lenzen receive budget");
+            self.account(msg.wire_bits());
+            inboxes[dst].push((src, msg));
+        }
+        self.metrics.rounds += 2;
+        inboxes
+    }
+
+    /// Charges `rounds` rounds without traffic (for schedule steps whose
+    /// cost is a closed formula).
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.metrics.rounds += rounds;
+    }
+
+    fn account(&mut self, bits: u32) {
+        assert!(
+            bits <= self.cap_bits,
+            "message of {bits} bits exceeds clique cap of {} bits",
+            self.cap_bits
+        );
+        self.metrics.messages += 1;
+        self.metrics.bits += u64::from(bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_unicast_delivery() {
+        let mut net = CliqueNetwork::with_default_cap(3);
+        let inboxes = net.round(|v| match v {
+            0 => vec![(1, 10u32), (2, 20u32)],
+            1 => vec![(2, 30u32)],
+            _ => vec![],
+        });
+        assert_eq!(inboxes[1], vec![(0, 10)]);
+        let mut got = inboxes[2].clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 20), (1, 30)]);
+        assert_eq!(net.metrics().messages, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "to itself")]
+    fn self_message_panics() {
+        let mut net = CliqueNetwork::with_default_cap(2);
+        let _ = net.round(|v| if v == 0 { vec![(0, 1u32)] } else { vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn duplicate_recipient_panics() {
+        let mut net = CliqueNetwork::with_default_cap(2);
+        let _ = net.round(|v| if v == 0 { vec![(1, 1u32), (1, 2u32)] } else { vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds clique cap")]
+    fn oversized_message_panics() {
+        let mut net = CliqueNetwork::new(2, 4);
+        let _ = net.round(|v| if v == 0 { vec![(1, 255u32)] } else { vec![] });
+    }
+
+    #[test]
+    fn lenzen_routing_charges_two_rounds() {
+        let mut net = CliqueNetwork::with_default_cap(4);
+        let msgs = vec![(0, 1, 5u32), (0, 2, 6u32), (3, 1, 7u32)];
+        let inboxes = net.lenzen_route(msgs);
+        assert_eq!(net.metrics().rounds, 2);
+        assert_eq!(inboxes[1].len(), 2);
+        assert_eq!(inboxes[2], vec![(0, 6)]);
+    }
+
+    #[test]
+    fn lenzen_budget_allows_n_messages_per_node() {
+        let mut net = CliqueNetwork::with_default_cap(3);
+        // Node 0 sends 3 = n messages (to nodes 1 and 2, one duplicate pair).
+        let msgs = vec![(0, 1, 1u32), (0, 1, 2u32), (0, 2, 3u32)];
+        let inboxes = net.lenzen_route(msgs);
+        assert_eq!(inboxes[1].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "send budget")]
+    fn lenzen_send_budget_enforced() {
+        let mut net = CliqueNetwork::with_default_cap(2);
+        let msgs = vec![(0, 1, 1u32), (0, 1, 2u32), (0, 1, 3u32)];
+        let _ = net.lenzen_route(msgs);
+    }
+}

@@ -1,0 +1,56 @@
+//! Release-size stress tests for the CONGESTED CLIQUE coloring
+//! (complementing the unit tests with the regimes where batching and the
+//! final collect actually engage).
+
+use dcl_clique::coloring::{clique_color, CliqueColoringConfig};
+use dcl_coloring::instance::ListInstance;
+use dcl_graphs::{generators, validation};
+
+#[test]
+fn batching_engages_on_medium_instances() {
+    let g = generators::gnp(64, 0.12, 9);
+    let inst = ListInstance::degree_plus_one(g.clone());
+    let r = clique_color(&inst, &CliqueColoringConfig::default());
+    assert_eq!(validation::check_proper(&g, &r.colors), None);
+    assert!(r.iterations >= 1);
+}
+
+#[test]
+fn segment_length_config_changes_rounds_not_result() {
+    let g = generators::gnp(40, 0.15, 3);
+    let inst = ListInstance::degree_plus_one(g.clone());
+    let short = clique_color(
+        &inst,
+        &CliqueColoringConfig { segment_bits: 2, ..CliqueColoringConfig::default() },
+    );
+    let long = clique_color(
+        &inst,
+        &CliqueColoringConfig { segment_bits: 6, ..CliqueColoringConfig::default() },
+    );
+    assert_eq!(validation::check_proper(&g, &short.colors), None);
+    assert_eq!(validation::check_proper(&g, &long.colors), None);
+    // Longer segments = fewer derandomization rounds.
+    assert!(long.metrics.rounds <= short.metrics.rounds);
+}
+
+#[test]
+fn max_batch_width_one_still_completes() {
+    let g = generators::random_regular(48, 5, 7);
+    let inst = ListInstance::degree_plus_one(g.clone());
+    let r = clique_color(
+        &inst,
+        &CliqueColoringConfig { max_batch_width: 1, ..CliqueColoringConfig::default() },
+    );
+    assert_eq!(validation::check_proper(&g, &r.colors), None);
+}
+
+#[test]
+fn dense_graph_with_tight_lists() {
+    // Δ close to n: the collect condition needs many iterations to fire.
+    let g = generators::gnp(36, 0.5, 1);
+    let inst = ListInstance::degree_plus_one(g.clone());
+    let r = clique_color(&inst, &CliqueColoringConfig::default());
+    assert_eq!(validation::check_proper(&g, &r.colors), None);
+    let delta = g.max_degree() as u64;
+    assert!(r.colors.iter().all(|&c| c <= delta));
+}

@@ -1,0 +1,365 @@
+//! Distributed BFS-tree construction.
+//!
+//! A BFS tree rooted at a designated leader is the paper's communication
+//! backbone for derandomization (Lemma 2.6): conditional expectations are
+//! aggregated toward the root and chosen seed bits are broadcast back. The
+//! construction below is the textbook flooding protocol and costs exactly
+//! `ecc(root) + 1` rounds on the simulator.
+
+use crate::network::Network;
+use dcl_graphs::NodeId;
+
+/// A rooted spanning tree of (the connected component of) a graph, with
+/// per-node parent/children links and depth labels.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// The root (leader) node.
+    pub root: NodeId,
+    /// Parent of each node (`None` for the root and unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+    /// Children lists (sorted).
+    pub children: Vec<Vec<NodeId>>,
+    /// Depth of each node (`u32::MAX` if unreachable).
+    pub depth: Vec<u32>,
+    /// Height of the tree = max depth of a reachable node.
+    pub height: u32,
+}
+
+impl BfsTree {
+    /// Whether `v` was reached by the flood (i.e. is in the root's
+    /// component).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.depth[v] != u32::MAX
+    }
+
+    /// Nodes of the tree grouped by depth: `levels()[d]` lists the nodes at
+    /// depth `d`.
+    pub fn levels(&self) -> Vec<Vec<NodeId>> {
+        let mut levels = vec![Vec::new(); self.height as usize + 1];
+        for v in 0..self.depth.len() {
+            if self.contains(v) {
+                levels[self.depth[v] as usize].push(v);
+            }
+        }
+        levels
+    }
+}
+
+/// Builds a BFS tree rooted at `root` by synchronous flooding.
+///
+/// Each newly reached node announces itself in the next round; a node joining
+/// at depth `d` picks as parent the smallest-id neighbor that announced at
+/// depth `d − 1`. Costs `ecc(root) + 1` rounds.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn build_bfs_tree(net: &mut Network<'_>, root: NodeId) -> BfsTree {
+    let g = net.graph();
+    let n = g.n();
+    assert!(root < n, "root out of range");
+    let mut depth = vec![u32::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    depth[root] = 0;
+    let mut frontier = vec![root];
+    let mut current_depth = 0u32;
+    while !frontier.is_empty() {
+        // Round: the current frontier announces "I joined at depth d".
+        let announcing = frontier.clone();
+        let inboxes = net.broadcast_round(|v| {
+            if announcing.contains(&v) {
+                Some(depth[v])
+            } else {
+                None
+            }
+        });
+        current_depth += 1;
+        let mut next = Vec::new();
+        for v in 0..n {
+            if depth[v] != u32::MAX {
+                continue;
+            }
+            // Pick the smallest-id announcer as the parent.
+            let best = inboxes[v]
+                .iter()
+                .filter(|(_, d)| *d == current_depth - 1)
+                .map(|(u, _)| *u)
+                .min();
+            if let Some(p) = best {
+                depth[v] = current_depth;
+                parent[v] = Some(p);
+                next.push(v);
+            }
+        }
+        frontier = next;
+    }
+    let mut children = vec![Vec::new(); n];
+    for v in 0..n {
+        if let Some(p) = parent[v] {
+            children[p].push(v);
+        }
+    }
+    let height = depth.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+    BfsTree { root, parent, children, depth, height }
+}
+
+/// A spanning BFS forest: one tree per connected component, built in
+/// parallel (all roots flood simultaneously, so the round cost is the
+/// maximum root eccentricity plus one).
+#[derive(Debug, Clone)]
+pub struct BfsForest {
+    /// One BFS tree per component, rooted at the component's smallest node.
+    pub trees: Vec<BfsTree>,
+    /// Index into `trees` for every node.
+    pub component: Vec<usize>,
+}
+
+impl BfsForest {
+    /// The tree containing node `v`.
+    pub fn tree_of(&self, v: NodeId) -> &BfsTree {
+        &self.trees[self.component[v]]
+    }
+
+    /// Maximum tree height across the forest.
+    pub fn max_height(&self) -> u32 {
+        self.trees.iter().map(|t| t.height).max().unwrap_or(0)
+    }
+}
+
+/// Builds a spanning BFS forest: the smallest node of each component acts as
+/// that component's root/leader; all floods run in the same rounds.
+///
+/// Costs `max_root_eccentricity + 1` rounds.
+pub fn build_bfs_forest(net: &mut Network<'_>) -> BfsForest {
+    let g = net.graph();
+    let n = g.n();
+    // Roots = nodes that are locally minimal in their component. Determining
+    // them distributedly is itself a flood; here components are derived from
+    // the same flooding process: every node starts as a candidate root and
+    // defers to any smaller id it hears about, which is exactly the classic
+    // "leader election by flooding" that the BFS construction below performs
+    // implicitly (the smallest id's flood wins every tie).
+    let mut depth = vec![u32::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut origin = vec![usize::MAX; n]; // root id whose flood reached the node
+    let mut frontier: Vec<NodeId> = Vec::new();
+    // Every node initially considers itself a root at depth 0; floods from
+    // smaller ids overwrite larger ones on arrival (monotone, so each node
+    // settles within ecc+1 rounds for the true root of its component).
+    for v in 0..n {
+        depth[v] = 0;
+        origin[v] = v;
+        frontier.push(v);
+    }
+    loop {
+        let announcing: Vec<bool> = {
+            let mut a = vec![false; n];
+            for &v in &frontier {
+                a[v] = true;
+            }
+            a
+        };
+        let inboxes = net.broadcast_round(|v| {
+            if announcing[v] {
+                Some((origin[v] as u64, depth[v]))
+            } else {
+                None
+            }
+        });
+        let mut next = Vec::new();
+        for v in 0..n {
+            let mut best: Option<(usize, u32, NodeId)> = None; // (origin, depth, sender)
+            for &(u, (o, d)) in &inboxes[v] {
+                let cand = (o as usize, d + 1, u);
+                let better = match best {
+                    None => true,
+                    Some(b) => (cand.0, cand.1, cand.2) < b,
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+            if let Some((o, d, u)) = best {
+                // Adopt a strictly better (smaller-origin, then shallower)
+                // label.
+                if o < origin[v] || (o == origin[v] && d < depth[v]) {
+                    origin[v] = o;
+                    depth[v] = d;
+                    parent[v] = Some(u);
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    // Assemble one tree per distinct origin.
+    let mut roots: Vec<usize> = origin.clone();
+    roots.sort_unstable();
+    roots.dedup();
+    let mut component = vec![usize::MAX; n];
+    let mut trees = Vec::with_capacity(roots.len());
+    for (ci, &root) in roots.iter().enumerate() {
+        let mut t_parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut t_depth = vec![u32::MAX; n];
+        let mut t_children = vec![Vec::new(); n];
+        for v in 0..n {
+            if origin[v] == root {
+                component[v] = ci;
+                t_depth[v] = depth[v];
+                t_parent[v] = parent[v];
+                if let Some(p) = parent[v] {
+                    t_children[p].push(v);
+                }
+            }
+        }
+        let height =
+            t_depth.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+        trees.push(BfsTree {
+            root,
+            parent: t_parent,
+            children: t_children,
+            depth: t_depth,
+            height,
+        });
+    }
+    BfsForest { trees, component }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::{generators, metrics};
+
+    fn tree_on(g: &dcl_graphs::Graph, root: NodeId) -> (BfsTree, u64) {
+        let mut net = Network::with_default_cap(g, 2);
+        let t = build_bfs_tree(&mut net, root);
+        (t, net.rounds())
+    }
+
+    #[test]
+    fn depths_match_bfs_distances() {
+        for seed in 0..5 {
+            let g = generators::random_connected(40, 20, seed);
+            let (t, _) = tree_on(&g, 0);
+            let dist = metrics::bfs(&g, 0);
+            assert_eq!(t.depth, dist);
+        }
+    }
+
+    #[test]
+    fn parents_are_one_level_up() {
+        let g = generators::grid(4, 5);
+        let (t, _) = tree_on(&g, 7);
+        for v in 0..g.n() {
+            if let Some(p) = t.parent[v] {
+                assert_eq!(t.depth[p] + 1, t.depth[v]);
+                assert!(g.has_edge(p, v));
+            }
+        }
+    }
+
+    #[test]
+    fn round_cost_is_eccentricity_plus_one() {
+        let g = generators::path(9);
+        let (t, rounds) = tree_on(&g, 0);
+        assert_eq!(t.height, 8);
+        assert_eq!(rounds, 9);
+    }
+
+    #[test]
+    fn children_link_back_to_parents() {
+        let g = generators::random_connected(30, 15, 3);
+        let (t, _) = tree_on(&g, 5);
+        for v in 0..g.n() {
+            for &c in &t.children[v] {
+                assert_eq!(t.parent[c], Some(v));
+            }
+        }
+        let total_children: usize = t.children.iter().map(Vec::len).sum();
+        assert_eq!(total_children, g.n() - 1, "spanning tree has n-1 edges");
+    }
+
+    #[test]
+    fn levels_partition_reachable_nodes() {
+        let g = generators::hypercube(3);
+        let (t, _) = tree_on(&g, 0);
+        let levels = t.levels();
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+        assert_eq!(levels[0], vec![0]);
+    }
+
+    #[test]
+    fn unreachable_nodes_excluded() {
+        let g = dcl_graphs::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let (t, _) = tree_on(&g, 0);
+        assert!(t.contains(1));
+        assert!(!t.contains(2));
+        assert_eq!(t.height, 1);
+    }
+}
+
+#[cfg(test)]
+mod forest_tests {
+    use super::*;
+    use crate::network::Network;
+    use dcl_graphs::{generators, metrics};
+
+    #[test]
+    fn forest_roots_are_component_minima() {
+        let g = dcl_graphs::Graph::from_edges(6, &[(1, 2), (2, 0), (4, 5)]).unwrap();
+        let mut net = Network::with_default_cap(&g, 2);
+        let forest = build_bfs_forest(&mut net);
+        let mut roots: Vec<usize> = forest.trees.iter().map(|t| t.root).collect();
+        roots.sort_unstable();
+        assert_eq!(roots, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn forest_depths_are_bfs_distances_from_root() {
+        for seed in 0..4 {
+            let g = generators::gnp(30, 0.08, seed);
+            let mut net = Network::with_default_cap(&g, 2);
+            let forest = build_bfs_forest(&mut net);
+            for tree in &forest.trees {
+                let dist = metrics::bfs(&g, tree.root);
+                for v in 0..g.n() {
+                    if forest.component[v] == forest.component[tree.root] {
+                        assert_eq!(tree.depth[v], dist[v], "seed {seed} node {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forest_on_connected_graph_is_single_tree() {
+        let g = generators::random_connected(25, 10, 9);
+        let mut net = Network::with_default_cap(&g, 2);
+        let forest = build_bfs_forest(&mut net);
+        assert_eq!(forest.trees.len(), 1);
+        assert_eq!(forest.trees[0].root, 0);
+        assert!(forest.component.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn forest_components_match_graph_components() {
+        let g = dcl_graphs::Graph::from_edges(7, &[(0, 1), (2, 3), (3, 4), (5, 6)]).unwrap();
+        let mut net = Network::with_default_cap(&g, 2);
+        let forest = build_bfs_forest(&mut net);
+        let (comp, count) = metrics::components(&g);
+        assert_eq!(forest.trees.len(), count);
+        for u in 0..7 {
+            for v in 0..7 {
+                assert_eq!(
+                    comp[u] == comp[v],
+                    forest.component[u] == forest.component[v],
+                    "nodes {u},{v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Synchronous message-passing network with bandwidth enforcement.
+
+use crate::wire::{bit_len, Wire};
+use dcl_graphs::{Graph, NodeId};
+
+/// Cost counters accumulated by a [`Network`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of synchronous rounds elapsed.
+    pub rounds: u64,
+    /// Total number of messages delivered.
+    pub messages: u64,
+    /// Total number of bits delivered.
+    pub bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: u32,
+}
+
+/// Per-node inboxes produced by a communication round: `inboxes[v]` holds
+/// `(sender, payload)` pairs.
+pub type Inboxes<M> = Vec<Vec<(NodeId, M)>>;
+
+/// A CONGEST network over a graph.
+///
+/// All communication APIs assert the model's constraints: messages travel
+/// only along edges, and each message is at most [`Network::cap_bits`] bits
+/// wide. Violations are simulation bugs and panic.
+///
+/// # Examples
+///
+/// ```
+/// use dcl_graphs::generators;
+/// use dcl_congest::network::Network;
+///
+/// let g = generators::path(3);
+/// let mut net = Network::with_default_cap(&g, 4);
+/// // Node 0 sends its id to node 1.
+/// let inboxes = net.round(|v| if v == 0 { vec![(1, 0u32)] } else { vec![] });
+/// assert_eq!(inboxes[1], vec![(0, 0u32)]);
+/// assert_eq!(net.metrics().messages, 1);
+/// ```
+#[derive(Debug)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    cap_bits: u32,
+    metrics: Metrics,
+}
+
+impl<'g> Network<'g> {
+    /// Creates a network with an explicit per-message cap in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_bits == 0`.
+    pub fn new(graph: &'g Graph, cap_bits: u32) -> Self {
+        assert!(cap_bits > 0, "bandwidth cap must be positive");
+        Network { graph, cap_bits, metrics: Metrics::default() }
+    }
+
+    /// Creates a network with the workspace's default CONGEST cap:
+    /// `2 · max(64, ⌈log₂ n⌉, ⌈log₂ color_space⌉)` bits — i.e. two machine
+    /// words of `O(log max(n, C))` bits, matching the paper's assumption that
+    /// each color fits in `O(1)` messages.
+    pub fn with_default_cap(graph: &'g Graph, color_space: u64) -> Self {
+        Network::new(graph, default_cap(graph.n(), color_space))
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The per-message bandwidth cap in bits.
+    pub fn cap_bits(&self) -> u32 {
+        self.cap_bits
+    }
+
+    /// Accumulated cost counters.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Number of rounds elapsed so far.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// Runs one synchronous round. `sender(v)` returns the messages node `v`
+    /// sends this round as `(neighbor, payload)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message is addressed to a non-neighbor, if a node sends
+    /// two messages over the same edge in one round, or if a payload exceeds
+    /// the bandwidth cap.
+    pub fn round<M, F>(&mut self, mut sender: F) -> Inboxes<M>
+    where
+        M: Wire,
+        F: FnMut(NodeId) -> Vec<(NodeId, M)>,
+    {
+        let n = self.graph.n();
+        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        self.metrics.rounds += 1;
+        let mut sent_marks: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for u in 0..n {
+            for (v, msg) in sender(u) {
+                assert!(
+                    self.graph.has_edge(u, v),
+                    "node {u} attempted to send to non-neighbor {v}"
+                );
+                assert!(
+                    !sent_marks[u].contains(&v),
+                    "node {u} sent two messages to {v} in one round"
+                );
+                sent_marks[u].push(v);
+                self.account(msg.wire_bits());
+                inboxes[v].push((u, msg));
+            }
+        }
+        inboxes
+    }
+
+    /// Convenience round: every node sends the *same* payload to all of its
+    /// neighbors (or stays silent with `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a payload exceeds the bandwidth cap.
+    pub fn broadcast_round<M, F>(&mut self, mut f: F) -> Inboxes<M>
+    where
+        M: Wire + Clone,
+        F: FnMut(NodeId) -> Option<M>,
+    {
+        let n = self.graph.n();
+        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        self.metrics.rounds += 1;
+        for u in 0..n {
+            if let Some(msg) = f(u) {
+                let bits = msg.wire_bits();
+                for &v in self.graph.neighbors(u) {
+                    self.account(bits);
+                    inboxes[v].push((u, msg.clone()));
+                }
+            }
+        }
+        inboxes
+    }
+
+    /// Charges `rounds` additional synchronous rounds without message
+    /// delivery. Used by charged (pipelined) collective operations whose
+    /// round cost is a closed formula; the message/bit traffic must be
+    /// charged separately via [`Network::charge_traffic`].
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.metrics.rounds += rounds;
+    }
+
+    /// Charges `messages` messages of `bits_each` bits (each must respect the
+    /// cap) without delivering anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_each` exceeds the bandwidth cap.
+    pub fn charge_traffic(&mut self, messages: u64, bits_each: u32) {
+        for _ in 0..messages {
+            self.account(bits_each);
+        }
+    }
+
+    fn account(&mut self, bits: u32) {
+        assert!(
+            bits <= self.cap_bits,
+            "message of {bits} bits exceeds CONGEST cap of {} bits",
+            self.cap_bits
+        );
+        self.metrics.messages += 1;
+        self.metrics.bits += u64::from(bits);
+        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+    }
+}
+
+/// The default CONGEST bandwidth cap for `n` nodes and color space `[C]`.
+#[must_use]
+pub fn default_cap(n: usize, color_space: u64) -> u32 {
+    2 * 64u32.max(bit_len(n as u64)).max(bit_len(color_space))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::generators;
+
+    #[test]
+    fn round_delivers_to_neighbors() {
+        let g = generators::path(3);
+        let mut net = Network::with_default_cap(&g, 2);
+        let inboxes = net.round(|v| match v {
+            0 => vec![(1, 10u32)],
+            2 => vec![(1, 20u32)],
+            _ => vec![],
+        });
+        let mut got = inboxes[1].clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 10), (2, 20)]);
+        assert_eq!(net.metrics().rounds, 1);
+        assert_eq!(net.metrics().messages, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        let g = generators::path(3);
+        let mut net = Network::with_default_cap(&g, 2);
+        let _ = net.round(|v| if v == 0 { vec![(2, 1u32)] } else { vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn duplicate_edge_message_panics() {
+        let g = generators::path(2);
+        let mut net = Network::with_default_cap(&g, 2);
+        let _ = net.round(|v| if v == 0 { vec![(1, 1u32), (1, 2u32)] } else { vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds CONGEST cap")]
+    fn oversized_message_panics() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, 8);
+        let _ = net.round(|v| if v == 0 { vec![(1, 1u64 << 40)] } else { vec![] });
+    }
+
+    #[test]
+    fn broadcast_round_reaches_all_neighbors() {
+        let g = generators::star(5);
+        let mut net = Network::with_default_cap(&g, 2);
+        let inboxes = net.broadcast_round(|v| if v == 0 { Some(7u32) } else { None });
+        for leaf in 1..5 {
+            assert_eq!(inboxes[leaf], vec![(0, 7u32)]);
+        }
+        assert_eq!(net.metrics().messages, 4);
+    }
+
+    #[test]
+    fn charge_rounds_and_traffic_accumulate() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, 64);
+        net.charge_rounds(5);
+        net.charge_traffic(3, 10);
+        assert_eq!(net.metrics().rounds, 5);
+        assert_eq!(net.metrics().messages, 3);
+        assert_eq!(net.metrics().bits, 30);
+        assert_eq!(net.metrics().max_message_bits, 10);
+    }
+
+    #[test]
+    fn default_cap_is_two_words() {
+        // For every u64-representable n and C the dominant term is the
+        // 64-bit machine word, so the cap is two words.
+        assert_eq!(default_cap(8, 8), 128);
+        assert_eq!(default_cap(1 << 20, 1 << 40), 128);
+        assert_eq!(default_cap(8, u64::MAX), 128);
+    }
+
+    #[test]
+    fn max_message_bits_tracked() {
+        let g = generators::path(2);
+        let mut net = Network::with_default_cap(&g, 2);
+        let _ = net.round(|v| if v == 0 { vec![(1, 0b1011u32)] } else { vec![] });
+        assert_eq!(net.metrics().max_message_bits, 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! Message size accounting.
+//!
+//! Every payload sent through the simulator implements [`Wire`], reporting
+//! the number of bits its encoding occupies on an edge. Integer payloads are
+//! charged their *value's* bit length (the standard convention: a value in
+//! `[C]` fits in `⌈log₂ C⌉` bits), floats are charged one 64-bit word, and
+//! composite payloads are charged the sum of their parts.
+
+/// Number of bits a message payload occupies on the wire.
+pub trait Wire {
+    /// Encoded width of `self` in bits (at least 1).
+    fn wire_bits(&self) -> u32;
+}
+
+/// Bit length of a `u64` value (at least 1, so that the value 0 still
+/// occupies a bit on the wire).
+#[must_use]
+pub fn bit_len(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+macro_rules! impl_wire_uint {
+    ($($t:ty),*) => {
+        $(impl Wire for $t {
+            fn wire_bits(&self) -> u32 {
+                bit_len(*self as u64)
+            }
+        })*
+    };
+}
+
+impl_wire_uint!(u8, u16, u32, u64, usize);
+
+impl Wire for bool {
+    fn wire_bits(&self) -> u32 {
+        1
+    }
+}
+
+impl Wire for f64 {
+    fn wire_bits(&self) -> u32 {
+        64
+    }
+}
+
+impl Wire for () {
+    fn wire_bits(&self) -> u32 {
+        1
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn wire_bits(&self) -> u32 {
+        self.0.wire_bits() + self.1.wire_bits()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn wire_bits(&self) -> u32 {
+        self.0.wire_bits() + self.1.wire_bits() + self.2.wire_bits()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn wire_bits(&self) -> u32 {
+        self.0.wire_bits() + self.1.wire_bits() + self.2.wire_bits() + self.3.wire_bits()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn wire_bits(&self) -> u32 {
+        1 + self.as_ref().map_or(0, Wire::wire_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_len_basics() {
+        assert_eq!(bit_len(0), 1);
+        assert_eq!(bit_len(1), 1);
+        assert_eq!(bit_len(2), 2);
+        assert_eq!(bit_len(255), 8);
+        assert_eq!(bit_len(256), 9);
+        assert_eq!(bit_len(u64::MAX), 64);
+    }
+
+    #[test]
+    fn composite_widths_sum() {
+        assert_eq!((3u32, 4u32).wire_bits(), 2 + 3);
+        assert_eq!((true, 1u8, 7u16).wire_bits(), 1 + 1 + 3);
+        assert_eq!(Some(3u32).wire_bits(), 1 + 2);
+        assert_eq!(None::<u32>.wire_bits(), 1);
+    }
+
+    #[test]
+    fn float_is_one_word() {
+        assert_eq!(1.5f64.wire_bits(), 64);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the CONGEST substrate: BFS forests, charged vs
+//! stepped collectives, and metric accounting.
+
+use dcl_congest::bfs::{build_bfs_forest, build_bfs_tree};
+use dcl_congest::network::Network;
+use dcl_congest::tree::{
+    broadcast_charged, broadcast_stepped, convergecast_charged, convergecast_stepped,
+};
+use dcl_graphs::{generators, metrics};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Forest depths equal BFS distances from the component minimum.
+    #[test]
+    fn forest_depths_are_distances(n in 1usize..40, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let mut net = Network::with_default_cap(&g, 64);
+        let forest = build_bfs_forest(&mut net);
+        for tree in &forest.trees {
+            let dist = metrics::bfs(&g, tree.root);
+            for v in 0..n {
+                if forest.component[v] == forest.component[tree.root] {
+                    prop_assert_eq!(tree.depth[v], dist[v]);
+                }
+            }
+        }
+    }
+
+    /// Charged and stepped converge-cast/broadcast agree in value and round
+    /// cost on arbitrary connected graphs.
+    #[test]
+    fn charged_equals_stepped(n in 2usize..30, extra in 0usize..20, seed in any::<u64>()) {
+        let g = generators::random_connected(n, extra, seed);
+        let values: Vec<u64> = (0..n as u64).map(|v| v * 31 % 97).collect();
+
+        let mut net1 = Network::with_default_cap(&g, 64);
+        let t1 = build_bfs_tree(&mut net1, 0);
+        let r1_base = net1.rounds();
+        let a = convergecast_stepped(&mut net1, &t1, &values, |x, y| x + y);
+        let stepped_cost = net1.rounds() - r1_base;
+
+        let mut net2 = Network::with_default_cap(&g, 64);
+        let t2 = build_bfs_tree(&mut net2, 0);
+        let r2_base = net2.rounds();
+        let b = convergecast_charged(&mut net2, &t2, &values, |x, y| x + y);
+        let charged_cost = net2.rounds() - r2_base;
+
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(stepped_cost, charged_cost);
+
+        let x = broadcast_stepped(&mut net1, &t1, 7u32);
+        let y = broadcast_charged(&mut net2, &t2, 7u32);
+        prop_assert_eq!(x, y);
+    }
+
+    /// Metrics are additive: messages and bits only grow.
+    #[test]
+    fn metrics_monotone(n in 2usize..25, p in 0.05f64..0.5, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let mut net = Network::with_default_cap(&g, 64);
+        let mut last = net.metrics();
+        for round in 0..5u32 {
+            let _ = net.broadcast_round(|v| if v as u32 % 2 == round % 2 { Some(v as u64) } else { None });
+            let now = net.metrics();
+            prop_assert!(now.rounds > last.rounds);
+            prop_assert!(now.messages >= last.messages);
+            prop_assert!(now.bits >= last.bits);
+            last = now;
+        }
+    }
+}

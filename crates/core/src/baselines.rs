@@ -1,0 +1,175 @@
+//! Baseline algorithms the experiment harness compares against.
+//!
+//! - [`johansson`]: the classic randomized `O(log n)`-round trial coloring
+//!   \[Joh99\] that the paper's Section 1.4 takes as the starting point of
+//!   its derandomization: every uncolored node picks a uniformly random
+//!   color from its current list and keeps it if no neighbor picked the
+//!   same; colored nodes announce, neighbors prune lists.
+//! - [`greedy`]: the sequential greedy list-coloring (the trivial
+//!   centralized algorithm both problems admit; reference for correctness
+//!   and color counts, not for round complexity).
+
+use crate::instance::ListInstance;
+use dcl_congest::network::{Metrics, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of the randomized baseline.
+#[derive(Debug, Clone)]
+pub struct JohanssonResult {
+    /// The proper list coloring.
+    pub colors: Vec<u64>,
+    /// Number of trial iterations (2 rounds each).
+    pub iterations: usize,
+    /// Simulator cost counters.
+    pub metrics: Metrics,
+}
+
+/// Randomized trial coloring with an explicit RNG seed. Each iteration costs
+/// two communication rounds (announce trial color; announce keep).
+///
+/// # Panics
+///
+/// Panics if 64·⌈log₂ n⌉ + 64 iterations do not suffice (probability
+/// vanishingly small; indicates a bug).
+pub fn johansson(instance: &ListInstance, rng_seed: u64) -> JohanssonResult {
+    let g = instance.graph();
+    let n = g.n();
+    let mut net = Network::with_default_cap(g, instance.color_space());
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut residual = instance.clone();
+    let mut colors: Vec<Option<u64>> = vec![None; n];
+    let mut remaining = n;
+    let mut iterations = 0;
+    let cap = 64 * (usize::BITS - n.max(2).leading_zeros()) as usize + 64;
+
+    while remaining > 0 {
+        assert!(iterations < cap, "randomized baseline failed to converge");
+        iterations += 1;
+        // Trial round: uncolored nodes draw a uniform color from their list.
+        let trial: Vec<Option<u64>> = (0..n)
+            .map(|v| {
+                if colors[v].is_some() {
+                    None
+                } else {
+                    let list = residual.list(v);
+                    Some(list[rng.gen_range(0..list.len())])
+                }
+            })
+            .collect();
+        let inboxes = net.broadcast_round(|v| trial[v]);
+        // Keep-decision + announcement round.
+        let keeps: Vec<Option<u64>> = (0..n)
+            .map(|v| {
+                let mine = trial[v]?;
+                let conflicted = inboxes[v].iter().any(|&(_, c)| c == mine);
+                if conflicted {
+                    None
+                } else {
+                    Some(mine)
+                }
+            })
+            .collect();
+        let keep_inboxes = net.broadcast_round(|v| keeps[v]);
+        for v in 0..n {
+            if let Some(c) = keeps[v] {
+                colors[v] = Some(c);
+                remaining -= 1;
+            }
+        }
+        for v in 0..n {
+            if colors[v].is_none() {
+                for &(_, c) in &keep_inboxes[v] {
+                    residual.remove_color(v, c);
+                }
+            }
+        }
+    }
+
+    JohanssonResult {
+        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        iterations,
+        metrics: net.metrics(),
+    }
+}
+
+/// Sequential greedy list coloring: processes nodes in id order, assigning
+/// the smallest list color unused by already-colored neighbors.
+///
+/// Always succeeds on `(degree+1)` instances.
+pub fn greedy(instance: &ListInstance) -> Vec<u64> {
+    let g = instance.graph();
+    let mut colors: Vec<Option<u64>> = vec![None; g.n()];
+    for v in g.nodes() {
+        let taken: Vec<u64> =
+            g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+        let c = instance
+            .list(v)
+            .iter()
+            .copied()
+            .find(|c| !taken.contains(c))
+            .expect("(degree+1) slack guarantees a free color");
+        colors[v] = Some(c);
+    }
+    colors.into_iter().map(|c| c.expect("assigned above")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::{generators, validation};
+
+    #[test]
+    fn johansson_produces_proper_list_colorings() {
+        for seed in 0..5 {
+            let g = generators::gnp(40, 0.2, seed);
+            let inst = ListInstance::degree_plus_one(g);
+            let result = johansson(&inst, seed * 31 + 1);
+            assert_eq!(
+                validation::check_list_coloring(inst.graph(), inst.lists(), &result.colors),
+                None,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn johansson_iterations_are_logarithmic() {
+        let g = generators::random_regular(200, 6, 5);
+        let inst = ListInstance::degree_plus_one(g);
+        let result = johansson(&inst, 77);
+        assert!(result.iterations <= 40, "took {} iterations", result.iterations);
+        assert_eq!(result.metrics.rounds, 2 * result.iterations as u64);
+    }
+
+    #[test]
+    fn johansson_is_reproducible_per_seed() {
+        let g = generators::gnp(30, 0.25, 2);
+        let inst = ListInstance::degree_plus_one(g);
+        let a = johansson(&inst, 5);
+        let b = johansson(&inst, 5);
+        assert_eq!(a.colors, b.colors);
+    }
+
+    #[test]
+    fn greedy_colors_any_instance() {
+        for seed in 0..5 {
+            let g = generators::gnp(50, 0.15, seed + 20);
+            let inst = ListInstance::degree_plus_one(g);
+            let colors = greedy(&inst);
+            assert_eq!(
+                validation::check_list_coloring(inst.graph(), inst.lists(), &colors),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_handles_custom_lists() {
+        let g = generators::ring(8);
+        let lists: Vec<Vec<u64>> = (0..8u64).map(|v| vec![v, v + 8, v + 16]).collect();
+        let inst = ListInstance::new(g, 24, lists.clone()).unwrap();
+        let colors = greedy(&inst);
+        assert_eq!(validation::check_list_coloring(inst.graph(), &lists, &colors), None);
+    }
+}

@@ -1,0 +1,289 @@
+//! List-coloring instances (Section 2 preliminaries).
+//!
+//! A `(degree+1)`-list-coloring instance consists of a graph `G = (V, E)`, a
+//! color space `[C] = {0, …, C−1}`, and a list `L(v) ⊆ [C]` per node with
+//! `|L(v)| ≥ deg(v) + 1`. Every algorithm in the workspace consumes this
+//! type; the residual-instance update of Theorem 1.1's proof (colored
+//! neighbors remove their color from the list) is provided as
+//! [`ListInstance::remove_color`].
+
+use dcl_graphs::{Graph, NodeId};
+use std::fmt;
+
+/// Error constructing a [`ListInstance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// A list is shorter than `deg(v) + 1`.
+    ListTooShort {
+        /// The offending node.
+        node: NodeId,
+        /// Its list length.
+        len: usize,
+        /// Its degree.
+        degree: usize,
+    },
+    /// A list contains a color `≥ C`.
+    ColorOutOfSpace {
+        /// The offending node.
+        node: NodeId,
+        /// The offending color.
+        color: u64,
+    },
+    /// A list contains a duplicate color.
+    DuplicateColor {
+        /// The offending node.
+        node: NodeId,
+        /// The duplicated color.
+        color: u64,
+    },
+    /// The number of lists does not match the number of nodes.
+    WrongListCount {
+        /// Number of lists provided.
+        got: usize,
+        /// Number of nodes.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::ListTooShort { node, len, degree } => write!(
+                f,
+                "list of node {node} has {len} colors but degree {degree} requires {}",
+                degree + 1
+            ),
+            InstanceError::ColorOutOfSpace { node, color } => {
+                write!(f, "node {node} lists color {color} outside the color space")
+            }
+            InstanceError::DuplicateColor { node, color } => {
+                write!(f, "node {node} lists color {color} twice")
+            }
+            InstanceError::WrongListCount { got, expected } => {
+                write!(f, "got {got} lists for {expected} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A list-coloring instance with `|L(v)| ≥ deg(v) + 1`.
+///
+/// Lists are stored sorted; the bitwise prefix machinery of Section 2 relies
+/// on the fact that the colors sharing a binary prefix form a contiguous
+/// range of a sorted list.
+///
+/// # Examples
+///
+/// ```
+/// use dcl_graphs::generators;
+/// use dcl_coloring::instance::ListInstance;
+///
+/// let g = generators::ring(5);
+/// // The canonical (Δ+1)-coloring instance: every list is {0, …, deg(v)}.
+/// let inst = ListInstance::degree_plus_one(g);
+/// assert_eq!(inst.color_space(), 3);
+/// assert_eq!(inst.list(0), &[0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ListInstance {
+    graph: Graph,
+    color_space: u64,
+    lists: Vec<Vec<u64>>,
+}
+
+impl ListInstance {
+    /// Creates an instance after validating every list.
+    ///
+    /// Lists are sorted internally; the input order is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstanceError`] if a list is shorter than `deg(v) + 1`,
+    /// contains duplicates, or contains a color `≥ color_space`.
+    pub fn new(
+        graph: Graph,
+        color_space: u64,
+        mut lists: Vec<Vec<u64>>,
+    ) -> Result<Self, InstanceError> {
+        if lists.len() != graph.n() {
+            return Err(InstanceError::WrongListCount { got: lists.len(), expected: graph.n() });
+        }
+        for (v, list) in lists.iter_mut().enumerate() {
+            list.sort_unstable();
+            if let Some(w) = list.windows(2).find(|w| w[0] == w[1]) {
+                return Err(InstanceError::DuplicateColor { node: v, color: w[0] });
+            }
+            if let Some(&c) = list.iter().find(|&&c| c >= color_space) {
+                return Err(InstanceError::ColorOutOfSpace { node: v, color: c });
+            }
+            if list.len() < graph.degree(v) + 1 {
+                return Err(InstanceError::ListTooShort {
+                    node: v,
+                    len: list.len(),
+                    degree: graph.degree(v),
+                });
+            }
+        }
+        Ok(ListInstance { graph, color_space, lists })
+    }
+
+    /// The canonical `(Δ+1)`-coloring instance: node `v` gets the list
+    /// `{0, …, deg(v)}` over the color space `[Δ+1]` (Observation 4.1).
+    pub fn degree_plus_one(graph: Graph) -> Self {
+        let color_space = graph.max_degree() as u64 + 1;
+        let lists = graph.nodes().map(|v| (0..=graph.degree(v) as u64).collect()).collect();
+        ListInstance { graph, color_space, lists }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The color space bound `C` (colors are `0..C`).
+    pub fn color_space(&self) -> u64 {
+        self.color_space
+    }
+
+    /// `⌈log₂ C⌉`, the number of prefix-extension phases (at least 1).
+    pub fn color_bits(&self) -> u32 {
+        let c = self.color_space.max(2);
+        64 - (c - 1).leading_zeros()
+    }
+
+    /// The sorted list of node `v`.
+    pub fn list(&self, v: NodeId) -> &[u64] {
+        &self.lists[v]
+    }
+
+    /// All lists (sorted), indexed by node.
+    pub fn lists(&self) -> &[Vec<u64>] {
+        &self.lists
+    }
+
+    /// Removes `color` from `v`'s list if present (the residual-instance
+    /// update when a neighbor of `v` gets permanently colored). Returns
+    /// whether the color was present.
+    pub fn remove_color(&mut self, v: NodeId, color: u64) -> bool {
+        match self.lists[v].binary_search(&color) {
+            Ok(i) => {
+                self.lists[v].remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Truncates `v`'s list to its first `len` colors (used by the MPC
+    /// algorithms to maintain `|L(v)| ≤ Δ + 1`, see "How to Avoid MIS").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current list length or `len == 0`.
+    pub fn truncate_list(&mut self, v: NodeId, len: usize) {
+        assert!(len >= 1, "lists must stay nonempty");
+        assert!(len <= self.lists[v].len(), "cannot grow a list by truncation");
+        self.lists[v].truncate(len);
+    }
+
+    /// Checks that the `(degree+1)` slack holds for the subgraph induced by
+    /// `active` (where degrees count only active neighbors): for every active
+    /// `v`, `|L(v)| ≥ deg_active(v) + 1`.
+    pub fn slack_holds(&self, active: &[bool]) -> bool {
+        assert_eq!(active.len(), self.graph.n(), "mask length must equal n");
+        self.graph.nodes().filter(|&v| active[v]).all(|v| {
+            let deg = self.graph.neighbors(v).iter().filter(|&&u| active[u]).count();
+            self.lists[v].len() > deg
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::generators;
+
+    #[test]
+    fn degree_plus_one_lists() {
+        let g = generators::star(4);
+        let inst = ListInstance::degree_plus_one(g);
+        assert_eq!(inst.color_space(), 4);
+        assert_eq!(inst.list(0), &[0, 1, 2, 3]);
+        assert_eq!(inst.list(1), &[0, 1]);
+    }
+
+    #[test]
+    fn new_validates_length() {
+        let g = generators::path(2);
+        let err = ListInstance::new(g, 4, vec![vec![0, 1], vec![3]]).unwrap_err();
+        assert_eq!(err, InstanceError::ListTooShort { node: 1, len: 1, degree: 1 });
+    }
+
+    #[test]
+    fn new_validates_color_space() {
+        let g = generators::path(2);
+        let err = ListInstance::new(g, 3, vec![vec![0, 3], vec![1, 2]]).unwrap_err();
+        assert_eq!(err, InstanceError::ColorOutOfSpace { node: 0, color: 3 });
+    }
+
+    #[test]
+    fn new_rejects_duplicates() {
+        let g = generators::path(2);
+        let err = ListInstance::new(g, 4, vec![vec![1, 1], vec![0, 2]]).unwrap_err();
+        assert_eq!(err, InstanceError::DuplicateColor { node: 0, color: 1 });
+    }
+
+    #[test]
+    fn new_sorts_lists() {
+        let g = generators::path(2);
+        let inst = ListInstance::new(g, 8, vec![vec![5, 1], vec![7, 0]]).unwrap();
+        assert_eq!(inst.list(0), &[1, 5]);
+        assert_eq!(inst.list(1), &[0, 7]);
+    }
+
+    #[test]
+    fn color_bits_rounds_up() {
+        let g = Graph::empty(1);
+        let mk = |c| ListInstance::new(g.clone(), c, vec![vec![0]]).unwrap().color_bits();
+        assert_eq!(mk(2), 1);
+        assert_eq!(mk(3), 2);
+        assert_eq!(mk(4), 2);
+        assert_eq!(mk(5), 3);
+        assert_eq!(mk(1024), 10);
+    }
+
+    use dcl_graphs::Graph;
+
+    #[test]
+    fn remove_color_updates_list() {
+        let g = generators::path(2);
+        let mut inst = ListInstance::new(g, 4, vec![vec![0, 1, 2], vec![1, 3]]).unwrap();
+        assert!(inst.remove_color(0, 1));
+        assert!(!inst.remove_color(0, 1));
+        assert_eq!(inst.list(0), &[0, 2]);
+    }
+
+    #[test]
+    fn slack_respects_active_mask() {
+        let g = generators::path(3);
+        let mut inst =
+            ListInstance::new(g, 4, vec![vec![0, 1], vec![0, 1, 2], vec![1, 2]]).unwrap();
+        assert!(inst.slack_holds(&[true, true, true]));
+        // Color node 1; nodes 0 and 2 lose a color but also a neighbor.
+        inst.remove_color(0, 0);
+        inst.remove_color(2, 2);
+        assert!(inst.slack_holds(&[true, false, true]));
+        // With node 1 still active the slack is violated for node 0.
+        assert!(!inst.slack_holds(&[true, true, true]));
+    }
+
+    #[test]
+    fn truncate_list_shrinks() {
+        let g = Graph::empty(1);
+        let mut inst = ListInstance::new(g, 8, vec![vec![2, 4, 6]]).unwrap();
+        inst.truncate_list(0, 2);
+        assert_eq!(inst.list(0), &[2, 4]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Maximal independent set on bounded-degree subgraphs.
+//!
+//! The partial coloring of Lemma 2.1 finishes by computing an MIS on the
+//! conflict graph induced by the nodes with fewer than 4 conflicting
+//! neighbors — a graph of maximum degree 3. As in the paper, we first reduce
+//! the given `K`-coloring to an `O(Δ_ℓ²)` palette with Linial's algorithm
+//! (`O(log* K)` rounds) and then sweep the color classes: class by class,
+//! every unblocked node of the class joins the set and blocks its neighbors
+//! (one round per class).
+
+use crate::linial::linial_coloring;
+use dcl_congest::network::Network;
+use dcl_graphs::NodeId;
+
+/// Result of [`mis_bounded_degree`].
+#[derive(Debug, Clone)]
+pub struct MisOutcome {
+    /// Membership mask (only meaningful for active nodes).
+    pub in_set: Vec<bool>,
+    /// Palette size after the Linial reduction (= number of sweep rounds).
+    pub sweep_classes: u64,
+}
+
+/// Computes an MIS of the subgraph `(active, adj)` given a proper input
+/// coloring with palette `input_palette`.
+///
+/// Round cost: Linial steps + one round per final color class.
+///
+/// # Panics
+///
+/// Panics if vector lengths differ from `n` or the input coloring is not
+/// proper on the subgraph (checked inside the Linial reduction).
+pub fn mis_bounded_degree(
+    net: &mut Network<'_>,
+    adj: &[Vec<NodeId>],
+    active: &[bool],
+    input_colors: &[u64],
+    input_palette: u64,
+) -> MisOutcome {
+    let n = net.graph().n();
+    assert_eq!(adj.len(), n, "adjacency length must equal n");
+    assert_eq!(active.len(), n, "mask length must equal n");
+    let reduced = linial_coloring(net, adj, active, input_colors, input_palette);
+    let mut in_set = vec![false; n];
+    let mut blocked = vec![false; n];
+    for class in 0..reduced.palette {
+        // One round: this class's unblocked nodes join and announce.
+        let joining: Vec<bool> = (0..n)
+            .map(|v| active[v] && !blocked[v] && !in_set[v] && reduced.colors[v] == class)
+            .collect();
+        let inboxes = net.broadcast_round(|v| if joining[v] { Some(1u8) } else { None });
+        for v in 0..n {
+            if joining[v] {
+                in_set[v] = true;
+            }
+        }
+        for v in 0..n {
+            if active[v] && !in_set[v] {
+                let blocked_now =
+                    inboxes[v].iter().any(|(u, _)| adj[v].contains(u) && joining[*u]);
+                if blocked_now {
+                    blocked[v] = true;
+                }
+            }
+        }
+    }
+    MisOutcome { in_set, sweep_classes: reduced.palette }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::validation::check_mis;
+    use dcl_graphs::{generators, Graph};
+
+    fn full_adj(g: &Graph) -> Vec<Vec<NodeId>> {
+        (0..g.n()).map(|v| g.neighbors(v).to_vec()).collect()
+    }
+
+    fn run_full(g: &Graph) -> MisOutcome {
+        let mut net = Network::with_default_cap(g, 64);
+        let adj = full_adj(g);
+        let ids: Vec<u64> = (0..g.n() as u64).collect();
+        mis_bounded_degree(&mut net, &adj, &vec![true; g.n()], &ids, g.n() as u64)
+    }
+
+    #[test]
+    fn mis_on_paths_and_rings() {
+        for g in [generators::path(11), generators::ring(12), generators::ring(13)] {
+            let out = run_full(&g);
+            assert_eq!(check_mis(&g, &out.in_set), None);
+        }
+    }
+
+    #[test]
+    fn mis_on_random_bounded_degree_graphs() {
+        for seed in 0..6 {
+            let g = generators::random_regular(60, 3, seed);
+            let out = run_full(&g);
+            assert_eq!(check_mis(&g, &out.in_set), None, "seed {seed}");
+            // Max degree 3 ⇒ the MIS covers at least a quarter of the nodes.
+            let size = out.in_set.iter().filter(|&&x| x).count();
+            assert!(size * 4 >= 60, "MIS too small: {size}");
+        }
+    }
+
+    #[test]
+    fn mis_respects_subgraph() {
+        // The communication graph is a clique, but the MIS runs on a ring
+        // subgraph over half the nodes.
+        let g = generators::complete(10);
+        let active: Vec<bool> = (0..10).map(|v| v < 6).collect();
+        let mut adj = vec![Vec::new(); 10];
+        for i in 0..6usize {
+            let j = (i + 1) % 6;
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let ids: Vec<u64> = (0..10).collect();
+        let mut net = Network::with_default_cap(&g, 64);
+        let out = mis_bounded_degree(&mut net, &adj, &active, &ids, 10);
+        // Check independence and maximality on the ring subgraph.
+        for i in 0..6usize {
+            let j = (i + 1) % 6;
+            assert!(!(out.in_set[i] && out.in_set[j]), "adjacent {i},{j} both in set");
+        }
+        for i in 0..6usize {
+            if !out.in_set[i] {
+                let has_set_neighbor = adj[i].iter().any(|&u| out.in_set[u]);
+                assert!(has_set_neighbor, "node {i} not dominated");
+            }
+        }
+        // Inactive nodes never join.
+        assert!(!out.in_set[7]);
+    }
+
+    #[test]
+    fn sweep_count_matches_reduced_palette() {
+        let g = generators::ring(40);
+        let mut net = Network::with_default_cap(&g, 64);
+        let adj = full_adj(&g);
+        let ids: Vec<u64> = (0..40).collect();
+        let before = net.rounds();
+        let out = mis_bounded_degree(&mut net, &adj, &[true; 40], &ids, 40);
+        // Rounds = Linial steps + palette sweeps; sweeps dominate.
+        assert!(net.rounds() - before >= out.sweep_classes);
+        assert!(out.sweep_classes <= 121);
+    }
+
+    #[test]
+    fn empty_subgraph_everyone_joins() {
+        let g = generators::path(5);
+        let adj = vec![Vec::new(); 5];
+        let ids: Vec<u64> = (0..5).collect();
+        let mut net = Network::with_default_cap(&g, 64);
+        let out = mis_bounded_degree(&mut net, &adj, &[true; 5], &ids, 5);
+        assert!(out.in_set.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the core algorithms: Linial, MIS, the prefix
+//! machinery and the end-to-end coloring on arbitrary instances.
+
+use dcl_coloring::congest_coloring::{color_degree_plus_one, CongestColoringConfig};
+use dcl_coloring::instance::ListInstance;
+use dcl_coloring::linial::linial_from_ids;
+use dcl_coloring::mis::mis_bounded_degree;
+use dcl_coloring::prefix::{randomized_one_bit_step, PrefixState};
+use dcl_congest::network::Network;
+use dcl_graphs::{generators, validation, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linial always produces a proper coloring with a Δ-dependent palette.
+    #[test]
+    fn linial_is_proper(n in 2usize..50, p in 0.02f64..0.4, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let mut net = Network::with_default_cap(&g, 64);
+        let out = linial_from_ids(&mut net);
+        prop_assert_eq!(validation::check_proper(&g, &out.colors), None);
+        prop_assert!(out.colors.iter().all(|&c| c < out.palette));
+    }
+
+    /// The MIS sweep yields a maximal independent set on arbitrary
+    /// bounded-degree graphs.
+    #[test]
+    fn mis_is_valid(n in 4usize..60, d in 1usize..4, seed in any::<u64>()) {
+        let g = generators::random_regular(n, d, seed);
+        let adj: Vec<Vec<NodeId>> = (0..n).map(|v| g.neighbors(v).to_vec()).collect();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let mut net = Network::with_default_cap(&g, 64);
+        let out = mis_bounded_degree(&mut net, &adj, &vec![true; n], &ids, n as u64);
+        prop_assert_eq!(validation::check_mis(&g, &out.in_set), None);
+    }
+
+    /// Randomized prefix selection never empties a candidate set and always
+    /// ends on a list color.
+    #[test]
+    fn prefix_selection_stays_valid(n in 2usize..40, p in 0.02f64..0.5, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let inst = ListInstance::degree_plus_one(g);
+        let mut state = PrefixState::new(&inst, &vec![true; n]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        while !state.is_complete() {
+            randomized_one_bit_step(&mut state, &inst, &mut rng);
+        }
+        for v in 0..n {
+            let c = state.candidate_color(&inst, v);
+            prop_assert!(inst.list(v).contains(&c));
+        }
+    }
+
+    /// Digit-based (multi-bit) extension is consistent with the bit-based
+    /// one: extending by one w-bit digit equals w single-bit extensions.
+    #[test]
+    fn digit_extension_matches_bits(list_seed in any::<u64>(), w in 1u32..3) {
+        let g = dcl_graphs::Graph::empty(1);
+        // A single node with an 8-color list (3 bits).
+        let lists = vec![(0..8u64).filter(|c| list_seed >> c & 1 == 1 || *c == 7).collect::<Vec<_>>()];
+        let inst = ListInstance::new(g, 8, lists).unwrap();
+        prop_assume!(inst.color_bits() >= w);
+        let digits = inst.list(0).len();
+        prop_assume!(digits >= 1);
+
+        let mut by_digit = PrefixState::new(&inst, &[true]);
+        let counts = by_digit.split_digits(&inst, 0, w);
+        let digit = counts.iter().position(|&k| k > 0).unwrap() as u64;
+        by_digit.extend_digit(&inst, 0, w, digit);
+        by_digit.finish_phase_digits(w);
+
+        let mut by_bits = PrefixState::new(&inst, &[true]);
+        for i in (0..w).rev() {
+            let bit = digit >> i & 1 == 1;
+            by_bits.extend(&inst, 0, bit);
+            by_bits.finish_phase();
+        }
+        prop_assert_eq!(by_digit.candidate_count(0), by_bits.candidate_count(0));
+    }
+
+    /// Full Theorem 1.1 on arbitrary gnp graphs (release-speed sizes).
+    #[test]
+    fn theorem_1_1_proper_on_arbitrary_graphs(n in 2usize..28, p in 0.02f64..0.45, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let r = color_degree_plus_one(&g, &CongestColoringConfig::default());
+        prop_assert_eq!(validation::check_proper(&g, &r.colors), None);
+    }
+}

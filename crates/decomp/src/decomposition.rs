@@ -1,0 +1,420 @@
+//! Definition 3.1: `(α, β)`-network decomposition with congestion `κ`.
+//!
+//! A decomposition partitions `V` into clusters `C₁, …, C_p` with associated
+//! subtrees `T₁, …, T_p` of `G` and a color `γ_i ∈ {1, …, α}` per cluster
+//! such that
+//!
+//! 1. `T_i` contains all nodes of `C_i` (and possibly Steiner nodes);
+//! 2. each `T_i` has diameter at most `β`;
+//! 3. adjacent clusters receive different colors;
+//! 4. each edge of `G` lies in at most `κ` trees of the same color.
+//!
+//! [`NetworkDecomposition::validate`] checks all four properties exactly and
+//! reports the achieved `(α, β, κ)`.
+
+use dcl_graphs::{Graph, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A cluster with its associated Steiner tree.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Decomposition color (0-based).
+    pub color: usize,
+    /// The cluster's member nodes.
+    pub members: Vec<NodeId>,
+    /// Root of the associated tree.
+    pub root: NodeId,
+    /// Parent links of the tree: `parent[&v] = u` means the tree edge
+    /// `{v, u}`; every tree node except the root has an entry. Tree nodes
+    /// may include non-members (Steiner nodes).
+    pub parent: HashMap<NodeId, NodeId>,
+    /// Depth of each tree node (root = 0).
+    pub depth: HashMap<NodeId, u32>,
+}
+
+impl Cluster {
+    /// All tree nodes (root, members and Steiner nodes).
+    pub fn tree_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.depth.keys().copied().collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Height of the tree (max depth).
+    pub fn tree_height(&self) -> u32 {
+        self.depth.values().copied().max().unwrap_or(0)
+    }
+
+    /// Tree edges as `(child, parent)` pairs.
+    pub fn tree_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.parent.iter().map(|(&c, &p)| (c, p))
+    }
+}
+
+/// A complete network decomposition.
+#[derive(Debug, Clone)]
+pub struct NetworkDecomposition {
+    /// All clusters.
+    pub clusters: Vec<Cluster>,
+    /// Cluster index of every node (the clusters partition `V`).
+    pub cluster_of: Vec<usize>,
+    /// Number of colors `α` used.
+    pub colors: usize,
+}
+
+/// Achieved decomposition parameters, reported by
+/// [`NetworkDecomposition::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompStats {
+    /// Number of colors (`α`).
+    pub colors: usize,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Maximum tree diameter (`β`), measured exactly on the trees.
+    pub max_tree_diameter: u32,
+    /// Maximum number of same-color trees sharing one edge (`κ`).
+    pub congestion: u32,
+    /// Largest cluster size.
+    pub max_cluster_size: usize,
+}
+
+/// A violation of Definition 3.1 found by the validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompError {
+    /// A node belongs to no cluster or an out-of-range cluster.
+    NotPartitioned(NodeId),
+    /// A member of a cluster is missing from its tree.
+    MemberNotInTree {
+        /// Cluster index.
+        cluster: usize,
+        /// The missing member.
+        node: NodeId,
+    },
+    /// A tree edge is not an edge of `G`.
+    TreeEdgeNotInGraph {
+        /// Cluster index.
+        cluster: usize,
+        /// Child endpoint.
+        child: NodeId,
+        /// Parent endpoint.
+        parent: NodeId,
+    },
+    /// A tree parent chain does not lead to the root (broken tree).
+    BrokenTree {
+        /// Cluster index.
+        cluster: usize,
+        /// Node whose chain is broken.
+        node: NodeId,
+    },
+    /// Two adjacent clusters share a color.
+    AdjacentSameColor {
+        /// First cluster.
+        a: usize,
+        /// Second cluster.
+        b: usize,
+    },
+    /// A depth label is inconsistent with the parent links.
+    BadDepth {
+        /// Cluster index.
+        cluster: usize,
+        /// Node with the bad label.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::NotPartitioned(v) => write!(f, "node {v} not in any cluster"),
+            DecompError::MemberNotInTree { cluster, node } => {
+                write!(f, "member {node} of cluster {cluster} missing from its tree")
+            }
+            DecompError::TreeEdgeNotInGraph { cluster, child, parent } => {
+                write!(f, "tree edge {{{child},{parent}}} of cluster {cluster} not in G")
+            }
+            DecompError::BrokenTree { cluster, node } => {
+                write!(f, "tree of cluster {cluster} broken at node {node}")
+            }
+            DecompError::AdjacentSameColor { a, b } => {
+                write!(f, "adjacent clusters {a} and {b} share a color")
+            }
+            DecompError::BadDepth { cluster, node } => {
+                write!(f, "depth label of node {node} in cluster {cluster} inconsistent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompError {}
+
+impl NetworkDecomposition {
+    /// Validates all Definition 3.1 properties against `g` and reports the
+    /// achieved parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecompError`] found.
+    pub fn validate(&self, g: &Graph) -> Result<DecompStats, DecompError> {
+        let n = g.n();
+        // (0) Partition.
+        for v in 0..n {
+            let c = self.cluster_of.get(v).copied().unwrap_or(usize::MAX);
+            if c >= self.clusters.len() || !self.clusters[c].members.contains(&v) {
+                return Err(DecompError::NotPartitioned(v));
+            }
+        }
+        // (i) Trees contain their members; parent chains reach the root;
+        //     depths consistent; tree edges are G edges.
+        for (ci, cluster) in self.clusters.iter().enumerate() {
+            if cluster.depth.get(&cluster.root) != Some(&0) {
+                return Err(DecompError::BadDepth { cluster: ci, node: cluster.root });
+            }
+            for &m in &cluster.members {
+                if !cluster.depth.contains_key(&m) {
+                    return Err(DecompError::MemberNotInTree { cluster: ci, node: m });
+                }
+            }
+            for (&child, &parent) in &cluster.parent {
+                if !g.has_edge(child, parent) {
+                    return Err(DecompError::TreeEdgeNotInGraph { cluster: ci, child, parent });
+                }
+                match (cluster.depth.get(&child), cluster.depth.get(&parent)) {
+                    (Some(&dc), Some(&dp)) if dc == dp + 1 => {}
+                    _ => return Err(DecompError::BadDepth { cluster: ci, node: child }),
+                }
+            }
+            // Chain check: every tree node reaches the root.
+            for &node in cluster.depth.keys() {
+                let mut cur = node;
+                let mut hops = 0u32;
+                while cur != cluster.root {
+                    match cluster.parent.get(&cur) {
+                        Some(&p) => cur = p,
+                        None => return Err(DecompError::BrokenTree { cluster: ci, node }),
+                    }
+                    hops += 1;
+                    if hops > g.n() as u32 {
+                        return Err(DecompError::BrokenTree { cluster: ci, node });
+                    }
+                }
+            }
+        }
+        // (iii) Adjacent clusters have different colors.
+        for (u, v) in g.edges() {
+            let (cu, cv) = (self.cluster_of[u], self.cluster_of[v]);
+            if cu != cv && self.clusters[cu].color == self.clusters[cv].color {
+                return Err(DecompError::AdjacentSameColor { a: cu, b: cv });
+            }
+        }
+        // (iv) Congestion: edges per color.
+        let mut congestion = 0u32;
+        let mut usage: HashMap<(usize, NodeId, NodeId), u32> = HashMap::new();
+        for cluster in &self.clusters {
+            for (child, parent) in cluster.tree_edges() {
+                let key = (cluster.color, child.min(parent), child.max(parent));
+                let e = usage.entry(key).or_insert(0);
+                *e += 1;
+                congestion = congestion.max(*e);
+            }
+        }
+        // (ii) β: exact tree diameters via BFS on each tree.
+        let max_tree_diameter =
+            self.clusters.iter().map(tree_diameter).max().unwrap_or(0);
+
+        Ok(DecompStats {
+            colors: self.colors,
+            clusters: self.clusters.len(),
+            max_tree_diameter,
+            congestion,
+            max_cluster_size: self.clusters.iter().map(|c| c.members.len()).max().unwrap_or(0),
+        })
+    }
+}
+
+/// Exact diameter of a cluster tree (longest path in tree edges).
+fn tree_diameter(cluster: &Cluster) -> u32 {
+    // Tree adjacency.
+    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for (&c, &p) in &cluster.parent {
+        adj.entry(c).or_default().push(p);
+        adj.entry(p).or_default().push(c);
+    }
+    if adj.is_empty() {
+        return 0;
+    }
+    // Double BFS.
+    let far = |start: NodeId| -> (NodeId, u32) {
+        let mut dist: HashMap<NodeId, u32> = HashMap::new();
+        dist.insert(start, 0);
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut best = (start, 0);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            if du > best.1 {
+                best = (u, du);
+            }
+            if let Some(neighbors) = adj.get(&u) {
+                for &w in neighbors {
+                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                        e.insert(du + 1);
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        best
+    };
+    let (a, _) = far(cluster.root);
+    far(a).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::generators;
+
+    /// Hand-built decomposition of a path 0-1-2-3: clusters {0,1} and {2,3}
+    /// with colors 0 and 1.
+    fn path_decomposition() -> (Graph, NetworkDecomposition) {
+        let g = generators::path(4);
+        let c0 = Cluster {
+            color: 0,
+            members: vec![0, 1],
+            root: 0,
+            parent: HashMap::from([(1, 0)]),
+            depth: HashMap::from([(0, 0), (1, 1)]),
+        };
+        let c1 = Cluster {
+            color: 1,
+            members: vec![2, 3],
+            root: 2,
+            parent: HashMap::from([(3, 2)]),
+            depth: HashMap::from([(2, 0), (3, 1)]),
+        };
+        let d = NetworkDecomposition {
+            clusters: vec![c0, c1],
+            cluster_of: vec![0, 0, 1, 1],
+            colors: 2,
+        };
+        (g, d)
+    }
+
+    #[test]
+    fn valid_decomposition_passes() {
+        let (g, d) = path_decomposition();
+        let stats = d.validate(&g).unwrap();
+        assert_eq!(stats.colors, 2);
+        assert_eq!(stats.clusters, 2);
+        assert_eq!(stats.max_tree_diameter, 1);
+        assert_eq!(stats.congestion, 1);
+        assert_eq!(stats.max_cluster_size, 2);
+    }
+
+    #[test]
+    fn detects_same_color_adjacency() {
+        let (g, mut d) = path_decomposition();
+        d.clusters[1].color = 0;
+        assert_eq!(d.validate(&g), Err(DecompError::AdjacentSameColor { a: 0, b: 1 }));
+    }
+
+    #[test]
+    fn detects_missing_member() {
+        let (g, mut d) = path_decomposition();
+        d.clusters[0].depth.remove(&1);
+        d.clusters[0].parent.remove(&1);
+        assert_eq!(
+            d.validate(&g),
+            Err(DecompError::MemberNotInTree { cluster: 0, node: 1 })
+        );
+    }
+
+    #[test]
+    fn detects_non_graph_tree_edge() {
+        let (g, mut d) = path_decomposition();
+        d.clusters[0].parent.insert(1, 3); // {1,3} is not an edge
+        let err = d.validate(&g).unwrap_err();
+        assert!(matches!(err, DecompError::TreeEdgeNotInGraph { .. }));
+    }
+
+    #[test]
+    fn detects_unpartitioned_node() {
+        let (g, mut d) = path_decomposition();
+        d.cluster_of[3] = 0; // node 3 claims cluster 0 but is not a member
+        assert_eq!(d.validate(&g), Err(DecompError::NotPartitioned(3)));
+    }
+
+    #[test]
+    fn detects_bad_depth() {
+        let (g, mut d) = path_decomposition();
+        d.clusters[0].depth.insert(1, 5);
+        let err = d.validate(&g).unwrap_err();
+        assert!(matches!(err, DecompError::BadDepth { .. }));
+    }
+
+    #[test]
+    fn steiner_nodes_are_allowed() {
+        // Cluster {0, 2} connected through Steiner node 1.
+        let g = generators::path(3);
+        let c0 = Cluster {
+            color: 0,
+            members: vec![0, 2],
+            root: 0,
+            parent: HashMap::from([(1, 0), (2, 1)]),
+            depth: HashMap::from([(0, 0), (1, 1), (2, 2)]),
+        };
+        let c1 = Cluster {
+            color: 1,
+            members: vec![1],
+            root: 1,
+            parent: HashMap::new(),
+            depth: HashMap::from([(1, 0)]),
+        };
+        let d = NetworkDecomposition {
+            clusters: vec![c0, c1],
+            cluster_of: vec![0, 1, 0],
+            colors: 2,
+        };
+        let stats = d.validate(&g).unwrap();
+        assert_eq!(stats.max_tree_diameter, 2);
+    }
+
+    #[test]
+    fn congestion_counts_shared_edges_per_color() {
+        // Two same-color clusters (non-adjacent members!) both using edge
+        // {1,2} in their trees: members {0,…} and {3,…} of a path 0-1-2-3
+        // would be adjacent through their trees but clusters are defined by
+        // members only. Build: star with center 0; clusters {1}, {2} both
+        // rooted at themselves with Steiner paths through 0.
+        let g = generators::star(3); // edges {0,1},{0,2}
+        let c0 = Cluster {
+            color: 0,
+            members: vec![1],
+            root: 1,
+            parent: HashMap::from([(0, 1)]),
+            depth: HashMap::from([(1, 0), (0, 1)]),
+        };
+        let c1 = Cluster {
+            color: 0,
+            members: vec![2],
+            root: 2,
+            parent: HashMap::from([(0, 2)]),
+            depth: HashMap::from([(2, 0), (0, 1)]),
+        };
+        let c2 = Cluster {
+            color: 1,
+            members: vec![0],
+            root: 0,
+            parent: HashMap::new(),
+            depth: HashMap::from([(0, 0)]),
+        };
+        let d = NetworkDecomposition {
+            clusters: vec![c0, c1, c2],
+            cluster_of: vec![2, 0, 1],
+            colors: 2,
+        };
+        let stats = d.validate(&g).unwrap();
+        // Each tree edge used once; congestion 1.
+        assert_eq!(stats.congestion, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Network decomposition with congestion (Section 3) and the `poly log n`
+//! CONGEST coloring of Corollary 1.2.
+//!
+//! - [`decomposition`] — Definition 3.1: an `(α, β)`-network decomposition
+//!   with congestion `κ` (clusters, associated Steiner trees, colors), plus
+//!   an exact validator used by tests and the experiment harness;
+//! - [`rg`] — a deterministic Rozhoň–Ghaffari-style clustering: `O(log n)`
+//!   outer iterations, each running one bit-competition pass that clusters at
+//!   least half of the remaining vertices into non-adjacent clusters of weak
+//!   diameter `O(log³ n)` with per-edge tree congestion `O(log n)`
+//!   (Theorem 3.1 flavor; see `DESIGN.md` §2.4 for the cost model);
+//! - [`coloring`] — Corollary 1.2: iterate through the decomposition's color
+//!   classes and run the Theorem 1.1 machinery on all clusters of one color
+//!   in parallel, aggregating over the cluster trees.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcl_graphs::generators;
+//! use dcl_decomp::rg::{decompose, RgConfig};
+//!
+//! let g = generators::gnp(40, 0.1, 3);
+//! let mut net = dcl_congest::network::Network::with_default_cap(&g, 64);
+//! let decomposition = decompose(&mut net, &RgConfig::default());
+//! let stats = decomposition.validate(&g).unwrap();
+//! assert!(stats.colors >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+// Node ids double as indices into per-node state vectors throughout the
+// simulators; indexed loops over `0..n` are the clearest expression of
+// "for every node" here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod decomposition;
+pub mod rg;
+
+pub use decomposition::{Cluster, DecompStats, NetworkDecomposition};

@@ -1,0 +1,61 @@
+//! Property-based tests for the network decomposition: Definition 3.1 must
+//! hold on arbitrary graphs, and the run structure must meet the RG bounds.
+
+use dcl_congest::network::Network;
+use dcl_decomp::rg::{decompose_traced, RgConfig};
+use dcl_graphs::generators;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn definition_3_1_holds_on_gnp(n in 1usize..50, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let mut net = Network::with_default_cap(&g, 64);
+        let (d, trace) = decompose_traced(&mut net, &RgConfig::default());
+        let stats = d.validate(&g).unwrap();
+        prop_assert_eq!(stats.colors, d.colors);
+        // Every run clusters at least half of the remaining vertices.
+        for &frac in &trace.clustered_fraction {
+            prop_assert!(frac >= 0.5, "run clustered only {frac}");
+        }
+    }
+
+    #[test]
+    fn definition_3_1_holds_on_structured(kind in 0usize..5, size in 3usize..20, seed in any::<u64>()) {
+        let g = match kind {
+            0 => generators::ring(size.max(3)),
+            1 => generators::star(size.max(2)),
+            2 => generators::grid(3, size.max(2)),
+            3 => generators::random_regular(4 * size.max(2), 3, seed),
+            _ => generators::cluster_chain(3, size.max(2), 0.4, seed),
+        };
+        let mut net = Network::with_default_cap(&g, 64);
+        let (d, _) = decompose_traced(&mut net, &RgConfig::default());
+        prop_assert!(d.validate(&g).is_ok());
+    }
+
+    /// Cluster trees only ever use graph edges and every member reaches the
+    /// root (re-checked here independently of the validator).
+    #[test]
+    fn cluster_trees_are_real_subtrees(n in 2usize..40, p in 0.03f64..0.4, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let mut net = Network::with_default_cap(&g, 64);
+        let (d, _) = decompose_traced(&mut net, &RgConfig::default());
+        for cluster in &d.clusters {
+            for (&child, &parent) in &cluster.parent {
+                prop_assert!(g.has_edge(child, parent));
+            }
+            for &m in &cluster.members {
+                let mut cur = m;
+                let mut hops = 0;
+                while cur != cluster.root {
+                    cur = *cluster.parent.get(&cur).expect("chain to root");
+                    hops += 1;
+                    prop_assert!(hops <= n, "cycle in tree");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Pseudorandomness toolkit for distributed derandomization.
+//!
+//! The paper derandomizes a zero-round randomized coloring step by (1)
+//! producing each node's biased coin from a short *shared random seed* such
+//! that the coins of adjacent nodes are pairwise independent (Lemma 2.5 /
+//! Theorem 2.4), and (2) fixing the seed bit-by-bit with the method of
+//! conditional expectations (Lemma 2.6). This crate provides everything
+//! needed for both steps:
+//!
+//! - [`kwise`] — k-wise independent hash families via degree-(k−1)
+//!   polynomials over a prime field (the classic construction behind the
+//!   paper's Theorem 2.4), plus deterministic Miller–Rabin primality testing
+//!   for parameter selection;
+//! - [`slice`](mod@slice) — the *slice-independent inner-product family* used by our
+//!   deterministic algorithms: pairwise-independent `b`-bit values whose
+//!   conditional distribution under a *partially fixed* seed is computable in
+//!   `O(b)` time per node pair (see `DESIGN.md` §2.1 for the substitution
+//!   rationale);
+//! - [`seed`] — partially-fixed seed bookkeeping for the method of
+//!   conditional expectations;
+//! - [`coins`] — the biased-coin construction of Lemma 2.5 on top of either
+//!   family.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcl_derand::slice::SliceFamily;
+//! use dcl_derand::seed::PartialSeed;
+//!
+//! // 4-bit outputs from 3-bit inputs.
+//! let fam = SliceFamily::new(3, 4);
+//! let mut seed = PartialSeed::new(fam.seed_len());
+//! // With a completely free seed, z is uniform: Pr[z < 6] = 6/16.
+//! let p = fam.prob_lt(&seed, 0b101, 6);
+//! assert!((p - 6.0 / 16.0).abs() < 1e-12);
+//! // Fix the whole seed to zeros: z becomes deterministic.
+//! for i in 0..fam.seed_len() { seed.fix(i, false); }
+//! assert_eq!(fam.evaluate(&seed, 0b101), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coins;
+pub mod kwise;
+pub mod seed;
+pub mod slice;
+
+pub use seed::PartialSeed;
+pub use slice::SliceFamily;

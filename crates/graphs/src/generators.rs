@@ -1,0 +1,379 @@
+//! Graph generators.
+//!
+//! Deterministic families (rings, paths, grids, hypercubes, …) take only size
+//! parameters. Random families take an explicit `u64` seed so that every
+//! experiment in the workspace is reproducible.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Cycle on `n ≥ 3` nodes (diameter ⌊n/2⌋, Δ = 2).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring requires n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n).expect("ring edges are valid");
+    }
+    b.build()
+}
+
+/// Path on `n ≥ 1` nodes (diameter n − 1).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).expect("path edges are valid");
+    }
+    b.build()
+}
+
+/// Star: node 0 connected to all others (Δ = n − 1, diameter 2).
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v).expect("star edges are valid");
+    }
+    b.build()
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v).expect("complete graph edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            builder.add_edge(u, v).expect("bipartite edges are valid");
+        }
+    }
+    builder.build()
+}
+
+/// `rows × cols` grid (4-neighborhood).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1)).expect("grid edges are valid");
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c)).expect("grid edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube on `2^d` nodes (Δ = d, diameter d).
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1usize << bit);
+            if v < u {
+                b.add_edge(v, u).expect("hypercube edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree on `n` nodes (heap layout: children of `v` are
+/// `2v + 1`, `2v + 2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v, (v - 1) / 2).expect("tree edges are valid");
+    }
+    b.build()
+}
+
+/// Caterpillar: a path of `spine` nodes, each with `legs` pendant nodes.
+///
+/// Useful for large-diameter, moderate-degree instances.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_edge(s - 1, s).expect("caterpillar spine edges are valid");
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s, spine + s * legs + l).expect("caterpillar leg edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi graph `G(n, p)` with a seeded RNG.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v).expect("gnp edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular-ish graph via the configuration model with rejection of
+/// self loops and parallel edges (the result has maximum degree ≤ `d`; most
+/// nodes attain degree exactly `d`).
+///
+/// # Panics
+///
+/// Panics if `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d < n, "degree must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    // A few restarts are enough in practice; fall back to dropping the
+    // conflicting pairs so the generator always terminates.
+    for _attempt in 0..20 {
+        stubs.shuffle(&mut rng);
+        let mut b = GraphBuilder::new(n);
+        let mut seen = std::collections::HashSet::new();
+        let mut ok = true;
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                ok = false;
+                break;
+            }
+            b.add_edge(u, v).expect("validated above");
+        }
+        if ok {
+            return b.build();
+        }
+    }
+    // Fallback: greedy matching of stubs skipping conflicts.
+    stubs.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut pending: Option<NodeId> = None;
+    for &s in &stubs {
+        match pending {
+            None => pending = Some(s),
+            Some(u) => {
+                if u != s && seen.insert((u.min(s), u.max(s))) {
+                    b.add_edge(u, s).expect("validated above");
+                    pending = None;
+                } else {
+                    pending = Some(s); // drop u's stub
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random spanning tree on `n` nodes (uniform attachment), then `extra`
+/// random chords. Connected by construction.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        b.add_edge(v, parent).expect("attachment edges are valid");
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < 50 * extra + 100 {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v).expect("checked above");
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// "Cluster chain": `k` dense clusters of `size` nodes (each a `G(size, p)`
+/// plus a spanning path to stay connected) linked in a chain by single
+/// edges. Produces large-diameter graphs with locally high degree — the
+/// motivating regime for network decomposition (Corollary 1.2).
+pub fn cluster_chain(k: usize, size: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = k * size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..k {
+        let base = c * size;
+        for i in 1..size {
+            b.add_edge(base + i - 1, base + i).expect("cluster path edges are valid");
+        }
+        for i in 0..size {
+            for j in (i + 2)..size {
+                if rng.gen::<f64>() < p {
+                    b.add_edge(base + i, base + j).expect("cluster chord edges are valid");
+                }
+            }
+        }
+        if c > 0 {
+            b.add_edge(base - 1, base).expect("chain link edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Chung–Lu style power-law graph: node `v` has weight `(v+1)^{-γ}`-ish,
+/// normalized to a target average degree.
+pub fn power_law(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(-1.0 / (gamma - 1.0))).collect();
+    let wsum: f64 = weights.iter().sum();
+    let scale = avg_degree * n as f64 / wsum;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (scale * weights[u] * weights[v] / wsum).min(1.0);
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v).expect("power-law edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn ring_properties() {
+        let g = ring(10);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 10);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(metrics::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn path_diameter() {
+        let g = path(7);
+        assert_eq!(metrics::diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn star_max_degree() {
+        let g = star(9);
+        assert_eq!(g.max_degree(), 8);
+        assert_eq!(metrics::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(metrics::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert_eq!(metrics::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(metrics::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn binary_tree_is_acyclic_connected() {
+        let g = binary_tree(15);
+        assert_eq!(g.m(), 14);
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 + 15);
+        assert!(metrics::is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_is_reproducible() {
+        let a = gnp(50, 0.1, 7);
+        let b = gnp(50, 0.1, 7);
+        assert_eq!(a, b);
+        let c = gnp(50, 0.1, 8);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 1).m(), 0);
+        assert_eq!(gnp(20, 1.0, 1).m(), 190);
+    }
+
+    #[test]
+    fn random_regular_degree_bound() {
+        let g = random_regular(40, 5, 3);
+        assert!(g.max_degree() <= 5);
+        let exact = g.nodes().filter(|&v| g.degree(v) == 5).count();
+        assert!(exact >= 30, "most nodes should reach the target degree, got {exact}");
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let g = random_connected(30, 10, seed);
+            assert!(metrics::is_connected(&g));
+            assert_eq!(g.m(), 29 + 10);
+        }
+    }
+
+    #[test]
+    fn cluster_chain_connected_and_large_diameter() {
+        let g = cluster_chain(8, 10, 0.5, 11);
+        assert!(metrics::is_connected(&g));
+        assert!(metrics::diameter(&g).unwrap() >= 8);
+    }
+
+    #[test]
+    fn power_law_reproducible_nonempty() {
+        let g = power_law(60, 2.5, 4.0, 5);
+        assert!(g.m() > 0);
+        assert_eq!(g, power_law(60, 2.5, 4.0, 5));
+    }
+}

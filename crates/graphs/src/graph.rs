@@ -1,0 +1,344 @@
+//! Simple undirected graph stored in compressed sparse row (CSR) form.
+
+use std::fmt;
+
+/// Index of a node in a [`Graph`]. Nodes are `0..n`.
+pub type NodeId = usize;
+
+/// Error produced when constructing an invalid [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// Number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop(NodeId),
+    /// The same undirected edge was inserted twice.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop at node {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A simple undirected graph in CSR form.
+///
+/// Invariants (enforced at construction): no self loops, no parallel edges,
+/// adjacency lists sorted increasingly. Node identifiers double as the unique
+/// `O(log n)`-bit IDs assumed by the distributed models.
+///
+/// # Examples
+///
+/// ```
+/// use dcl_graphs::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.m(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists, length `2m`.
+    adj: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an undirected edge list.
+    ///
+    /// Edges may be given in either orientation; `(u, v)` and `(v, u)` denote
+    /// the same edge and may not both appear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range, an edge is a
+    /// self loop, or an edge appears twice.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut builder = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            builder.add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Builds a graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1], adj: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Sorted slice of the neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n()).flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over all node indices.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.n()
+    }
+
+    /// The subgraph induced by `keep` (nodes with `keep[v] == true`),
+    /// together with the mapping from new node ids to original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != n`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.n(), "keep mask length must equal n");
+        let mut orig_of_new = Vec::new();
+        let mut new_of_orig = vec![usize::MAX; self.n()];
+        for v in self.nodes() {
+            if keep[v] {
+                new_of_orig[v] = orig_of_new.len();
+                orig_of_new.push(v);
+            }
+        }
+        let mut builder = GraphBuilder::new(orig_of_new.len());
+        for (u, v) in self.edges() {
+            if keep[u] && keep[v] {
+                builder
+                    .add_edge(new_of_orig[u], new_of_orig[v])
+                    .expect("induced subgraph edges are valid");
+            }
+        }
+        (builder.build(), orig_of_new)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph").field("n", &self.n()).field("m", &self.m()).finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use dcl_graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), dcl_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints, self loops, or
+    /// duplicate edges (duplicates are detected at [`GraphBuilder::build`]
+    /// time for efficiency, except exact consecutive repeats).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(())
+    }
+
+    /// Whether the edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = (u.min(v), u.max(v));
+        self.edges.contains(&key)
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same edge was inserted twice (programming error: callers
+    /// that cannot rule out duplicates should check with
+    /// [`GraphBuilder::has_edge`] or use [`Graph::from_edges`], which
+    /// deduplicates by erroring).
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        if let Some(w) = self.edges.windows(2).find(|w| w[0] == w[1]) {
+            panic!("duplicate edge {{{}, {}}}", w[0].0, w[0].1);
+        }
+        let mut deg = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut offsets = vec![0usize; self.n + 1];
+        for v in 0..self.n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut adj = vec![0usize; 2 * self.edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &self.edges {
+            adj[cursor[u]] = v;
+            cursor[u] += 1;
+            adj[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Edges were inserted in sorted order per endpoint u; entries for v
+        // (the larger endpoint) may be out of order, so sort each list.
+        for v in 0..self.n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_sorted_adjacency() {
+        let g = Graph::from_edges(5, &[(3, 1), (0, 3), (4, 0)]).unwrap();
+        assert_eq!(g.neighbors(3), &[0, 1]);
+        assert_eq!(g.neighbors(0), &[3, 4]);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(Graph::from_edges(2, &[(1, 1)]), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::NodeOutOfRange { node: 2, n: 2 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn builder_panics_on_duplicate_edge_at_build() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        let _ = b.build();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(4);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = Graph::from_edges(3, &[(0, 2)]).unwrap();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let keep = vec![true, true, false, true, true];
+        let (h, orig) = g.induced_subgraph(&keep);
+        assert_eq!(h.n(), 4);
+        assert_eq!(orig, vec![0, 1, 3, 4]);
+        // Surviving edges: {0,1}, {3,4}, {0,4}.
+        assert_eq!(h.m(), 3);
+        assert!(h.has_edge(0, 1));
+        assert!(h.has_edge(2, 3)); // orig {3,4}
+        assert!(h.has_edge(0, 3)); // orig {0,4}
+    }
+
+    #[test]
+    fn degree_counts() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+}

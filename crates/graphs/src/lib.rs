@@ -1,0 +1,29 @@
+//! Graph representation, generators and metrics for the distributed-coloring
+//! workspace.
+//!
+//! All simulators and algorithms in this workspace (CONGEST, CONGESTED
+//! CLIQUE, MPC) operate on the simple undirected [`Graph`] type defined here.
+//! The crate also provides deterministic and seeded-random graph
+//! [`generators`], exact distance/diameter [`metrics`] and proper-coloring
+//! [`validation`] helpers used throughout the test and benchmark suites.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcl_graphs::{Graph, generators, metrics};
+//!
+//! let g = generators::ring(8);
+//! assert_eq!(g.n(), 8);
+//! assert_eq!(g.max_degree(), 2);
+//! assert_eq!(metrics::diameter(&g), Some(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod metrics;
+pub mod validation;
+
+pub use graph::{Graph, GraphBuilder, GraphError, NodeId};

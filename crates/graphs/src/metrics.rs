@@ -1,0 +1,155 @@
+//! Exact distance, diameter and connectivity metrics.
+//!
+//! These run BFS on the *centralized* graph representation; they exist to
+//! ground the round-accounting of the simulators (e.g. the `D` factor in
+//! Theorem 1.1) and to validate generators and algorithms in tests.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance labels produced by [`bfs`]. `u32::MAX` marks unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `source`.
+///
+/// # Panics
+///
+/// Panics if `source >= n`.
+pub fn bfs(g: &Graph, source: NodeId) -> Vec<u32> {
+    assert!(source < g.n(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `v` (max distance to any reachable node); `None` if the
+/// graph is disconnected from `v`'s component's perspective is not detected
+/// here — use [`is_connected`] first if that matters.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs(g, v).into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+}
+
+/// Exact diameter (max eccentricity). Returns `None` for disconnected or
+/// empty graphs.
+///
+/// Runs a BFS from every node — O(n·m); fine for the instance sizes used in
+/// tests and benches.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 || !is_connected(g) {
+        return None;
+    }
+    (0..g.n()).map(|v| eccentricity(g, v)).max()
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() == 0 {
+        return true;
+    }
+    let dist = bfs(g, 0);
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Connected components: returns `(component_id_per_node, component_count)`.
+pub fn components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut comp = vec![usize::MAX; g.n()];
+    let mut count = 0;
+    for s in 0..g.n() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[s] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Maximum diameter over all connected components (0 for the empty graph).
+///
+/// This is the quantity that replaces `D` when Theorem 1.1 is applied to
+/// disconnected subgraphs (see the remark after Theorem 1.1 in the paper).
+pub fn max_component_diameter(g: &Graph) -> u32 {
+    let (comp, count) = components(g);
+    let mut best = 0;
+    for c in 0..count {
+        let keep: Vec<bool> = comp.iter().map(|&x| x == c).collect();
+        let (sub, _) = g.induced_subgraph(&keep);
+        if let Some(d) = diameter(&sub) {
+            best = best.max(d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = bfs(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (comp, count) = components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[5]);
+    }
+
+    #[test]
+    fn max_component_diameter_of_two_paths() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)]).unwrap();
+        assert_eq!(max_component_diameter(&g), 3);
+    }
+
+    #[test]
+    fn eccentricity_of_star_center_and_leaf() {
+        let g = generators::star(6);
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 3), 2);
+    }
+
+    use super::super::graph::Graph;
+}

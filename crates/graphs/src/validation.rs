@@ -1,0 +1,166 @@
+//! Validators for (list) colorings, independent sets and related invariants.
+//!
+//! Every algorithm in the workspace is checked against these reference
+//! validators in tests, integration tests and the experiment harness.
+
+use crate::graph::{Graph, NodeId};
+
+/// A violation found by a validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two adjacent nodes share a color.
+    MonochromaticEdge(NodeId, NodeId),
+    /// A node is colored with a color outside its list.
+    ColorNotInList(NodeId),
+    /// A node has no color assigned.
+    Uncolored(NodeId),
+    /// Two adjacent nodes are both in the independent set.
+    AdjacentInSet(NodeId, NodeId),
+    /// A node outside the set has no neighbor in the set (non-maximality).
+    NotMaximal(NodeId),
+}
+
+/// Checks that `colors` is a proper coloring of `g` (adjacent nodes differ).
+///
+/// Returns the first violation found, or `None` if proper.
+pub fn check_proper(g: &Graph, colors: &[u64]) -> Option<Violation> {
+    assert_eq!(colors.len(), g.n(), "color vector length must equal n");
+    for (u, v) in g.edges() {
+        if colors[u] == colors[v] {
+            return Some(Violation::MonochromaticEdge(u, v));
+        }
+    }
+    None
+}
+
+/// Checks a *partial* coloring: `None` entries are uncolored; colored
+/// adjacent nodes must differ.
+pub fn check_proper_partial(g: &Graph, colors: &[Option<u64>]) -> Option<Violation> {
+    assert_eq!(colors.len(), g.n(), "color vector length must equal n");
+    for (u, v) in g.edges() {
+        if let (Some(a), Some(b)) = (colors[u], colors[v]) {
+            if a == b {
+                return Some(Violation::MonochromaticEdge(u, v));
+            }
+        }
+    }
+    None
+}
+
+/// Checks that `colors` is a proper *list* coloring: proper, and every node's
+/// color belongs to its list.
+pub fn check_list_coloring(g: &Graph, lists: &[Vec<u64>], colors: &[u64]) -> Option<Violation> {
+    assert_eq!(lists.len(), g.n(), "lists length must equal n");
+    if let Some(v) = check_proper(g, colors) {
+        return Some(v);
+    }
+    for v in g.nodes() {
+        if !lists[v].contains(&colors[v]) {
+            return Some(Violation::ColorNotInList(v));
+        }
+    }
+    None
+}
+
+/// Checks that a fully-assigned coloring exists (no `None`) and is a proper
+/// list coloring; convenience for `Option<u64>` outputs.
+pub fn check_complete_list_coloring(
+    g: &Graph,
+    lists: &[Vec<u64>],
+    colors: &[Option<u64>],
+) -> Option<Violation> {
+    for v in g.nodes() {
+        if colors[v].is_none() {
+            return Some(Violation::Uncolored(v));
+        }
+    }
+    let full: Vec<u64> = colors.iter().map(|c| c.expect("checked above")).collect();
+    check_list_coloring(g, lists, &full)
+}
+
+/// Checks that `in_set` is a maximal independent set of `g`.
+pub fn check_mis(g: &Graph, in_set: &[bool]) -> Option<Violation> {
+    assert_eq!(in_set.len(), g.n(), "set mask length must equal n");
+    for (u, v) in g.edges() {
+        if in_set[u] && in_set[v] {
+            return Some(Violation::AdjacentInSet(u, v));
+        }
+    }
+    for v in g.nodes() {
+        if !in_set[v] && !g.neighbors(v).iter().any(|&u| in_set[u]) {
+            return Some(Violation::NotMaximal(v));
+        }
+    }
+    None
+}
+
+/// Number of distinct colors used.
+pub fn count_colors(colors: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn proper_coloring_accepted() {
+        let g = generators::ring(4);
+        assert_eq!(check_proper(&g, &[0, 1, 0, 1]), None);
+    }
+
+    #[test]
+    fn monochromatic_edge_detected() {
+        let g = generators::ring(4);
+        assert_eq!(check_proper(&g, &[0, 0, 1, 1]), Some(Violation::MonochromaticEdge(0, 1)));
+    }
+
+    #[test]
+    fn list_membership_enforced() {
+        let g = generators::path(2);
+        let lists = vec![vec![0, 1], vec![2, 3]];
+        assert_eq!(check_list_coloring(&g, &lists, &[0, 2]), None);
+        assert_eq!(check_list_coloring(&g, &lists, &[0, 1]), Some(Violation::ColorNotInList(1)));
+    }
+
+    #[test]
+    fn partial_coloring_ignores_uncolored() {
+        let g = generators::path(3);
+        assert_eq!(check_proper_partial(&g, &[Some(0), None, Some(0)]), None);
+        assert_eq!(
+            check_proper_partial(&g, &[Some(0), Some(0), None]),
+            Some(Violation::MonochromaticEdge(0, 1))
+        );
+    }
+
+    #[test]
+    fn complete_coloring_requires_all_assigned() {
+        let g = generators::path(2);
+        let lists = vec![vec![0], vec![1]];
+        assert_eq!(
+            check_complete_list_coloring(&g, &lists, &[Some(0), None]),
+            Some(Violation::Uncolored(1))
+        );
+        assert_eq!(check_complete_list_coloring(&g, &lists, &[Some(0), Some(1)]), None);
+    }
+
+    #[test]
+    fn mis_checks_independence_and_maximality() {
+        let g = generators::path(4);
+        assert_eq!(check_mis(&g, &[true, false, true, false]), None);
+        assert_eq!(
+            check_mis(&g, &[true, true, false, true]),
+            Some(Violation::AdjacentInSet(0, 1))
+        );
+        assert_eq!(check_mis(&g, &[true, false, false, false]), Some(Violation::NotMaximal(2)));
+    }
+
+    #[test]
+    fn count_colors_dedups() {
+        assert_eq!(count_colors(&[3, 1, 3, 2, 1]), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the graph substrate.
+
+use dcl_graphs::{generators, metrics, validation, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any gnp graph satisfies the structural invariants: symmetric sorted
+    /// adjacency, no self loops, edge count consistency.
+    #[test]
+    fn gnp_structural_invariants(n in 1usize..60, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        prop_assert_eq!(g.n(), n);
+        let mut degree_sum = 0;
+        for v in g.nodes() {
+            let nb = g.neighbors(v);
+            degree_sum += nb.len();
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+            prop_assert!(!nb.contains(&v), "no self loop");
+            for &u in nb {
+                prop_assert!(g.neighbors(u).contains(&v), "symmetric");
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.m());
+    }
+
+    /// Builder and from_edges agree.
+    #[test]
+    fn builder_matches_from_edges(edges in prop::collection::btree_set((0usize..20, 0usize..20), 0..40)) {
+        let pairs: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let via_edges = Graph::from_edges(20, &pairs).unwrap();
+        let mut builder = GraphBuilder::new(20);
+        for &(a, b) in &pairs {
+            builder.add_edge(a, b).unwrap();
+        }
+        prop_assert_eq!(via_edges, builder.build());
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_distances_are_consistent(n in 2usize..40, p in 0.05f64..0.5, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let dist = metrics::bfs(&g, 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u], dist[v]);
+            if du != metrics::UNREACHABLE && dv != metrics::UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge endpoints differ by ≤ 1");
+            } else {
+                prop_assert_eq!(du, dv, "reachability is component-wide");
+            }
+        }
+    }
+
+    /// Induced subgraphs keep exactly the internal edges.
+    #[test]
+    fn induced_subgraph_edge_set(n in 1usize..30, p in 0.0f64..0.6, seed in any::<u64>(), mask_seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let keep: Vec<bool> = (0..n).map(|v| (mask_seed >> (v % 64)) & 1 == 1).collect();
+        let (sub, orig) = g.induced_subgraph(&keep);
+        let expected = g
+            .edges()
+            .filter(|&(u, v)| keep[u] && keep[v])
+            .count();
+        prop_assert_eq!(sub.m(), expected);
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(orig[a], orig[b]));
+        }
+    }
+
+    /// The greedy-checker agreement: a coloring where every node's color is
+    /// its id is always proper; a constant coloring is proper iff m = 0.
+    #[test]
+    fn validators_sanity(n in 1usize..30, p in 0.0f64..0.7, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let ids: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(validation::check_proper(&g, &ids), None);
+        let constant = vec![0u64; n];
+        prop_assert_eq!(validation::check_proper(&g, &constant).is_none(), g.m() == 0);
+    }
+
+    /// Components partition the graph and the count matches BFS floods.
+    #[test]
+    fn components_partition(n in 1usize..40, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let (comp, count) = metrics::components(&g);
+        prop_assert!(comp.iter().all(|&c| c < count));
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u], comp[v]);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! MPC (Massively Parallel Computation) model: simulator, the Section 5
+//! toolbox, and the deterministic coloring algorithms of Theorems 1.4/1.5.
+//!
+//! - [`machine`] — the simulator: machines with `S`-word memories; per-round
+//!   send and receive volumes and resident storage are capped at `O(S)`
+//!   words and enforced;
+//! - [`tools`] — Section 5 primitives built on the simulator: constant-time
+//!   sorting (deterministic regular sampling), prefix sums w.r.t. any
+//!   associative operator (Definition 5.2), segmented scans, the set
+//!   difference of Definition 5.3, and within-set ranks (Corollary 5.2);
+//! - [`coloring`] — Observation 4.1 ((Δ+1) → (degree+1) lists), the
+//!   MIS-avoidance conflict resolution, Theorem 1.4 (linear memory,
+//!   `O(log Δ · log C)` rounds), Theorem 1.5 (sublinear memory,
+//!   `O(log Δ · log C + log n)` rounds) and the Lemma 4.2 finisher.
+
+#![forbid(unsafe_code)]
+// Node ids double as indices into per-node state vectors throughout the
+// simulators; indexed loops over `0..n` are the clearest expression of
+// "for every node" here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod instance;
+pub mod machine;
+pub mod tools;
+
+pub use coloring::{mpc_color_linear, mpc_color_sublinear, MpcColoringResult};
+pub use machine::{Mpc, MpcMetrics};

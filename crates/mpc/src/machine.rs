@@ -1,0 +1,248 @@
+//! The MPC simulator.
+//!
+//! `M = O((n + m)/S)` machines, each with a memory of `S` words (a word is
+//! `O(log n)` bits). Per round, every machine may send and receive at most
+//! `O(S)` words; local computation is free. The simulator enforces the send
+//! and receive budgets on every [`Mpc::round`] and offers
+//! [`Mpc::assert_storage`] for algorithms to declare their resident state
+//! (checked against the memory bound).
+
+/// Word size of message payloads.
+pub trait WordSized {
+    /// Number of machine words the value occupies.
+    fn words(&self) -> usize;
+}
+
+impl WordSized for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl WordSized for f64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl WordSized for (u64, u64) {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+impl WordSized for (u64, u64, u64) {
+    fn words(&self) -> usize {
+        3
+    }
+}
+
+impl<T: WordSized> WordSized for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(WordSized::words).sum::<usize>() + 1
+    }
+}
+
+/// Cost counters of an [`Mpc`] cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpcMetrics {
+    /// Synchronous rounds elapsed.
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Words moved.
+    pub words: u64,
+    /// Largest per-machine storage declared via
+    /// [`Mpc::assert_storage`].
+    pub max_storage_words: usize,
+}
+
+/// An MPC cluster.
+///
+/// # Examples
+///
+/// ```
+/// use dcl_mpc::machine::Mpc;
+///
+/// let mut mpc = Mpc::new(4, 100);
+/// let inboxes = mpc.round(|machine| {
+///     if machine == 0 { vec![(2usize, 42u64)] } else { vec![] }
+/// });
+/// assert_eq!(inboxes[2], vec![(0, 42)]);
+/// assert_eq!(mpc.metrics().rounds, 1);
+/// ```
+#[derive(Debug)]
+pub struct Mpc {
+    machines: usize,
+    memory_words: usize,
+    /// Budget slack constant: per-round send/receive and storage may reach
+    /// `slack · S` (the model's `O(S)`).
+    slack: usize,
+    metrics: MpcMetrics,
+}
+
+/// Per-machine inboxes: `(sender, payload)` pairs.
+pub type Inboxes<M> = Vec<Vec<(usize, M)>>;
+
+impl Mpc {
+    /// Creates a cluster of `machines` machines with `memory_words`-word
+    /// memories (slack constant 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(machines: usize, memory_words: usize) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        assert!(memory_words > 0, "memory must be positive");
+        Mpc { machines, memory_words, slack: 4, metrics: MpcMetrics::default() }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Memory size `S` in words.
+    pub fn memory_words(&self) -> usize {
+        self.memory_words
+    }
+
+    /// Accumulated cost counters.
+    pub fn metrics(&self) -> MpcMetrics {
+        self.metrics
+    }
+
+    /// Rounds elapsed.
+    pub fn rounds(&self) -> u64 {
+        self.metrics.rounds
+    }
+
+    /// One synchronous round; `sender(i)` lists machine `i`'s outgoing
+    /// `(recipient, payload)` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a machine sends or receives more than `O(S)` words or
+    /// addresses an unknown machine.
+    pub fn round<M, F>(&mut self, mut sender: F) -> Inboxes<M>
+    where
+        M: WordSized,
+        F: FnMut(usize) -> Vec<(usize, M)>,
+    {
+        self.metrics.rounds += 1;
+        let budget = self.slack * self.memory_words;
+        let mut received = vec![0usize; self.machines];
+        let mut inboxes: Inboxes<M> = (0..self.machines).map(|_| Vec::new()).collect();
+        for i in 0..self.machines {
+            let mut sent = 0usize;
+            for (dst, msg) in sender(i) {
+                assert!(dst < self.machines, "machine {dst} out of range");
+                let w = msg.words();
+                sent += w;
+                received[dst] += w;
+                assert!(sent <= budget, "machine {i} exceeded its send budget of {budget} words");
+                assert!(
+                    received[dst] <= budget,
+                    "machine {dst} exceeded its receive budget of {budget} words"
+                );
+                self.metrics.messages += 1;
+                self.metrics.words += w as u64;
+                inboxes[dst].push((i, msg));
+            }
+        }
+        inboxes
+    }
+
+    /// Declares machine `i`'s resident storage; panics if it exceeds the
+    /// memory bound `O(S)`.
+    pub fn assert_storage(&mut self, machine: usize, words: usize) {
+        let budget = self.slack * self.memory_words;
+        assert!(
+            words <= budget,
+            "machine {machine} stores {words} words, exceeding its memory of {budget}"
+        );
+        self.metrics.max_storage_words = self.metrics.max_storage_words.max(words);
+    }
+
+    /// Charges `rounds` rounds without traffic (schedule steps whose cost is
+    /// a closed formula).
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.metrics.rounds += rounds;
+    }
+
+    /// Charges `words` words of traffic (for formula-cost collectives),
+    /// split across `messages` messages.
+    pub fn charge_traffic(&mut self, messages: u64, words: u64) {
+        self.metrics.messages += messages;
+        self.metrics.words += words;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_delivers() {
+        let mut mpc = Mpc::new(3, 10);
+        let inboxes = mpc.round(|i| match i {
+            0 => vec![(1, 5u64)],
+            1 => vec![(2, 6u64), (0, 7u64)],
+            _ => vec![],
+        });
+        assert_eq!(inboxes[0], vec![(1, 7)]);
+        assert_eq!(inboxes[1], vec![(0, 5)]);
+        assert_eq!(inboxes[2], vec![(1, 6)]);
+        assert_eq!(mpc.metrics().words, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "send budget")]
+    fn send_budget_enforced() {
+        let mut mpc = Mpc::new(2, 2);
+        // Budget = 8 words; send 9 single-word messages.
+        let _ = mpc.round(|i| {
+            if i == 0 {
+                (0..9).map(|_| (1usize, 1u64)).collect()
+            } else {
+                vec![]
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "receive budget")]
+    fn receive_budget_enforced() {
+        let mut mpc = Mpc::new(3, 2);
+        // Two senders each within budget, but the receiver is flooded.
+        let _ = mpc.round(|i| {
+            if i < 2 {
+                (0..5).map(|_| (2usize, 1u64)).collect()
+            } else {
+                vec![]
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding its memory")]
+    fn storage_bound_enforced() {
+        let mut mpc = Mpc::new(2, 10);
+        mpc.assert_storage(0, 41);
+    }
+
+    #[test]
+    fn storage_highwater_recorded() {
+        let mut mpc = Mpc::new(2, 100);
+        mpc.assert_storage(0, 50);
+        mpc.assert_storage(1, 80);
+        assert_eq!(mpc.metrics().max_storage_words, 80);
+    }
+
+    #[test]
+    fn word_sizes() {
+        assert_eq!(5u64.words(), 1);
+        assert_eq!((1u64, 2u64).words(), 2);
+        assert_eq!(vec![1u64, 2, 3].words(), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the Section 5 MPC toolbox against centralized
+//! reference implementations.
+
+use dcl_mpc::machine::Mpc;
+use dcl_mpc::tools;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Distributed sort equals the centralized sort, for arbitrary machine
+    /// counts and memory sizes (including the bitonic fallback regime).
+    #[test]
+    fn sort_matches_reference(
+        items in prop::collection::vec(0u64..1000, 0..200),
+        machines in 2usize..12,
+        s in 16usize..128,
+    ) {
+        // The input must fit the cluster: N items of <= 2 words (plus the
+        // sort's tiebreak word) over `machines` memories of `s` words.
+        prop_assume!(items.len() * 3 <= machines * s);
+        let mut mpc = Mpc::new(machines, s);
+        let sorted = tools::sort(&mut mpc, tools::scatter(machines, &items));
+        let flat = tools::gather(&sorted);
+        let mut expect = items.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(flat, expect);
+        // Blocks are contiguous rank ranges: non-decreasing across blocks.
+        let mut last: Option<u64> = None;
+        for block in &sorted {
+            for &x in block {
+                if let Some(prev) = last {
+                    prop_assert!(prev <= x);
+                }
+                last = Some(x);
+            }
+        }
+    }
+
+    /// Prefix sums with addition match the running total.
+    #[test]
+    fn prefix_sums_match_reference(
+        items in prop::collection::vec(0u64..1000, 0..150),
+        machines in 2usize..10,
+    ) {
+        let mut mpc = Mpc::new(machines, 64);
+        let dist = tools::scatter(machines, &items);
+        let scanned = tools::prefix_sums(&mut mpc, &dist, |a, b| a + b);
+        let order = tools::gather(&dist);
+        let flat = tools::gather(&scanned);
+        let mut acc = 0u64;
+        for (x, s) in order.iter().zip(flat.iter()) {
+            acc += x;
+            prop_assert_eq!(*s, acc);
+        }
+    }
+
+    /// Set difference agrees with a HashSet reference.
+    #[test]
+    fn set_difference_matches_reference(
+        a in prop::collection::vec((0u64..5, 0u64..30), 0..80),
+        b in prop::collection::vec((0u64..5, 0u64..30), 0..80),
+        machines in 2usize..8,
+    ) {
+        let reference: std::collections::HashSet<(u64, u64)> = b.iter().copied().collect();
+        let mut mpc = Mpc::new(machines, 96);
+        let result = tools::set_difference(
+            &mut mpc,
+            &tools::scatter(machines, &a),
+            &tools::scatter(machines, &b),
+        );
+        let mut seen = 0usize;
+        for block in &result {
+            for &((s, v), in_b) in block {
+                prop_assert_eq!(in_b, reference.contains(&(s, v)));
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, a.len());
+    }
+
+    /// Ranks agree with per-set sorting.
+    #[test]
+    fn ranks_match_reference(
+        raw in prop::collection::btree_set((0u64..4, 0u64..50), 0..60),
+        machines in 2usize..8,
+    ) {
+        let a: Vec<(u64, u64)> = raw.into_iter().collect();
+        let mut mpc = Mpc::new(machines, 96);
+        let result = tools::ranks(&mut mpc, &tools::scatter(machines, &a));
+        for block in &result {
+            for &((s, v), r) in block {
+                let expected = a.iter().filter(|&&(s2, v2)| s2 == s && v2 < v).count() as u64;
+                prop_assert_eq!(r, expected);
+            }
+        }
+    }
+}

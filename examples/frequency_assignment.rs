@@ -1,0 +1,69 @@
+//! Frequency assignment as (degree+1)-*list* coloring.
+//!
+//! A classic motivation for list coloring: radio towers must pick operating
+//! channels such that interfering towers (edges) never share a channel, and
+//! each tower can only use the channels its hardware and local regulation
+//! permit (its *list*). As long as every tower has one more permitted
+//! channel than it has interference neighbors, the paper's deterministic
+//! CONGEST algorithm assigns channels without any randomness — and without
+//! any tower ever learning more than `O(log n)` bits per neighbor per round.
+//!
+//! ```text
+//! cargo run --example frequency_assignment --release
+//! ```
+
+use distributed_coloring::coloring::congest_coloring::{
+    color_list_instance, CongestColoringConfig,
+};
+use distributed_coloring::coloring::instance::ListInstance;
+use distributed_coloring::graphs::{generators, validation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    // Interference graph: towers on a coarse grid interfere with their
+    // 4-neighborhood (a standard planar interference model).
+    let graph = generators::grid(10, 14);
+    let n = graph.n();
+    let channels_total: u64 = 64; // the licensed band, channels 0..64
+
+    // Each tower's permitted channel list: a random subset of the band of
+    // size deg(v)+2 (one more than required, so some slack remains).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut band: Vec<u64> = (0..channels_total).collect();
+    let lists: Vec<Vec<u64>> = graph
+        .nodes()
+        .map(|v| {
+            band.shuffle(&mut rng);
+            band[..graph.degree(v) + 2].to_vec()
+        })
+        .collect();
+
+    let instance =
+        ListInstance::new(graph.clone(), channels_total, lists.clone()).expect("valid instance");
+    let result = color_list_instance(&instance, &CongestColoringConfig::default());
+
+    assert!(validation::check_list_coloring(&graph, &lists, &result.colors).is_none());
+    println!("assigned channels to {n} towers over a {channels_total}-channel band");
+    println!(
+        "distinct channels used: {}, CONGEST rounds: {}, iterations: {}",
+        validation::count_colors(&result.colors),
+        result.metrics.rounds,
+        result.iterations
+    );
+
+    // Show a few assignments.
+    for v in [0usize, 1, 14, n - 1] {
+        println!(
+            "  tower {v:3}: channel {:2} (list {:?}…)",
+            result.colors[v],
+            &lists[v][..lists[v].len().min(5)]
+        );
+    }
+
+    // Every assignment is deterministic: re-running yields the same plan.
+    let again = color_list_instance(&instance, &CongestColoringConfig::default());
+    assert_eq!(result.colors, again.colors);
+    println!("re-run produced the identical assignment (fully deterministic)");
+}

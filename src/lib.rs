@@ -1,0 +1,40 @@
+//! # distributed-coloring
+//!
+//! A reproduction of **"Efficient Deterministic Distributed Coloring with
+//! Small Bandwidth"** (Bamberger, Kuhn, Maus — PODC 2020).
+//!
+//! This facade crate re-exports the workspace sub-crates under stable module
+//! names so that examples, integration tests and downstream users can depend
+//! on a single crate:
+//!
+//! - [`graphs`] — graph representation, generators, metrics, validators.
+//! - [`congest`] — CONGEST model simulator (rounds, bandwidth, BFS trees).
+//! - [`derand`] — hash families, biased coins, conditional expectations.
+//! - [`coloring`] — the paper's core algorithms (Algorithm 1, Lemmas 2.1–2.6,
+//!   Theorem 1.1, Linial's coloring, bounded-degree MIS, baselines).
+//! - [`decomp`] — network decomposition (Definition 3.1, RG19-style
+//!   clustering) and the `poly log n` coloring of Corollary 1.2.
+//! - [`clique`] — CONGESTED CLIQUE simulator and Theorem 1.3.
+//! - [`mpc`] — MPC simulator, Section 5 toolbox and Theorems 1.4/1.5.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use distributed_coloring::graphs::generators;
+//! use distributed_coloring::coloring::congest_coloring::{color_degree_plus_one, CongestColoringConfig};
+//! use distributed_coloring::graphs::validation::check_proper;
+//!
+//! let g = generators::gnp(64, 0.1, 42);
+//! let result = color_degree_plus_one(&g, &CongestColoringConfig::default());
+//! assert!(check_proper(&g, &result.colors).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dcl_clique as clique;
+pub use dcl_coloring as coloring;
+pub use dcl_congest as congest;
+pub use dcl_decomp as decomp;
+pub use dcl_derand as derand;
+pub use dcl_graphs as graphs;
+pub use dcl_mpc as mpc;

@@ -1,0 +1,140 @@
+//! Cross-model integration tests: the same instances are solved by every
+//! algorithm in the workspace (CONGEST Theorem 1.1, decomposition-based
+//! Corollary 1.2, CONGESTED CLIQUE Theorem 1.3, MPC Theorems 1.4/1.5, and
+//! the randomized baseline), and all outputs are validated against the
+//! shared reference checkers.
+
+use distributed_coloring::clique::coloring::{clique_color, CliqueColoringConfig};
+use distributed_coloring::coloring::baselines;
+use distributed_coloring::coloring::congest_coloring::{
+    color_list_instance, CongestColoringConfig,
+};
+use distributed_coloring::coloring::instance::ListInstance;
+use distributed_coloring::decomp::coloring::{color_via_decomposition, DecompColoringConfig};
+use distributed_coloring::graphs::{generators, validation, Graph};
+use distributed_coloring::mpc::coloring::{mpc_color_linear, mpc_color_sublinear};
+
+fn instances() -> Vec<(String, Graph)> {
+    vec![
+        ("gnp-sparse".into(), generators::gnp(40, 0.08, 1)),
+        ("gnp-dense".into(), generators::gnp(28, 0.3, 2)),
+        ("regular".into(), generators::random_regular(36, 5, 3)),
+        ("ring".into(), generators::ring(33)),
+        ("grid".into(), generators::grid(5, 7)),
+        ("star".into(), generators::star(21)),
+        ("chain".into(), generators::cluster_chain(5, 6, 0.5, 4)),
+        ("disconnected".into(), {
+            Graph::from_edges(12, &[(0, 1), (1, 2), (2, 0), (4, 5), (6, 7), (7, 8), (8, 9)])
+                .unwrap()
+        }),
+    ]
+}
+
+#[test]
+fn every_model_colors_every_instance_properly() {
+    for (name, g) in instances() {
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let delta = g.max_degree() as u64;
+
+        let congest = color_list_instance(&inst, &CongestColoringConfig::default());
+        assert_eq!(validation::check_proper(&g, &congest.colors), None, "{name}/congest");
+        assert!(congest.colors.iter().all(|&c| c <= delta), "{name}/congest palette");
+
+        let decomp = color_via_decomposition(&inst, &DecompColoringConfig::default());
+        assert_eq!(validation::check_proper(&g, &decomp.colors), None, "{name}/decomp");
+
+        let clique = clique_color(&inst, &CliqueColoringConfig::default());
+        assert_eq!(validation::check_proper(&g, &clique.colors), None, "{name}/clique");
+
+        let linear = mpc_color_linear(&inst);
+        assert_eq!(validation::check_proper(&g, &linear.colors), None, "{name}/mpc-linear");
+
+        let sublinear = mpc_color_sublinear(&inst, 0.6);
+        assert_eq!(
+            validation::check_proper(&g, &sublinear.colors),
+            None,
+            "{name}/mpc-sublinear"
+        );
+
+        let random = baselines::johansson(&inst, 5);
+        assert_eq!(validation::check_proper(&g, &random.colors), None, "{name}/johansson");
+    }
+}
+
+#[test]
+fn all_models_respect_shared_custom_lists() {
+    let g = generators::gnp(30, 0.15, 9);
+    // Lists with gaps, shared across all models.
+    let lists: Vec<Vec<u64>> = g
+        .nodes()
+        .map(|v| (0..=g.degree(v) as u64).map(|i| i * 5 + (v % 3) as u64).collect())
+        .collect();
+    let c = 5 * (g.max_degree() as u64 + 1) + 3;
+    let inst = ListInstance::new(g.clone(), c, lists.clone()).unwrap();
+
+    for (model, colors) in [
+        ("congest", color_list_instance(&inst, &CongestColoringConfig::default()).colors),
+        ("decomp", color_via_decomposition(&inst, &DecompColoringConfig::default()).colors),
+        ("clique", clique_color(&inst, &CliqueColoringConfig::default()).colors),
+        ("mpc-linear", mpc_color_linear(&inst).colors),
+        ("mpc-sublinear", mpc_color_sublinear(&inst, 0.7).colors),
+    ] {
+        assert_eq!(validation::check_list_coloring(&g, &lists, &colors), None, "{model}");
+    }
+}
+
+#[test]
+fn deterministic_models_are_reproducible() {
+    let g = generators::gnp(26, 0.2, 17);
+    let inst = ListInstance::degree_plus_one(g);
+    assert_eq!(
+        color_list_instance(&inst, &CongestColoringConfig::default()).colors,
+        color_list_instance(&inst, &CongestColoringConfig::default()).colors
+    );
+    assert_eq!(
+        color_via_decomposition(&inst, &DecompColoringConfig::default()).colors,
+        color_via_decomposition(&inst, &DecompColoringConfig::default()).colors
+    );
+    assert_eq!(
+        clique_color(&inst, &CliqueColoringConfig::default()).colors,
+        clique_color(&inst, &CliqueColoringConfig::default()).colors
+    );
+    assert_eq!(mpc_color_linear(&inst).colors, mpc_color_linear(&inst).colors);
+    assert_eq!(
+        mpc_color_sublinear(&inst, 0.5).colors,
+        mpc_color_sublinear(&inst, 0.5).colors
+    );
+}
+
+#[test]
+fn clique_beats_congest_on_high_diameter() {
+    let g = generators::ring(64);
+    let inst = ListInstance::degree_plus_one(g);
+    let congest = color_list_instance(&inst, &CongestColoringConfig::default());
+    let clique = clique_color(&inst, &CliqueColoringConfig::default());
+    assert!(
+        clique.metrics.rounds * 4 < congest.metrics.rounds,
+        "clique {} vs congest {}",
+        clique.metrics.rounds,
+        congest.metrics.rounds
+    );
+}
+
+#[test]
+fn decomposition_validates_on_every_instance() {
+    for (name, g) in instances() {
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let result = color_via_decomposition(&inst, &DecompColoringConfig::default());
+        let stats = result.decomposition.validate(&g).unwrap_or_else(|e| {
+            panic!("{name}: invalid decomposition: {e}");
+        });
+        // Empirical sanity versus the asymptotic bounds (generous slack).
+        let logn = (g.n().max(2) as f64).log2();
+        assert!((stats.colors as f64) <= 4.0 * logn + 8.0, "{name}: α = {}", stats.colors);
+        assert!(
+            f64::from(stats.congestion) <= 2.0 * logn + 4.0,
+            "{name}: κ = {}",
+            stats.congestion
+        );
+    }
+}

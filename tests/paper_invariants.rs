@@ -1,0 +1,125 @@
+//! End-to-end checks of the paper's quantitative guarantees, one per
+//! lemma/theorem (the "shape" results recorded in `EXPERIMENTS.md`).
+
+use distributed_coloring::coloring::congest_coloring::{
+    color_list_instance, CongestColoringConfig,
+};
+use distributed_coloring::coloring::instance::ListInstance;
+use distributed_coloring::coloring::linial::linial_from_ids;
+use distributed_coloring::coloring::partial::{partial_coloring, PartialConfig};
+use distributed_coloring::congest::bfs::build_bfs_forest;
+use distributed_coloring::congest::network::Network;
+use distributed_coloring::graphs::generators;
+
+/// Lemma 2.1: every invocation colors at least n/8 of the active nodes and
+/// at least half the nodes end with ≤ 3 conflicts.
+#[test]
+fn lemma_2_1_guarantees() {
+    for seed in 0..6 {
+        let g = generators::gnp(48, 0.12, seed);
+        let inst = ListInstance::degree_plus_one(g);
+        let n = inst.graph().n();
+        let mut net = Network::with_default_cap(inst.graph(), inst.color_space());
+        let forest = build_bfs_forest(&mut net);
+        let lin = linial_from_ids(&mut net);
+        let out = partial_coloring(
+            &mut net,
+            &forest,
+            &inst,
+            &vec![true; n],
+            &lin.colors,
+            lin.palette,
+            PartialConfig::default(),
+        );
+        assert!(out.colored.len() * 8 >= n, "seed {seed}: colored {}", out.colored.len());
+        assert!(out.eligible_count * 2 >= n, "seed {seed}: eligible {}", out.eligible_count);
+        // Lemma 2.6 invariant chain: Σ Φ ≤ 2n at the end.
+        assert!(*out.trace.values.last().unwrap() <= 2.0 * n as f64 + 1e-6);
+        // Equation (5): every phase within budget.
+        let budget = n as f64 / f64::from(inst.color_bits());
+        assert!(out.trace.max_increase() <= budget + 1e-6);
+    }
+}
+
+/// Theorem 1.1: iterations are logarithmic and the rounds respect the
+/// D-dominated structure: on a fixed family, doubling n (hence D on rings)
+/// increases rounds roughly proportionally, far below quadratic blowup.
+#[test]
+fn theorem_1_1_iteration_and_round_shape() {
+    let mut prev_rounds = 0u64;
+    for n in [24usize, 48, 96] {
+        let g = generators::ring(n);
+        let inst = ListInstance::degree_plus_one(g);
+        let r = color_list_instance(&inst, &CongestColoringConfig::default());
+        let log87 = (n as f64).ln() / (8.0f64 / 7.0).ln();
+        assert!(
+            (r.iterations as f64) <= log87,
+            "n={n}: {} iterations > log_{{8/7}} n = {log87:.1}",
+            r.iterations
+        );
+        if prev_rounds > 0 {
+            // Rounds scale like D·polylog: doubling the ring should not
+            // multiply rounds by more than ~4 (2 for D, slack for logs).
+            assert!(
+                r.metrics.rounds <= 4 * prev_rounds,
+                "n={n}: rounds jumped {prev_rounds} -> {}",
+                r.metrics.rounds
+            );
+        }
+        prev_rounds = r.metrics.rounds;
+    }
+}
+
+/// The CONGEST bandwidth constraint is enforced throughout: the largest
+/// message ever sent by the full Theorem 1.1 stack fits the O(log n) cap.
+#[test]
+fn bandwidth_cap_respected_end_to_end() {
+    let g = generators::gnp(40, 0.15, 3);
+    let inst = ListInstance::degree_plus_one(g);
+    let r = color_list_instance(&inst, &CongestColoringConfig::default());
+    assert!(r.metrics.max_message_bits <= 128, "max message {}", r.metrics.max_message_bits);
+}
+
+/// Remark after Theorem 1.1: on disconnected instances the algorithm's
+/// effective diameter is the max component diameter — each component
+/// derandomizes independently, and small components do not wait for big
+/// ones in terms of correctness.
+#[test]
+fn disconnected_components_are_independent() {
+    use distributed_coloring::graphs::Graph;
+    // Two copies of the same component should get the same colors (the
+    // algorithm is id-driven but symmetric components with shifted ids may
+    // differ — we only require properness and completion here).
+    let g = Graph::from_edges(
+        10,
+        &[(0, 1), (1, 2), (2, 3), (3, 0), (5, 6), (6, 7), (7, 8), (8, 5)],
+    )
+    .unwrap();
+    let inst = ListInstance::degree_plus_one(g.clone());
+    let r = color_list_instance(&inst, &CongestColoringConfig::default());
+    assert_eq!(distributed_coloring::graphs::validation::check_proper(&g, &r.colors), None);
+}
+
+/// The seed-length accounting matches the documented substitution:
+/// `seed_len = b · (⌈log₂ K⌉ + 1)` per phase, versus the paper's
+/// `2·max(log K, b)` bound (DESIGN.md §2.1).
+#[test]
+fn seed_length_accounting() {
+    let g = generators::gnp(48, 0.15, 8);
+    let inst = ListInstance::degree_plus_one(g);
+    let n = inst.graph().n();
+    let mut net = Network::with_default_cap(inst.graph(), inst.color_space());
+    let forest = build_bfs_forest(&mut net);
+    let lin = linial_from_ids(&mut net);
+    let out = partial_coloring(
+        &mut net,
+        &forest,
+        &inst,
+        &vec![true; n],
+        &lin.colors,
+        lin.palette,
+        PartialConfig::default(),
+    );
+    let m = 64 - (lin.palette - 1).leading_zeros();
+    assert_eq!(out.seed_len, out.accuracy_bits as usize * (m as usize + 1));
+}

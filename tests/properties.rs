@@ -1,0 +1,96 @@
+//! Property-based tests (proptest) spanning the whole workspace: for
+//! arbitrary random instances, every algorithm must produce valid output and
+//! every invariant must hold.
+
+use distributed_coloring::clique::coloring::{clique_color, CliqueColoringConfig};
+use distributed_coloring::coloring::baselines;
+use distributed_coloring::coloring::congest_coloring::{
+    color_list_instance, CongestColoringConfig,
+};
+use distributed_coloring::coloring::instance::ListInstance;
+use distributed_coloring::decomp::rg::{decompose, RgConfig};
+use distributed_coloring::congest::network::Network;
+use distributed_coloring::graphs::{generators, validation};
+use proptest::prelude::*;
+
+fn arb_gnp() -> impl Strategy<Value = (usize, f64, u64)> {
+    (4usize..32, 0.02f64..0.4, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn congest_coloring_is_always_proper((n, p, seed) in arb_gnp()) {
+        let g = generators::gnp(n, p, seed);
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let r = color_list_instance(&inst, &CongestColoringConfig::default());
+        prop_assert_eq!(validation::check_proper(&g, &r.colors), None);
+        let delta = g.max_degree() as u64;
+        prop_assert!(r.colors.iter().all(|&c| c <= delta));
+    }
+
+    #[test]
+    fn clique_coloring_is_always_proper((n, p, seed) in arb_gnp()) {
+        let g = generators::gnp(n, p, seed);
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let r = clique_color(&inst, &CliqueColoringConfig::default());
+        prop_assert_eq!(validation::check_proper(&g, &r.colors), None);
+    }
+
+    #[test]
+    fn decomposition_always_satisfies_definition_3_1((n, p, seed) in arb_gnp()) {
+        let g = generators::gnp(n, p, seed);
+        let mut net = Network::with_default_cap(&g, 64);
+        let d = decompose(&mut net, &RgConfig::default());
+        prop_assert!(d.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn randomized_baseline_matches_greedy_validity((n, p, seed) in arb_gnp()) {
+        let g = generators::gnp(n, p, seed);
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let r = baselines::johansson(&inst, seed ^ 0xabcd);
+        prop_assert_eq!(
+            validation::check_list_coloring(&g, inst.lists(), &r.colors),
+            None
+        );
+        let greedy = baselines::greedy(&inst);
+        prop_assert_eq!(
+            validation::check_list_coloring(&g, inst.lists(), &greedy),
+            None
+        );
+    }
+
+    #[test]
+    fn list_instances_with_random_gaps_are_colored(
+        (n, p, seed) in arb_gnp(),
+        stride in 1u64..7,
+        offset in 0u64..5,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let lists: Vec<Vec<u64>> = g
+            .nodes()
+            .map(|v| (0..=g.degree(v) as u64).map(|i| i * stride + offset + (v as u64 % 2)).collect())
+            .collect();
+        let c = (g.max_degree() as u64 + 1) * stride + offset + 2;
+        let inst = ListInstance::new(g.clone(), c, lists.clone()).unwrap();
+        let r = color_list_instance(&inst, &CongestColoringConfig::default());
+        prop_assert_eq!(validation::check_list_coloring(&g, &lists, &r.colors), None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mpc_models_are_always_proper((n, p, seed) in (4usize..24, 0.05f64..0.35, any::<u64>())) {
+        use distributed_coloring::mpc::coloring::{mpc_color_linear, mpc_color_sublinear};
+        let g = generators::gnp(n, p, seed);
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let lin = mpc_color_linear(&inst);
+        prop_assert_eq!(validation::check_proper(&g, &lin.colors), None);
+        let sub = mpc_color_sublinear(&inst, 0.6);
+        prop_assert_eq!(validation::check_proper(&g, &sub.colors), None);
+    }
+}
