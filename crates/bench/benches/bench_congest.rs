@@ -16,7 +16,10 @@ fn theorem_11(c: &mut Criterion) {
             b.iter(|| color_list_instance(inst, &CongestColoringConfig::default()))
         });
     }
-    for (name, g) in [("ring64", generators::ring(64)), ("hcube6", generators::hypercube(6))] {
+    for (name, g) in [
+        ("ring64", generators::ring(64)),
+        ("hcube6", generators::hypercube(6)),
+    ] {
         let inst = ListInstance::degree_plus_one(g);
         group.bench_with_input(BenchmarkId::new("d_sweep", name), &inst, |b, inst| {
             b.iter(|| color_list_instance(inst, &CongestColoringConfig::default()))

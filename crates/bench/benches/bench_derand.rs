@@ -19,7 +19,9 @@ fn derand_core(c: &mut Criterion) {
         b.iter(|| fam.joint_coin_probs_forms(&fx, 9000, &fy, 4000))
     });
     c.bench_function("prob_lt", |b| b.iter(|| fam.prob_lt_forms(&fx, 9000)));
-    c.bench_function("forms_for", |b| b.iter(|| fam.forms_for(&seed, 0b1011001101)));
+    c.bench_function("forms_for", |b| {
+        b.iter(|| fam.forms_for(&seed, 0b1011001101))
+    });
 }
 
 criterion_group!(benches, derand_core);

@@ -9,7 +9,9 @@ fn mpc_tools(c: &mut Criterion) {
     let mut group = c.benchmark_group("section_5_tools");
     group.sample_size(10);
     for n in [500usize, 2000] {
-        let items: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 99_991).collect();
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2_654_435_761) % 99_991)
+            .collect();
         group.bench_with_input(BenchmarkId::new("sort", n), &items, |b, items| {
             b.iter(|| {
                 let mut mpc = Mpc::new(8, 512);
@@ -23,18 +25,29 @@ fn mpc_tools(c: &mut Criterion) {
                 tools::prefix_sums(&mut mpc, &dist, |a, b| a.wrapping_add(*b))
             })
         });
-        let a: Vec<(u64, u64)> = items.iter().map(|&x| (x % 5, x % 300)).collect();
-        let bset: Vec<(u64, u64)> = items.iter().map(|&x| (x % 5, (x / 7) % 300)).collect();
-        group.bench_with_input(BenchmarkId::new("set_difference", n), &(a, bset), |b, input| {
-            b.iter(|| {
-                let mut mpc = Mpc::new(8, 512);
-                tools::set_difference(
-                    &mut mpc,
-                    &tools::scatter(8, &input.0),
-                    &tools::scatter(8, &input.1),
-                )
-            })
-        });
+        // 101 distinct keys: set_difference partitions by key, so the key
+        // space must be wide enough that no machine's receive volume breaks
+        // the enforced O(S)-word budget at n = 2000.
+        let a: Vec<(u64, u64)> = items.iter().map(|&x| (x % 101, x % 300)).collect();
+        let bset: Vec<(u64, u64)> = items.iter().map(|&x| (x % 101, (x / 7) % 300)).collect();
+        // set_difference sorts 2n three-word triples, so the per-machine
+        // memory must scale with the input (S = O(total/machines)) or the
+        // enforced send/receive budgets trip at the larger sizes.
+        let s = (6 * n / 8).max(512);
+        group.bench_with_input(
+            BenchmarkId::new("set_difference", n),
+            &(a, bset),
+            |b, input| {
+                b.iter(|| {
+                    let mut mpc = Mpc::new(8, s);
+                    tools::set_difference(
+                        &mut mpc,
+                        &tools::scatter(8, &input.0),
+                        &tools::scatter(8, &input.1),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

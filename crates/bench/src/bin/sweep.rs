@@ -31,6 +31,11 @@ fn main() {
         let g = generators::ring(n);
         let inst = ListInstance::degree_plus_one(g);
         let r = color_list_instance(&inst, &CongestColoringConfig::default());
-        println!("rounds_vs_D,{},{},{}", n / 2, r.metrics.rounds, r.iterations);
+        println!(
+            "rounds_vs_D,{},{},{}",
+            n / 2,
+            r.metrics.rounds,
+            r.iterations
+        );
     }
 }

@@ -99,7 +99,14 @@ fn f(x: f64) -> String {
 pub fn e1_randomized_potential(trials: u64) -> Table {
     let mut t = Table::new(
         "E1 (Lemma 2.2): randomized one-bit step, E[sum Phi] non-increasing",
-        &["graph", "n", "Phi_before", "mean_Phi_after", "max_seen", "trials"],
+        &[
+            "graph",
+            "n",
+            "Phi_before",
+            "mean_Phi_after",
+            "max_seen",
+            "trials",
+        ],
     );
     for (name, g) in [
         ("gnp(96,0.08)", generators::gnp(96, 0.08, 3)),
@@ -136,7 +143,15 @@ pub fn e1_randomized_potential(trials: u64) -> Table {
 pub fn e2_phase_budget() -> Table {
     let mut t = Table::new(
         "E2 (Lemmas 2.3+2.6): per-phase potential increase vs budget n/ceil(logC)",
-        &["graph", "n", "b_bits", "budget", "max_phase_increase", "final_Phi", "2n"],
+        &[
+            "graph",
+            "n",
+            "b_bits",
+            "budget",
+            "max_phase_increase",
+            "final_Phi",
+            "2n",
+        ],
     );
     for (name, g) in [
         ("gnp(80,0.1)", generators::gnp(80, 0.1, 7)),
@@ -175,7 +190,16 @@ pub fn e2_phase_budget() -> Table {
 pub fn e3_partial_coloring() -> Table {
     let mut t = Table::new(
         "E3 (Lemma 2.1): fraction colored per invocation and round cost",
-        &["graph", "n", "D", "colored", "fraction", "rounds", "seed_bits", "eligible"],
+        &[
+            "graph",
+            "n",
+            "D",
+            "colored",
+            "fraction",
+            "rounds",
+            "seed_bits",
+            "eligible",
+        ],
     );
     for (name, g) in [
         ("gnp(64,0.1)", generators::gnp(64, 0.1, 1)),
@@ -198,7 +222,9 @@ pub fn e3_partial_coloring() -> Table {
             lin.palette,
             PartialConfig::default(),
         );
-        let d = metrics::diameter(&g).map(|x| x.to_string()).unwrap_or_else(|| "-".into());
+        let d = metrics::diameter(&g)
+            .map(|x| x.to_string())
+            .unwrap_or_else(|| "-".into());
         t.row(vec![
             name.to_string(),
             n.to_string(),
@@ -218,7 +244,9 @@ pub fn e3_partial_coloring() -> Table {
 pub fn e4_theorem_11() -> Table {
     let mut t = Table::new(
         "E4 (Theorem 1.1): CONGEST (degree+1)-list coloring -- scaling",
-        &["series", "graph", "n", "Delta", "D", "rounds", "iters", "proper"],
+        &[
+            "series", "graph", "n", "Delta", "D", "rounds", "iters", "proper",
+        ],
     );
     let mut push = |series: &str, name: String, g: Graph| {
         let inst = ListInstance::degree_plus_one(g.clone());
@@ -229,17 +257,27 @@ pub fn e4_theorem_11() -> Table {
             name,
             g.n().to_string(),
             g.max_degree().to_string(),
-            metrics::diameter(&g).map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+            metrics::diameter(&g)
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "-".into()),
             r.metrics.rounds.to_string(),
             r.iterations.to_string(),
             ok.to_string(),
         ]);
     };
     for n in [32usize, 64, 128, 256] {
-        push("n-sweep", format!("regular({n},6)"), generators::random_regular(n, 6, 5));
+        push(
+            "n-sweep",
+            format!("regular({n},6)"),
+            generators::random_regular(n, 6, 5),
+        );
     }
     for d in [3usize, 6, 12, 24] {
-        push("Delta-sweep", format!("regular(96,{d})"), generators::random_regular(96, d, 5));
+        push(
+            "Delta-sweep",
+            format!("regular(96,{d})"),
+            generators::random_regular(96, d, 5),
+        );
     }
     push("D-sweep", "ring(128)".into(), generators::ring(128));
     push("D-sweep", "grid(8x16)".into(), generators::grid(8, 16));
@@ -307,7 +345,9 @@ pub fn e5_decomposition() -> Table {
         t.row(vec![
             name.to_string(),
             g.n().to_string(),
-            metrics::diameter(&g).map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+            metrics::diameter(&g)
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "-".into()),
             stats.colors.to_string(),
             stats.max_tree_diameter.to_string(),
             stats.congestion.to_string(),
@@ -325,7 +365,16 @@ pub fn e6_clique() -> Table {
     use dcl_clique::coloring::{clique_color, CliqueColoringConfig};
     let mut t = Table::new(
         "E6 (Theorem 1.3): CONGESTED CLIQUE vs CONGEST rounds",
-        &["graph", "n", "Delta", "D", "clique_rounds", "iters", "collected", "congest_rounds"],
+        &[
+            "graph",
+            "n",
+            "Delta",
+            "D",
+            "clique_rounds",
+            "iters",
+            "collected",
+            "congest_rounds",
+        ],
     );
     for (name, g) in [
         ("ring(48)", generators::ring(48)),
@@ -342,7 +391,9 @@ pub fn e6_clique() -> Table {
             name.to_string(),
             g.n().to_string(),
             g.max_degree().to_string(),
-            metrics::diameter(&g).map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+            metrics::diameter(&g)
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "-".into()),
             cl.metrics.rounds.to_string(),
             cl.iterations.to_string(),
             cl.collected_nodes.to_string(),
@@ -357,7 +408,16 @@ pub fn e7_mpc_linear() -> Table {
     use dcl_mpc::coloring::mpc_color_linear;
     let mut t = Table::new(
         "E7 (Theorem 1.4): MPC linear memory -- rounds and memory",
-        &["graph", "n", "Delta", "rounds", "iters", "machines", "S_words", "max_storage"],
+        &[
+            "graph",
+            "n",
+            "Delta",
+            "rounds",
+            "iters",
+            "machines",
+            "S_words",
+            "max_storage",
+        ],
     );
     for d in [3usize, 6, 12] {
         let g = generators::random_regular(64, d, 6);
@@ -383,7 +443,16 @@ pub fn e8_mpc_sublinear() -> Table {
     use dcl_mpc::coloring::mpc_color_sublinear;
     let mut t = Table::new(
         "E8 (Theorem 1.5 + Lemma 4.2): MPC sublinear memory -- alpha sweep",
-        &["graph", "alpha", "rounds", "iters", "finisher_iters", "machines", "S_words", "max_storage"],
+        &[
+            "graph",
+            "alpha",
+            "rounds",
+            "iters",
+            "finisher_iters",
+            "machines",
+            "S_words",
+            "max_storage",
+        ],
     );
     let g = generators::gnp(64, 0.1, 8);
     for alpha in [0.4f64, 0.5, 0.6, 0.8] {
@@ -408,7 +477,15 @@ pub fn e8_mpc_sublinear() -> Table {
 pub fn e9_baselines() -> Table {
     let mut t = Table::new(
         "E9: deterministic Theorem 1.1 vs randomized trial coloring [Joh99]",
-        &["graph", "n", "det_rounds", "det_iters", "rand_rounds", "rand_iters", "greedy_colors"],
+        &[
+            "graph",
+            "n",
+            "det_rounds",
+            "det_iters",
+            "rand_rounds",
+            "rand_iters",
+            "greedy_colors",
+        ],
     );
     for (name, g) in [
         ("gnp(96,0.08)", generators::gnp(96, 0.08, 11)),
@@ -467,7 +544,10 @@ pub fn e10_ablation() -> Table {
             &vec![true; n],
             &lin.colors,
             lin.palette,
-            PartialConfig { resolution, extra_accuracy_bits: extra },
+            PartialConfig {
+                resolution,
+                extra_accuracy_bits: extra,
+            },
         );
         // The paper's Theorem 2.4 seed bound: 2·max(log K, b).
         let log_k = 64 - lin.palette.saturating_sub(1).leading_zeros();
@@ -502,11 +582,19 @@ pub fn e11_mpc_tools() -> Table {
     use dcl_mpc::tools;
     let mut t = Table::new(
         "E11 (Section 5): sort / prefix sums / set difference -- rounds at scale",
-        &["N", "machines", "S_words", "sort_rounds", "prefix_rounds", "setdiff_rounds"],
+        &[
+            "N",
+            "machines",
+            "S_words",
+            "sort_rounds",
+            "prefix_rounds",
+            "setdiff_rounds",
+        ],
     );
     for (n_items, machines, s) in [(200usize, 4usize, 128usize), (800, 8, 256), (3200, 16, 512)] {
-        let items: Vec<u64> =
-            (0..n_items as u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+        let items: Vec<u64> = (0..n_items as u64)
+            .map(|i| (i * 2_654_435_761) % 100_000)
+            .collect();
         let mut mpc = Mpc::new(machines, s);
         let _ = tools::sort(&mut mpc, tools::scatter(machines, &items));
         let sort_rounds = mpc.rounds();

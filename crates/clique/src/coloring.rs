@@ -45,7 +45,11 @@ pub struct CliqueColoringConfig {
 
 impl Default for CliqueColoringConfig {
     fn default() -> Self {
-        CliqueColoringConfig { segment_bits: 6, max_batch_width: 3, max_iterations: 200 }
+        CliqueColoringConfig {
+            segment_bits: 6,
+            max_batch_width: 3,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -155,8 +159,11 @@ pub fn clique_color(
         // --- One partial-coloring iteration with batched digits. -----------
         assert!(iterations < config.max_iterations, "iteration cap exceeded");
         iterations += 1;
-        let delta_act =
-            (0..n).filter(|&v| active[v]).map(active_deg).max().unwrap_or(0);
+        let delta_act = (0..n)
+            .filter(|&v| active[v])
+            .map(active_deg)
+            .max()
+            .unwrap_or(0);
         // Batch width from the routing headroom: uncolored ≤ n/2^i ⇒ width i.
         let headroom = (n / uncolored).max(1);
         let width_budget = 63 - (headroom as u64).leading_zeros(); // ⌊log₂⌋
@@ -190,8 +197,10 @@ pub fn clique_color(
                     ts.push(coin_threshold(cum, len, b));
                 }
                 thresholds[v] = ts;
-                inv[v] =
-                    counts.iter().map(|&k| if k > 0 { 1.0 / k as f64 } else { 0.0 }).collect();
+                inv[v] = counts
+                    .iter()
+                    .map(|&k| if k > 0 { 1.0 / k as f64 } else { 0.0 })
+                    .collect();
             }
             // One round: neighbors exchange their digit-count vectors (2^w
             // words; within the routing headroom by choice of w).
@@ -200,7 +209,13 @@ pub fn clique_color(
             // Segmented derandomization of the shared seed.
             let mut seed = PartialSeed::new(seed_len);
             let mut forms: Vec<Vec<BitForm>> = (0..n)
-                .map(|v| if active[v] { family.forms_for(&seed, psi[v]) } else { Vec::new() })
+                .map(|v| {
+                    if active[v] {
+                        family.forms_for(&seed, psi[v])
+                    } else {
+                        Vec::new()
+                    }
+                })
                 .collect();
             let edges = state.conflict_edges();
             let mut start = 0usize;
@@ -227,9 +242,8 @@ pub fn clique_color(
                             if uh == ul || vh == vl {
                                 continue;
                             }
-                            let p = joint_interval(
-                                &family, &scratch[u], ul, uh, &scratch[v], vl, vh,
-                            );
+                            let p =
+                                joint_interval(&family, &scratch[u], ul, uh, &scratch[v], vl, vh);
                             total += p * (inv[u][a] + inv[v][a]);
                         }
                     }
@@ -296,7 +310,10 @@ pub fn clique_color(
     }
 
     CliqueColoringResult {
-        colors: colors.into_iter().map(|c| c.expect("all nodes colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all nodes colored"))
+            .collect(),
         metrics: net.metrics(),
         iterations,
         collected_nodes,
@@ -333,7 +350,11 @@ mod tests {
     fn colors_random_graphs_properly() {
         for seed in 0..4 {
             let (g, result) = color_dp1(generators::gnp(24, 0.25, seed));
-            assert_eq!(validation::check_proper(&g, &result.colors), None, "seed {seed}");
+            assert_eq!(
+                validation::check_proper(&g, &result.colors),
+                None,
+                "seed {seed}"
+            );
             let delta = g.max_degree() as u64;
             assert!(result.colors.iter().all(|&c| c <= delta));
         }
@@ -363,10 +384,15 @@ mod tests {
     #[test]
     fn respects_custom_lists() {
         let g = generators::ring(12);
-        let lists: Vec<Vec<u64>> = (0..12u64).map(|v| vec![v % 5, 5 + v % 3, 9 + v % 4]).collect();
+        let lists: Vec<Vec<u64>> = (0..12u64)
+            .map(|v| vec![v % 5, 5 + v % 3, 9 + v % 4])
+            .collect();
         let inst = ListInstance::new(g.clone(), 16, lists.clone()).unwrap();
         let result = clique_color(&inst, &CliqueColoringConfig::default());
-        assert_eq!(validation::check_list_coloring(&g, &lists, &result.colors), None);
+        assert_eq!(
+            validation::check_list_coloring(&g, &lists, &result.colors),
+            None
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl CliqueNetwork {
     /// Panics if `cap_bits == 0`.
     pub fn new(n: usize, cap_bits: u32) -> Self {
         assert!(cap_bits > 0, "bandwidth cap must be positive");
-        CliqueNetwork { n, cap_bits, metrics: CliqueMetrics::default() }
+        CliqueNetwork {
+            n,
+            cap_bits,
+            metrics: CliqueMetrics::default(),
+        }
     }
 
     /// Creates a clique with the default cap (two 64-bit words, covering
@@ -95,7 +99,10 @@ impl CliqueNetwork {
             for (v, msg) in sender(u) {
                 assert!(v < self.n, "recipient {v} out of range");
                 assert_ne!(u, v, "node {u} sent a message to itself");
-                assert!(!seen.contains(&v), "node {u} sent two messages to {v} in one round");
+                assert!(
+                    !seen.contains(&v),
+                    "node {u} sent two messages to {v} in one round"
+                );
                 seen.push(v);
                 self.account(msg.wire_bits());
                 inboxes[v].push((u, msg));
@@ -124,8 +131,14 @@ impl CliqueNetwork {
             assert!(src < self.n && dst < self.n, "endpoint out of range");
             sent[src] += 1;
             received[dst] += 1;
-            assert!(sent[src] <= self.n, "node {src} exceeds the Lenzen send budget");
-            assert!(received[dst] <= self.n, "node {dst} exceeds the Lenzen receive budget");
+            assert!(
+                sent[src] <= self.n,
+                "node {src} exceeds the Lenzen send budget"
+            );
+            assert!(
+                received[dst] <= self.n,
+                "node {dst} exceeds the Lenzen receive budget"
+            );
             self.account(msg.wire_bits());
             inboxes[dst].push((src, msg));
         }
@@ -180,7 +193,13 @@ mod tests {
     #[should_panic(expected = "two messages")]
     fn duplicate_recipient_panics() {
         let mut net = CliqueNetwork::with_default_cap(2);
-        let _ = net.round(|v| if v == 0 { vec![(1, 1u32), (1, 2u32)] } else { vec![] });
+        let _ = net.round(|v| {
+            if v == 0 {
+                vec![(1, 1u32), (1, 2u32)]
+            } else {
+                vec![]
+            }
+        });
     }
 
     #[test]

@@ -21,11 +21,17 @@ fn segment_length_config_changes_rounds_not_result() {
     let inst = ListInstance::degree_plus_one(g.clone());
     let short = clique_color(
         &inst,
-        &CliqueColoringConfig { segment_bits: 2, ..CliqueColoringConfig::default() },
+        &CliqueColoringConfig {
+            segment_bits: 2,
+            ..CliqueColoringConfig::default()
+        },
     );
     let long = clique_color(
         &inst,
-        &CliqueColoringConfig { segment_bits: 6, ..CliqueColoringConfig::default() },
+        &CliqueColoringConfig {
+            segment_bits: 6,
+            ..CliqueColoringConfig::default()
+        },
     );
     assert_eq!(validation::check_proper(&g, &short.colors), None);
     assert_eq!(validation::check_proper(&g, &long.colors), None);
@@ -39,7 +45,10 @@ fn max_batch_width_one_still_completes() {
     let inst = ListInstance::degree_plus_one(g.clone());
     let r = clique_color(
         &inst,
-        &CliqueColoringConfig { max_batch_width: 1, ..CliqueColoringConfig::default() },
+        &CliqueColoringConfig {
+            max_batch_width: 1,
+            ..CliqueColoringConfig::default()
+        },
     );
     assert_eq!(validation::check_proper(&g, &r.colors), None);
 }

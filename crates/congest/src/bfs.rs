@@ -99,8 +99,19 @@ pub fn build_bfs_tree(net: &mut Network<'_>, root: NodeId) -> BfsTree {
             children[p].push(v);
         }
     }
-    let height = depth.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
-    BfsTree { root, parent, children, depth, height }
+    let height = depth
+        .iter()
+        .copied()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0);
+    BfsTree {
+        root,
+        parent,
+        children,
+        depth,
+        height,
+    }
 }
 
 /// A spanning BFS forest: one tree per connected component, built in
@@ -215,8 +226,12 @@ pub fn build_bfs_forest(net: &mut Network<'_>) -> BfsForest {
                 }
             }
         }
-        let height =
-            t_depth.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+        let height = t_depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0);
         trees.push(BfsTree {
             root,
             parent: t_parent,

@@ -54,7 +54,11 @@ impl<'g> Network<'g> {
     /// Panics if `cap_bits == 0`.
     pub fn new(graph: &'g Graph, cap_bits: u32) -> Self {
         assert!(cap_bits > 0, "bandwidth cap must be positive");
-        Network { graph, cap_bits, metrics: Metrics::default() }
+        Network {
+            graph,
+            cap_bits,
+            metrics: Metrics::default(),
+        }
     }
 
     /// Creates a network with the workspace's default CONGEST cap:
@@ -218,7 +222,13 @@ mod tests {
     fn duplicate_edge_message_panics() {
         let g = generators::path(2);
         let mut net = Network::with_default_cap(&g, 2);
-        let _ = net.round(|v| if v == 0 { vec![(1, 1u32), (1, 2u32)] } else { vec![] });
+        let _ = net.round(|v| {
+            if v == 0 {
+                vec![(1, 1u32), (1, 2u32)]
+            } else {
+                vec![]
+            }
+        });
     }
 
     #[test]
@@ -226,7 +236,13 @@ mod tests {
     fn oversized_message_panics() {
         let g = generators::path(2);
         let mut net = Network::new(&g, 8);
-        let _ = net.round(|v| if v == 0 { vec![(1, 1u64 << 40)] } else { vec![] });
+        let _ = net.round(|v| {
+            if v == 0 {
+                vec![(1, 1u64 << 40)]
+            } else {
+                vec![]
+            }
+        });
     }
 
     #[test]

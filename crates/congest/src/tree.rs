@@ -155,7 +155,11 @@ pub fn aggregate_vec_charged(
     let mut tree_edges = 0u64;
     for v in 0..n {
         if tree.contains(v) {
-            assert_eq!(values[v].len(), width, "all vectors must have the declared width");
+            assert_eq!(
+                values[v].len(),
+                width,
+                "all vectors must have the declared width"
+            );
             for (acc, x) in sum.iter_mut().zip(&values[v]) {
                 *acc += *x;
             }
@@ -190,7 +194,11 @@ pub fn aggregate_vec_forest_charged(
         if !forest.trees[c].contains(v) {
             continue;
         }
-        assert_eq!(values[v].len(), width, "all vectors must have the declared width");
+        assert_eq!(
+            values[v].len(),
+            width,
+            "all vectors must have the declared width"
+        );
         for (acc, x) in sums[c].iter_mut().zip(&values[v]) {
             *acc += *x;
         }
@@ -215,7 +223,11 @@ pub fn broadcast_forest_charged<M>(
 where
     M: Wire + Clone,
 {
-    assert_eq!(per_tree.len(), forest.trees.len(), "one value per tree required");
+    assert_eq!(
+        per_tree.len(),
+        forest.trees.len(),
+        "one value per tree required"
+    );
     let n = net.graph().n();
     net.charge_rounds(u64::from(forest.max_height()));
     let mut out = Vec::with_capacity(n);

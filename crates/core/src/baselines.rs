@@ -87,7 +87,10 @@ pub fn johansson(instance: &ListInstance, rng_seed: u64) -> JohanssonResult {
     }
 
     JohanssonResult {
-        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
         iterations,
         metrics: net.metrics(),
     }
@@ -101,8 +104,7 @@ pub fn greedy(instance: &ListInstance) -> Vec<u64> {
     let g = instance.graph();
     let mut colors: Vec<Option<u64>> = vec![None; g.n()];
     for v in g.nodes() {
-        let taken: Vec<u64> =
-            g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+        let taken: Vec<u64> = g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
         let c = instance
             .list(v)
             .iter()
@@ -111,7 +113,10 @@ pub fn greedy(instance: &ListInstance) -> Vec<u64> {
             .expect("(degree+1) slack guarantees a free color");
         colors[v] = Some(c);
     }
-    colors.into_iter().map(|c| c.expect("assigned above")).collect()
+    colors
+        .into_iter()
+        .map(|c| c.expect("assigned above"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -138,7 +143,11 @@ mod tests {
         let g = generators::random_regular(200, 6, 5);
         let inst = ListInstance::degree_plus_one(g);
         let result = johansson(&inst, 77);
-        assert!(result.iterations <= 40, "took {} iterations", result.iterations);
+        assert!(
+            result.iterations <= 40,
+            "took {} iterations",
+            result.iterations
+        );
         assert_eq!(result.metrics.rounds, 2 * result.iterations as u64);
     }
 
@@ -170,6 +179,9 @@ mod tests {
         let lists: Vec<Vec<u64>> = (0..8u64).map(|v| vec![v, v + 8, v + 16]).collect();
         let inst = ListInstance::new(g, 24, lists.clone()).unwrap();
         let colors = greedy(&inst);
-        assert_eq!(validation::check_list_coloring(inst.graph(), &lists, &colors), None);
+        assert_eq!(
+            validation::check_list_coloring(inst.graph(), &lists, &colors),
+            None
+        );
     }
 }

@@ -16,8 +16,7 @@ use dcl_congest::network::{Metrics, Network};
 use dcl_graphs::Graph;
 
 /// Configuration of the Theorem 1.1 driver.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CongestColoringConfig {
     /// Strategy and accuracy of each partial-coloring invocation.
     pub partial: PartialConfig,
@@ -25,7 +24,6 @@ pub struct CongestColoringConfig {
     /// above the guaranteed `log_{8/7} n` bound).
     pub max_iterations: Option<usize>,
 }
-
 
 /// Result of the full CONGEST coloring.
 #[derive(Debug, Clone)]
@@ -113,12 +111,18 @@ pub fn color_list_instance(
                 }
             }
         }
-        debug_assert!(residual.slack_holds(&active), "slack lost on residual instance");
+        debug_assert!(
+            residual.slack_holds(&active),
+            "slack lost on residual instance"
+        );
         outcomes.push(outcome);
     }
 
     ColoringResult {
-        colors: colors.into_iter().map(|c| c.expect("loop exits only when all colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("loop exits only when all colored"))
+            .collect(),
         iterations: outcomes.len(),
         metrics: net.metrics(),
         linial_palette: lin.palette,
@@ -142,7 +146,11 @@ mod tests {
         for seed in 0..4 {
             let g = generators::gnp(40, 0.15, seed);
             let result = color_degree_plus_one(&g, &CongestColoringConfig::default());
-            assert_eq!(validation::check_proper(&g, &result.colors), None, "seed {seed}");
+            assert_eq!(
+                validation::check_proper(&g, &result.colors),
+                None,
+                "seed {seed}"
+            );
             // (Δ+1) colors suffice.
             let delta = g.max_degree() as u64;
             assert!(result.colors.iter().all(|&c| c <= delta));
@@ -167,8 +175,9 @@ mod tests {
     fn respects_arbitrary_lists() {
         // Custom lists with gaps and a large color space.
         let g = generators::ring(10);
-        let lists: Vec<Vec<u64>> =
-            (0..10).map(|v| vec![7 + v as u64, 31 + v as u64, 64 + (v % 3) as u64]).collect();
+        let lists: Vec<Vec<u64>> = (0..10)
+            .map(|v| vec![7 + v as u64, 31 + v as u64, 64 + (v % 3) as u64])
+            .collect();
         let inst = ListInstance::new(g, 128, lists.clone()).unwrap();
         let result = color_list_instance(&inst, &CongestColoringConfig::default());
         assert_eq!(
@@ -182,7 +191,11 @@ mod tests {
         let g = generators::gnp(64, 0.1, 3);
         let result = color_degree_plus_one(&g, &CongestColoringConfig::default());
         // log_{8/7} 64 ≈ 31; in practice far fewer.
-        assert!(result.iterations <= 31, "took {} iterations", result.iterations);
+        assert!(
+            result.iterations <= 31,
+            "took {} iterations",
+            result.iterations
+        );
     }
 
     #[test]
@@ -208,7 +221,10 @@ mod tests {
     #[test]
     fn handles_trivial_graphs() {
         let empty = dcl_graphs::Graph::empty(0);
-        assert_eq!(color_degree_plus_one(&empty, &CongestColoringConfig::default()).colors, vec![]);
+        assert_eq!(
+            color_degree_plus_one(&empty, &CongestColoringConfig::default()).colors,
+            vec![]
+        );
         let single = dcl_graphs::Graph::empty(1);
         let r = color_degree_plus_one(&single, &CongestColoringConfig::default());
         assert_eq!(r.colors, vec![0]);

@@ -51,7 +51,10 @@ pub fn accuracy_bits(max_degree: usize, color_bits: u32, extra: u64) -> u32 {
         .saturating_mul(u64::from(color_bits.max(1)))
         .saturating_mul(extra.max(1));
     let b = 64 - (target - 1).leading_zeros();
-    assert!(b <= 48, "accuracy parameter b = {b} unreasonably large; check instance parameters");
+    assert!(
+        b <= 48,
+        "accuracy parameter b = {b} unreasonably large; check instance parameters"
+    );
     b.max(1)
 }
 
@@ -92,8 +95,16 @@ pub fn derandomized_phase(
         let split = state.split(instance, v);
         let total = (split.k0 + split.k1) as u64;
         thresholds[v] = coin_threshold(split.k1 as u64, total, b);
-        k0_inv[v] = if split.k0 > 0 { 1.0 / split.k0 as f64 } else { 0.0 };
-        k1_inv[v] = if split.k1 > 0 { 1.0 / split.k1 as f64 } else { 0.0 };
+        k0_inv[v] = if split.k0 > 0 {
+            1.0 / split.k0 as f64
+        } else {
+            0.0
+        };
+        k1_inv[v] = if split.k1 > 0 {
+            1.0 / split.k1 as f64
+        } else {
+            0.0
+        };
     }
 
     // One real round: neighbors learn (k1, |L|) — everything they need to
@@ -193,7 +204,11 @@ pub fn derandomized_phase(
     let _ = net.broadcast_round(|v| if state.is_active(v) { Some(1u8) } else { None });
     state.finish_phase();
 
-    PhaseOutcome { potential_before, potential_after: state.total_potential(), seed_len }
+    PhaseOutcome {
+        potential_before,
+        potential_after: state.total_potential(),
+        seed_len,
+    }
 }
 
 #[cfg(test)]
@@ -204,9 +219,7 @@ mod tests {
     use dcl_graphs::generators;
 
     /// Runs all phases on a fresh degree+1 instance; returns (state, traces).
-    fn run_all_phases(
-        g: dcl_graphs::Graph,
-    ) -> (ListInstance, PrefixState, Vec<PhaseOutcome>, u64) {
+    fn run_all_phases(g: dcl_graphs::Graph) -> (ListInstance, PrefixState, Vec<PhaseOutcome>, u64) {
         let n = g.n();
         let inst = ListInstance::degree_plus_one(g);
         let mut net = Network::with_default_cap(inst.graph(), inst.color_space());

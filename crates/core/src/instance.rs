@@ -108,12 +108,18 @@ impl ListInstance {
         mut lists: Vec<Vec<u64>>,
     ) -> Result<Self, InstanceError> {
         if lists.len() != graph.n() {
-            return Err(InstanceError::WrongListCount { got: lists.len(), expected: graph.n() });
+            return Err(InstanceError::WrongListCount {
+                got: lists.len(),
+                expected: graph.n(),
+            });
         }
         for (v, list) in lists.iter_mut().enumerate() {
             list.sort_unstable();
             if let Some(w) = list.windows(2).find(|w| w[0] == w[1]) {
-                return Err(InstanceError::DuplicateColor { node: v, color: w[0] });
+                return Err(InstanceError::DuplicateColor {
+                    node: v,
+                    color: w[0],
+                });
             }
             if let Some(&c) = list.iter().find(|&&c| c >= color_space) {
                 return Err(InstanceError::ColorOutOfSpace { node: v, color: c });
@@ -126,15 +132,26 @@ impl ListInstance {
                 });
             }
         }
-        Ok(ListInstance { graph, color_space, lists })
+        Ok(ListInstance {
+            graph,
+            color_space,
+            lists,
+        })
     }
 
     /// The canonical `(Δ+1)`-coloring instance: node `v` gets the list
     /// `{0, …, deg(v)}` over the color space `[Δ+1]` (Observation 4.1).
     pub fn degree_plus_one(graph: Graph) -> Self {
         let color_space = graph.max_degree() as u64 + 1;
-        let lists = graph.nodes().map(|v| (0..=graph.degree(v) as u64).collect()).collect();
-        ListInstance { graph, color_space, lists }
+        let lists = graph
+            .nodes()
+            .map(|v| (0..=graph.degree(v) as u64).collect())
+            .collect();
+        ListInstance {
+            graph,
+            color_space,
+            lists,
+        }
     }
 
     /// The underlying graph.
@@ -184,7 +201,10 @@ impl ListInstance {
     /// Panics if `len` exceeds the current list length or `len == 0`.
     pub fn truncate_list(&mut self, v: NodeId, len: usize) {
         assert!(len >= 1, "lists must stay nonempty");
-        assert!(len <= self.lists[v].len(), "cannot grow a list by truncation");
+        assert!(
+            len <= self.lists[v].len(),
+            "cannot grow a list by truncation"
+        );
         self.lists[v].truncate(len);
     }
 
@@ -194,7 +214,12 @@ impl ListInstance {
     pub fn slack_holds(&self, active: &[bool]) -> bool {
         assert_eq!(active.len(), self.graph.n(), "mask length must equal n");
         self.graph.nodes().filter(|&v| active[v]).all(|v| {
-            let deg = self.graph.neighbors(v).iter().filter(|&&u| active[u]).count();
+            let deg = self
+                .graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| active[u])
+                .count();
             self.lists[v].len() > deg
         })
     }
@@ -218,7 +243,14 @@ mod tests {
     fn new_validates_length() {
         let g = generators::path(2);
         let err = ListInstance::new(g, 4, vec![vec![0, 1], vec![3]]).unwrap_err();
-        assert_eq!(err, InstanceError::ListTooShort { node: 1, len: 1, degree: 1 });
+        assert_eq!(
+            err,
+            InstanceError::ListTooShort {
+                node: 1,
+                len: 1,
+                degree: 1
+            }
+        );
     }
 
     #[test]
@@ -246,7 +278,11 @@ mod tests {
     #[test]
     fn color_bits_rounds_up() {
         let g = Graph::empty(1);
-        let mk = |c| ListInstance::new(g.clone(), c, vec![vec![0]]).unwrap().color_bits();
+        let mk = |c| {
+            ListInstance::new(g.clone(), c, vec![vec![0]])
+                .unwrap()
+                .color_bits()
+        };
         assert_eq!(mk(2), 1);
         assert_eq!(mk(3), 2);
         assert_eq!(mk(4), 2);

@@ -124,7 +124,11 @@ pub fn linial_coloring(
                 colors[v] = 0;
             }
         }
-        return LinialOutcome { colors, palette: 1, steps: 0 };
+        return LinialOutcome {
+            colors,
+            palette: 1,
+            steps: 0,
+        };
     }
 
     loop {
@@ -159,7 +163,11 @@ pub fn linial_coloring(
         steps += 1;
         debug_assert!(d >= 1);
     }
-    LinialOutcome { colors, palette, steps }
+    LinialOutcome {
+        colors,
+        palette,
+        steps,
+    }
 }
 
 /// Convenience: Linial coloring of the whole communication graph starting
@@ -184,7 +192,10 @@ mod tests {
 
     fn proper_on_subgraph(adj: &[Vec<NodeId>], active: &[bool], colors: &[u64]) -> bool {
         (0..adj.len()).filter(|&v| active[v]).all(|v| {
-            adj[v].iter().filter(|&&u| active[u]).all(|&u| colors[u] != colors[v])
+            adj[v]
+                .iter()
+                .filter(|&&u| active[u])
+                .all(|&u| colors[u] != colors[v])
         })
     }
 

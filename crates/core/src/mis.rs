@@ -56,15 +56,19 @@ pub fn mis_bounded_degree(
         }
         for v in 0..n {
             if active[v] && !in_set[v] {
-                let blocked_now =
-                    inboxes[v].iter().any(|(u, _)| adj[v].contains(u) && joining[*u]);
+                let blocked_now = inboxes[v]
+                    .iter()
+                    .any(|(u, _)| adj[v].contains(u) && joining[*u]);
                 if blocked_now {
                     blocked[v] = true;
                 }
             }
         }
     }
-    MisOutcome { in_set, sweep_classes: reduced.palette }
+    MisOutcome {
+        in_set,
+        sweep_classes: reduced.palette,
+    }
 }
 
 #[cfg(test)]
@@ -86,7 +90,11 @@ mod tests {
 
     #[test]
     fn mis_on_paths_and_rings() {
-        for g in [generators::path(11), generators::ring(12), generators::ring(13)] {
+        for g in [
+            generators::path(11),
+            generators::ring(12),
+            generators::ring(13),
+        ] {
             let out = run_full(&g);
             assert_eq!(check_mis(&g, &out.in_set), None);
         }
@@ -126,7 +134,10 @@ mod tests {
         // Check independence and maximality on the ring subgraph.
         for i in 0..6usize {
             let j = (i + 1) % 6;
-            assert!(!(out.in_set[i] && out.in_set[j]), "adjacent {i},{j} both in set");
+            assert!(
+                !(out.in_set[i] && out.in_set[j]),
+                "adjacent {i},{j} both in set"
+            );
         }
         for i in 0..6usize {
             if !out.in_set[i] {

@@ -95,7 +95,10 @@ pub fn partial_coloring(
             seed_len: 0,
         };
     }
-    assert!(instance.slack_holds(active), "instance violates the (degree+1) slack");
+    assert!(
+        instance.slack_holds(active),
+        "instance violates the (degree+1) slack"
+    );
 
     // Setup round: neighbors learn each other's ψ (used throughout the
     // phases to derive each other's coins from the shared seed).
@@ -105,7 +108,14 @@ pub fn partial_coloring(
         .graph()
         .nodes()
         .filter(|&v| active[v])
-        .map(|v| instance.graph().neighbors(v).iter().filter(|&&u| active[u]).count())
+        .map(|v| {
+            instance
+                .graph()
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| active[u])
+                .count()
+        })
         .max()
         .unwrap_or(0);
     let extra = match config.resolution {
@@ -129,8 +139,9 @@ pub fn partial_coloring(
         ConflictResolution::Mis => 3,
         ConflictResolution::AvoidMis => 1,
     };
-    let eligible: Vec<bool> =
-        (0..n).map(|v| active[v] && state.conflict_degree(v) <= max_conflicts).collect();
+    let eligible: Vec<bool> = (0..n)
+        .map(|v| active[v] && state.conflict_degree(v) <= max_conflicts)
+        .collect();
     let eligible_count = eligible.iter().filter(|&&e| e).count();
 
     let keeps: Vec<bool> = match config.resolution {
@@ -236,7 +247,10 @@ mod tests {
                 assert!(inst.list(v).contains(&c), "node {v} got a non-list color");
                 colors[v] = Some(c);
             }
-            assert_eq!(validation::check_proper_partial(inst.graph(), &colors), None);
+            assert_eq!(
+                validation::check_proper_partial(inst.graph(), &colors),
+                None
+            );
         }
     }
 
@@ -266,15 +280,21 @@ mod tests {
     fn avoid_mis_variant_colors_and_stays_proper() {
         for seed in 0..4 {
             let g = generators::gnp(30, 0.2, seed + 50);
-            let (inst, out) = run(g, PartialConfig {
-                resolution: ConflictResolution::AvoidMis,
-                extra_accuracy_bits: 0,
-            });
+            let (inst, out) = run(
+                g,
+                PartialConfig {
+                    resolution: ConflictResolution::AvoidMis,
+                    extra_accuracy_bits: 0,
+                },
+            );
             let mut colors = vec![None; 30];
             for &(v, c) in &out.colored {
                 colors[v] = Some(c);
             }
-            assert_eq!(validation::check_proper_partial(inst.graph(), &colors), None);
+            assert_eq!(
+                validation::check_proper_partial(inst.graph(), &colors),
+                None
+            );
             // Stronger accuracy ⇒ Σ Φ < n ⇒ at least half eligible, a
             // quarter colored (matching: each pair keeps one node).
             assert!(out.colored.len() * 4 >= out.active_count, "seed {seed}");
@@ -286,10 +306,13 @@ mod tests {
         let g1 = generators::gnp(24, 0.3, 1);
         let g2 = generators::gnp(24, 0.3, 1);
         let (_, mis) = run(g1, PartialConfig::default());
-        let (_, avoid) = run(g2, PartialConfig {
-            resolution: ConflictResolution::AvoidMis,
-            extra_accuracy_bits: 0,
-        });
+        let (_, avoid) = run(
+            g2,
+            PartialConfig {
+                resolution: ConflictResolution::AvoidMis,
+                extra_accuracy_bits: 0,
+            },
+        );
         assert!(avoid.accuracy_bits > mis.accuracy_bits);
     }
 

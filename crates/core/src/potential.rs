@@ -47,7 +47,9 @@ pub struct PotentialTrace {
 impl PotentialTrace {
     /// Starts a trace from the initial state.
     pub fn start(state: &PrefixState) -> Self {
-        PotentialTrace { values: vec![state.total_potential()] }
+        PotentialTrace {
+            values: vec![state.total_potential()],
+        }
     }
 
     /// Records the potential after a phase.
@@ -57,7 +59,10 @@ impl PotentialTrace {
 
     /// Largest single-phase increase observed (0 if non-increasing).
     pub fn max_increase(&self) -> f64 {
-        self.values.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max)
+        self.values
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0, f64::max)
     }
 
     /// Final minus initial potential.
@@ -72,7 +77,10 @@ impl PotentialTrace {
 /// Verifies the invariant chain of Lemma 2.6 on a finished trace: every
 /// phase increased the potential by at most `budget + slack`.
 pub fn phases_within_budget(trace: &PotentialTrace, budget: f64, slack: f64) -> bool {
-    trace.values.windows(2).all(|w| w[1] - w[0] <= budget + slack)
+    trace
+        .values
+        .windows(2)
+        .all(|w| w[1] - w[0] <= budget + slack)
 }
 
 /// Initial total potential of an instance restricted to `active` nodes

@@ -59,15 +59,25 @@ impl PrefixState {
             if !active[v] {
                 continue;
             }
-            assert!(!instance.list(v).is_empty(), "active node {v} has an empty list");
-            conflict_adj[v] = g.neighbors(v).iter().copied().filter(|&u| active[u]).collect();
+            assert!(
+                !instance.list(v).is_empty(),
+                "active node {v} has an empty list"
+            );
+            conflict_adj[v] = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| active[u])
+                .collect();
         }
         PrefixState {
             c_bits: instance.color_bits(),
             prefix_len: 0,
             active: active.to_vec(),
             lo: vec![0; n],
-            hi: (0..n).map(|v| if active[v] { instance.list(v).len() } else { 0 }).collect(),
+            hi: (0..n)
+                .map(|v| if active[v] { instance.list(v).len() } else { 0 })
+                .collect(),
             prefix: vec![0; n],
             conflict_adj,
         }
@@ -118,7 +128,10 @@ impl PrefixState {
         // Candidates share the chosen prefix above `pos`, so they are
         // partitioned by bit `pos`: all 0-bit colors precede all 1-bit ones.
         let boundary = range.partition_point(|&c| c >> pos & 1 == 0);
-        Split { k0: boundary, k1: range.len() - boundary }
+        Split {
+            k0: boundary,
+            k1: range.len() - boundary,
+        }
     }
 
     /// Extends `v`'s prefix by `bit`, narrowing the candidate range.
@@ -131,10 +144,16 @@ impl PrefixState {
         let split = self.split(instance, v);
         let boundary = self.lo[v] + split.k0;
         if bit {
-            assert!(split.k1 > 0, "node {v} extended into an empty candidate set");
+            assert!(
+                split.k1 > 0,
+                "node {v} extended into an empty candidate set"
+            );
             self.lo[v] = boundary;
         } else {
-            assert!(split.k0 > 0, "node {v} extended into an empty candidate set");
+            assert!(
+                split.k0 > 0,
+                "node {v} extended into an empty candidate set"
+            );
             self.hi[v] = boundary;
         }
         self.prefix[v] = (self.prefix[v] << 1) | u64::from(bit);
@@ -154,7 +173,10 @@ impl PrefixState {
     ///
     /// Panics if fewer than `width` bits remain or `v` is inactive.
     pub fn split_digits(&self, instance: &ListInstance, v: NodeId, width: u32) -> Vec<usize> {
-        assert!(width >= 1 && width <= self.remaining_bits(), "digit width out of range");
+        assert!(
+            width >= 1 && width <= self.remaining_bits(),
+            "digit width out of range"
+        );
         assert!(self.active[v], "split queried for inactive node {v}");
         let shift = self.c_bits - self.prefix_len - width;
         let list = instance.list(v);
@@ -176,7 +198,10 @@ impl PrefixState {
     ///
     /// Panics if the chosen digit class is empty.
     pub fn extend_digit(&mut self, instance: &ListInstance, v: NodeId, width: u32, digit: u64) {
-        assert!(width >= 1 && width <= self.remaining_bits(), "digit width out of range");
+        assert!(
+            width >= 1 && width <= self.remaining_bits(),
+            "digit width out of range"
+        );
         let shift = self.c_bits - self.prefix_len - width;
         let list = instance.list(v);
         let range = &list[self.lo[v]..self.hi[v]];
@@ -241,7 +266,10 @@ impl PrefixState {
 
     /// The global potential `Σ_v Φ_ℓ(v)` over active nodes.
     pub fn total_potential(&self) -> f64 {
-        (0..self.active.len()).filter(|&v| self.active[v]).map(|v| self.potential(v)).sum()
+        (0..self.active.len())
+            .filter(|&v| self.active[v])
+            .map(|v| self.potential(v))
+            .sum()
     }
 
     /// The single candidate color after all phases.
@@ -253,8 +281,15 @@ impl PrefixState {
     /// through [`PrefixState::extend`]).
     pub fn candidate_color(&self, instance: &ListInstance, v: NodeId) -> u64 {
         assert!(self.is_complete(), "prefix selection still running");
-        assert!(self.active[v], "candidate color queried for inactive node {v}");
-        assert_eq!(self.candidate_count(v), 1, "candidate set of node {v} is not a singleton");
+        assert!(
+            self.active[v],
+            "candidate color queried for inactive node {v}"
+        );
+        assert_eq!(
+            self.candidate_count(v),
+            1,
+            "candidate set of node {v} is not a singleton"
+        );
         instance.list(v)[self.lo[v]]
     }
 }

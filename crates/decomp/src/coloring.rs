@@ -80,7 +80,13 @@ fn cluster_forest(
         for &m in &cluster.members {
             component[m] = ti;
         }
-        trees.push(BfsTree { root: cluster.root, parent, children, depth, height });
+        trees.push(BfsTree {
+            root: cluster.root,
+            parent,
+            children,
+            depth,
+            height,
+        });
     }
     Some((BfsForest { trees, component }, cluster_ids))
 }
@@ -153,7 +159,10 @@ pub fn color_via_decomposition(
         let mut remaining = active.iter().filter(|&&a| a).count();
         let mut iterations = 0;
         while remaining > 0 {
-            assert!(iterations < iter_cap, "class {k} exceeded the iteration cap");
+            assert!(
+                iterations < iter_cap,
+                "class {k} exceeded the iteration cap"
+            );
             iterations += 1;
             let outcome = partial_coloring(
                 &mut net,
@@ -193,7 +202,10 @@ pub fn color_via_decomposition(
 
     let coloring_rounds = net.rounds() - decomposition_rounds;
     DecompColoringResult {
-        colors: colors.into_iter().map(|c| c.expect("all classes processed")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all classes processed"))
+            .collect(),
         metrics: net.metrics(),
         decomposition_rounds,
         coloring_rounds,
@@ -217,7 +229,11 @@ mod tests {
     fn colors_random_graphs_properly() {
         for seed in 0..4 {
             let (g, result) = color_dp1(generators::gnp(36, 0.15, seed));
-            assert_eq!(validation::check_proper(&g, &result.colors), None, "seed {seed}");
+            assert_eq!(
+                validation::check_proper(&g, &result.colors),
+                None,
+                "seed {seed}"
+            );
             let delta = g.max_degree() as u64;
             assert!(result.colors.iter().all(|&c| c <= delta));
         }
@@ -248,7 +264,10 @@ mod tests {
             .collect();
         let inst = ListInstance::new(g.clone(), 100, lists.clone()).unwrap();
         let result = color_via_decomposition(&inst, &DecompColoringConfig::default());
-        assert_eq!(validation::check_list_coloring(&g, &lists, &result.colors), None);
+        assert_eq!(
+            validation::check_list_coloring(&g, &lists, &result.colors),
+            None
+        );
     }
 
     #[test]

@@ -128,10 +128,20 @@ impl fmt::Display for DecompError {
         match self {
             DecompError::NotPartitioned(v) => write!(f, "node {v} not in any cluster"),
             DecompError::MemberNotInTree { cluster, node } => {
-                write!(f, "member {node} of cluster {cluster} missing from its tree")
+                write!(
+                    f,
+                    "member {node} of cluster {cluster} missing from its tree"
+                )
             }
-            DecompError::TreeEdgeNotInGraph { cluster, child, parent } => {
-                write!(f, "tree edge {{{child},{parent}}} of cluster {cluster} not in G")
+            DecompError::TreeEdgeNotInGraph {
+                cluster,
+                child,
+                parent,
+            } => {
+                write!(
+                    f,
+                    "tree edge {{{child},{parent}}} of cluster {cluster} not in G"
+                )
             }
             DecompError::BrokenTree { cluster, node } => {
                 write!(f, "tree of cluster {cluster} broken at node {node}")
@@ -140,7 +150,10 @@ impl fmt::Display for DecompError {
                 write!(f, "adjacent clusters {a} and {b} share a color")
             }
             DecompError::BadDepth { cluster, node } => {
-                write!(f, "depth label of node {node} in cluster {cluster} inconsistent")
+                write!(
+                    f,
+                    "depth label of node {node} in cluster {cluster} inconsistent"
+                )
             }
         }
     }
@@ -168,20 +181,35 @@ impl NetworkDecomposition {
         //     depths consistent; tree edges are G edges.
         for (ci, cluster) in self.clusters.iter().enumerate() {
             if cluster.depth.get(&cluster.root) != Some(&0) {
-                return Err(DecompError::BadDepth { cluster: ci, node: cluster.root });
+                return Err(DecompError::BadDepth {
+                    cluster: ci,
+                    node: cluster.root,
+                });
             }
             for &m in &cluster.members {
                 if !cluster.depth.contains_key(&m) {
-                    return Err(DecompError::MemberNotInTree { cluster: ci, node: m });
+                    return Err(DecompError::MemberNotInTree {
+                        cluster: ci,
+                        node: m,
+                    });
                 }
             }
             for (&child, &parent) in &cluster.parent {
                 if !g.has_edge(child, parent) {
-                    return Err(DecompError::TreeEdgeNotInGraph { cluster: ci, child, parent });
+                    return Err(DecompError::TreeEdgeNotInGraph {
+                        cluster: ci,
+                        child,
+                        parent,
+                    });
                 }
                 match (cluster.depth.get(&child), cluster.depth.get(&parent)) {
                     (Some(&dc), Some(&dp)) if dc == dp + 1 => {}
-                    _ => return Err(DecompError::BadDepth { cluster: ci, node: child }),
+                    _ => {
+                        return Err(DecompError::BadDepth {
+                            cluster: ci,
+                            node: child,
+                        })
+                    }
                 }
             }
             // Chain check: every tree node reaches the root.
@@ -219,15 +247,19 @@ impl NetworkDecomposition {
             }
         }
         // (ii) β: exact tree diameters via BFS on each tree.
-        let max_tree_diameter =
-            self.clusters.iter().map(tree_diameter).max().unwrap_or(0);
+        let max_tree_diameter = self.clusters.iter().map(tree_diameter).max().unwrap_or(0);
 
         Ok(DecompStats {
             colors: self.colors,
             clusters: self.clusters.len(),
             max_tree_diameter,
             congestion,
-            max_cluster_size: self.clusters.iter().map(|c| c.members.len()).max().unwrap_or(0),
+            max_cluster_size: self
+                .clusters
+                .iter()
+                .map(|c| c.members.len())
+                .max()
+                .unwrap_or(0),
         })
     }
 }
@@ -315,7 +347,10 @@ mod tests {
     fn detects_same_color_adjacency() {
         let (g, mut d) = path_decomposition();
         d.clusters[1].color = 0;
-        assert_eq!(d.validate(&g), Err(DecompError::AdjacentSameColor { a: 0, b: 1 }));
+        assert_eq!(
+            d.validate(&g),
+            Err(DecompError::AdjacentSameColor { a: 0, b: 1 })
+        );
     }
 
     #[test]
@@ -325,7 +360,10 @@ mod tests {
         d.clusters[0].parent.remove(&1);
         assert_eq!(
             d.validate(&g),
-            Err(DecompError::MemberNotInTree { cluster: 0, node: 1 })
+            Err(DecompError::MemberNotInTree {
+                cluster: 0,
+                node: 1
+            })
         );
     }
 

@@ -40,13 +40,11 @@ use dcl_graphs::NodeId;
 use std::collections::HashMap;
 
 /// Configuration of the decomposition construction.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RgConfig {
     /// Safety cap on the number of runs (colors); `None` = `4·⌈log₂ n⌉ + 8`.
     pub max_colors: Option<usize>,
 }
-
 
 /// Statistics recorded while building the decomposition.
 #[derive(Debug, Clone, Default)]
@@ -82,7 +80,10 @@ pub fn decompose_traced(
 
     let mut color = 0usize;
     while remaining_count > 0 {
-        assert!(color < cap, "decomposition used more than {cap} colors — progress bug");
+        assert!(
+            color < cap,
+            "decomposition used more than {cap} colors — progress bug"
+        );
         let (run_clusters, steps) = run_once(net, &remaining);
         let mut clustered = 0usize;
         for mut cluster in run_clusters {
@@ -96,12 +97,21 @@ pub fn decompose_traced(
             clusters.push(cluster);
         }
         assert!(clustered > 0, "run clustered nothing — progress bug");
-        trace.clustered_fraction.push(clustered as f64 / remaining_count as f64);
+        trace
+            .clustered_fraction
+            .push(clustered as f64 / remaining_count as f64);
         trace.steps.push(steps);
         remaining_count -= clustered;
         color += 1;
     }
-    (NetworkDecomposition { clusters, cluster_of, colors: color }, trace)
+    (
+        NetworkDecomposition {
+            clusters,
+            cluster_of,
+            colors: color,
+        },
+        trace,
+    )
 }
 
 /// Internal per-run cluster state.
@@ -214,8 +224,11 @@ fn run_once(net: &mut Network<'_>, participants: &[bool]) -> (Vec<Cluster>, u64)
                 // only happen if another target already processed them —
                 // impossible since each vertex proposes once, but keep the
                 // guard for robustness).
-                let live: Vec<(NodeId, NodeId)> =
-                    props.iter().copied().filter(|&(v, _)| alive[v] && cluster_idx[v] != c).collect();
+                let live: Vec<(NodeId, NodeId)> = props
+                    .iter()
+                    .copied()
+                    .filter(|&(v, _)| alive[v] && cluster_idx[v] != c)
+                    .collect();
                 if live.is_empty() {
                     continue;
                 }

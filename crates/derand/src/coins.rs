@@ -79,7 +79,9 @@ impl SliceCoins {
     pub fn new(input_colors: u64, b: u32) -> Self {
         assert!(input_colors >= 1, "need at least one input color");
         let m = (64 - input_colors.saturating_sub(1).leading_zeros()).max(1);
-        SliceCoins { family: SliceFamily::new(m, b) }
+        SliceCoins {
+            family: SliceFamily::new(m, b),
+        }
     }
 
     /// The underlying hash family (for seed sizing and conditional
@@ -117,7 +119,10 @@ impl PolyCoins {
     /// The truncation bias of the polynomial family adds at most `2^{-20}`
     /// to the coin probability (default guard bits).
     pub fn new(input_colors: u64, b: u32) -> Self {
-        PolyCoins { family: PolyFamily::new(2, input_colors, b), b }
+        PolyCoins {
+            family: PolyFamily::new(2, input_colors, b),
+            b,
+        }
     }
 
     /// Seed length in bits.
@@ -182,7 +187,9 @@ mod tests {
             let mut seed = PartialSeed::new(coins.family().seed_len());
             let mut state = 0x9e37u64.wrapping_mul(u64::from(t) + 1);
             for i in 0..coins.family().seed_len() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 seed.fix(i, state >> 33 & 1 == 1);
             }
             if coins.flip(&seed, 17, p) {

@@ -63,7 +63,9 @@ pub fn next_prime(n: u64) -> u64 {
         if is_prime(candidate) {
             return candidate;
         }
-        candidate = candidate.checked_add(1).expect("prime search overflowed u64");
+        candidate = candidate
+            .checked_add(1)
+            .expect("prime search overflowed u64");
     }
 }
 
@@ -103,7 +105,10 @@ impl PolyFamily {
     pub fn with_guard_bits(k: usize, domain: u64, out_bits: u32, guard_bits: u32) -> Self {
         assert!(k >= 1, "independence degree must be at least 1");
         assert!(domain >= 1, "domain must be nonempty");
-        assert!(out_bits + guard_bits < 63, "output plus guard bits must fit in u64");
+        assert!(
+            out_bits + guard_bits < 63,
+            "output plus guard bits must fit in u64"
+        );
         let floor = 1u64 << (out_bits + guard_bits);
         let prime = next_prime(domain.max(floor));
         PolyFamily { prime, k, out_bits }
@@ -134,7 +139,10 @@ impl PolyFamily {
             state = splitmix64(state);
             coeffs.push(state % self.prime);
         }
-        PolyHash { family: *self, coeffs }
+        PolyHash {
+            family: *self,
+            coeffs,
+        }
     }
 
     /// Draws a hash function from an explicit fully-fixed bit seed of length
@@ -156,7 +164,10 @@ impl PolyFamily {
             }
             coeffs.push(v % self.prime);
         }
-        PolyHash { family: *self, coeffs }
+        PolyHash {
+            family: *self,
+            coeffs,
+        }
     }
 }
 
@@ -239,7 +250,11 @@ mod tests {
         // k = 2 over F_5: for x ≠ y the map (c0, c1) → (h(x), h(y)) is a
         // bijection, so the joint distribution over all 25 polynomials is
         // uniform on [5]².
-        let family = PolyFamily { prime: 5, k: 2, out_bits: 3 };
+        let family = PolyFamily {
+            prime: 5,
+            k: 2,
+            out_bits: 3,
+        };
         for x in 0u64..5 {
             for y in 0u64..5 {
                 if x == y {
@@ -248,7 +263,10 @@ mod tests {
                 let mut histogram = [[0u32; 5]; 5];
                 for c0 in 0..5u64 {
                     for c1 in 0..5u64 {
-                        let h = PolyHash { family, coeffs: vec![c0, c1] };
+                        let h = PolyHash {
+                            family,
+                            coeffs: vec![c0, c1],
+                        };
                         histogram[h.eval_field(x) as usize][h.eval_field(y) as usize] += 1;
                     }
                 }
@@ -261,12 +279,19 @@ mod tests {
 
     #[test]
     fn three_wise_independence_over_field_exhaustive() {
-        let family = PolyFamily { prime: 3, k: 3, out_bits: 2 };
+        let family = PolyFamily {
+            prime: 3,
+            k: 3,
+            out_bits: 2,
+        };
         let mut histogram = std::collections::HashMap::new();
         for c0 in 0..3u64 {
             for c1 in 0..3u64 {
                 for c2 in 0..3u64 {
-                    let h = PolyHash { family, coeffs: vec![c0, c1, c2] };
+                    let h = PolyHash {
+                        family,
+                        coeffs: vec![c0, c1, c2],
+                    };
                     let key = (h.eval_field(0), h.eval_field(1), h.eval_field(2));
                     *histogram.entry(key).or_insert(0u32) += 1;
                 }

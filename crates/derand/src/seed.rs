@@ -27,7 +27,9 @@ pub struct PartialSeed {
 impl PartialSeed {
     /// A fully free seed of `len` bits.
     pub fn new(len: usize) -> Self {
-        PartialSeed { bits: vec![None; len] }
+        PartialSeed {
+            bits: vec![None; len],
+        }
     }
 
     /// A fully fixed seed taken from the low bits of `value`
@@ -38,7 +40,9 @@ impl PartialSeed {
     /// Panics if `len > 64`.
     pub fn from_u64(len: usize, value: u64) -> Self {
         assert!(len <= 64, "from_u64 supports at most 64 bits");
-        PartialSeed { bits: (0..len).map(|i| Some(value >> i & 1 == 1)).collect() }
+        PartialSeed {
+            bits: (0..len).map(|i| Some(value >> i & 1 == 1)).collect(),
+        }
     }
 
     /// Number of bits in the seed.
@@ -83,7 +87,9 @@ impl PartialSeed {
 
     /// Indices of still-free bits, in increasing order.
     pub fn free_indices(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.bits[i].is_none()).collect()
+        (0..self.len())
+            .filter(|&i| self.bits[i].is_none())
+            .collect()
     }
 
     /// A copy with bit `i` fixed to `value` (for candidate evaluation).

@@ -109,7 +109,10 @@ impl PairDist {
 /// the slice's free variables under one partial seed).
 #[must_use]
 pub fn pair_dist_of_forms(fx: BitForm, fy: BitForm) -> PairDist {
-    debug_assert_eq!(fx.s_free, fy.s_free, "forms must come from the same slice and seed");
+    debug_assert_eq!(
+        fx.s_free, fy.s_free,
+        "forms must come from the same slice and seed"
+    );
     match (fx.is_known(), fy.is_known()) {
         (true, true) => PairDist::BothKnown(fx.offset, fy.offset),
         (true, false) => PairDist::FirstKnown(fx.offset),
@@ -215,7 +218,11 @@ impl SliceFamily {
             }
             None => true,
         };
-        BitForm { offset, mask, s_free }
+        BitForm {
+            offset,
+            mask,
+            s_free,
+        }
     }
 
     /// Joint distribution of output bit `slice` for the two inputs `x`, `y`.
@@ -662,13 +669,19 @@ mod tests {
         let mut cached: Vec<Vec<BitForm>> = xs.iter().map(|&x| fam.forms_for(&seed, x)).collect();
         // Fix bits in a scrambled order, checking the incremental update
         // against a fresh recomputation after every step.
-        let order: Vec<usize> = (0..fam.seed_len()).map(|i| (i * 7) % fam.seed_len()).collect();
+        let order: Vec<usize> = (0..fam.seed_len())
+            .map(|i| (i * 7) % fam.seed_len())
+            .collect();
         for (step, &idx) in order.iter().enumerate() {
             let value = step % 3 == 0;
             seed.fix(idx, value);
             for (x, forms) in xs.iter().zip(cached.iter_mut()) {
                 fam.update_forms_on_fix(forms, *x, idx, value);
-                assert_eq!(*forms, fam.forms_for(&seed, *x), "x={x} after fixing bit {idx}");
+                assert_eq!(
+                    *forms,
+                    fam.forms_for(&seed, *x),
+                    "x={x} after fixing bit {idx}"
+                );
             }
         }
     }

@@ -70,10 +70,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge(idx(r, c), idx(r, c + 1)).expect("grid edges are valid");
+                b.add_edge(idx(r, c), idx(r, c + 1))
+                    .expect("grid edges are valid");
             }
             if r + 1 < rows {
-                b.add_edge(idx(r, c), idx(r + 1, c)).expect("grid edges are valid");
+                b.add_edge(idx(r, c), idx(r + 1, c))
+                    .expect("grid edges are valid");
             }
         }
     }
@@ -112,11 +114,13 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine * (1 + legs);
     let mut b = GraphBuilder::new(n);
     for s in 1..spine {
-        b.add_edge(s - 1, s).expect("caterpillar spine edges are valid");
+        b.add_edge(s - 1, s)
+            .expect("caterpillar spine edges are valid");
     }
     for s in 0..spine {
         for l in 0..legs {
-            b.add_edge(s, spine + s * legs + l).expect("caterpillar leg edges are valid");
+            b.add_edge(s, spine + s * legs + l)
+                .expect("caterpillar leg edges are valid");
         }
     }
     b.build()
@@ -221,17 +225,20 @@ pub fn cluster_chain(k: usize, size: usize, p: f64, seed: u64) -> Graph {
     for c in 0..k {
         let base = c * size;
         for i in 1..size {
-            b.add_edge(base + i - 1, base + i).expect("cluster path edges are valid");
+            b.add_edge(base + i - 1, base + i)
+                .expect("cluster path edges are valid");
         }
         for i in 0..size {
             for j in (i + 2)..size {
                 if rng.gen::<f64>() < p {
-                    b.add_edge(base + i, base + j).expect("cluster chord edges are valid");
+                    b.add_edge(base + i, base + j)
+                        .expect("cluster chord edges are valid");
                 }
             }
         }
         if c > 0 {
-            b.add_edge(base - 1, base).expect("chain link edges are valid");
+            b.add_edge(base - 1, base)
+                .expect("chain link edges are valid");
         }
     }
     b.build()
@@ -241,7 +248,9 @@ pub fn cluster_chain(k: usize, size: usize, p: f64, seed: u64) -> Graph {
 /// normalized to a target average degree.
 pub fn power_law(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(-1.0 / (gamma - 1.0))).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|v| ((v + 1) as f64).powf(-1.0 / (gamma - 1.0)))
+        .collect();
     let wsum: f64 = weights.iter().sum();
     let scale = avg_degree * n as f64 / wsum;
     let mut b = GraphBuilder::new(n);
@@ -351,7 +360,10 @@ mod tests {
         let g = random_regular(40, 5, 3);
         assert!(g.max_degree() <= 5);
         let exact = g.nodes().filter(|&v| g.degree(v) == 5).count();
-        assert!(exact >= 30, "most nodes should reach the target degree, got {exact}");
+        assert!(
+            exact >= 30,
+            "most nodes should reach the target degree, got {exact}"
+        );
     }
 
     #[test]

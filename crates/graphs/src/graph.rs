@@ -25,7 +25,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
-                write!(f, "edge endpoint {node} out of range for graph with {n} nodes")
+                write!(
+                    f,
+                    "edge endpoint {node} out of range for graph with {n} nodes"
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self loop at node {v}"),
             GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
@@ -79,7 +82,10 @@ impl Graph {
 
     /// Builds a graph with `n` nodes and no edges.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], adj: Vec::new() }
+        Graph {
+            offsets: vec![0; n + 1],
+            adj: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -123,7 +129,11 @@ impl Graph {
     /// Iterator over all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.n()).flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -162,7 +172,10 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Graph").field("n", &self.n()).field("m", &self.m()).finish()
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .finish()
     }
 }
 
@@ -189,7 +202,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}`.
@@ -277,7 +293,10 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        assert_eq!(Graph::from_edges(2, &[(1, 1)]), Err(GraphError::SelfLoop(1)));
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub fn bfs(g: &Graph, source: NodeId) -> Vec<u32> {
 /// graph is disconnected from `v`'s component's perspective is not detected
 /// here — use [`is_connected`] first if that matters.
 pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
-    bfs(g, v).into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    bfs(g, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Exact diameter (max eccentricity). Returns `None` for disconnected or

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn monochromatic_edge_detected() {
         let g = generators::ring(4);
-        assert_eq!(check_proper(&g, &[0, 0, 1, 1]), Some(Violation::MonochromaticEdge(0, 1)));
+        assert_eq!(
+            check_proper(&g, &[0, 0, 1, 1]),
+            Some(Violation::MonochromaticEdge(0, 1))
+        );
     }
 
     #[test]
@@ -124,7 +127,10 @@ mod tests {
         let g = generators::path(2);
         let lists = vec![vec![0, 1], vec![2, 3]];
         assert_eq!(check_list_coloring(&g, &lists, &[0, 2]), None);
-        assert_eq!(check_list_coloring(&g, &lists, &[0, 1]), Some(Violation::ColorNotInList(1)));
+        assert_eq!(
+            check_list_coloring(&g, &lists, &[0, 1]),
+            Some(Violation::ColorNotInList(1))
+        );
     }
 
     #[test]
@@ -145,7 +151,10 @@ mod tests {
             check_complete_list_coloring(&g, &lists, &[Some(0), None]),
             Some(Violation::Uncolored(1))
         );
-        assert_eq!(check_complete_list_coloring(&g, &lists, &[Some(0), Some(1)]), None);
+        assert_eq!(
+            check_complete_list_coloring(&g, &lists, &[Some(0), Some(1)]),
+            None
+        );
     }
 
     #[test]
@@ -156,7 +165,10 @@ mod tests {
             check_mis(&g, &[true, true, false, true]),
             Some(Violation::AdjacentInSet(0, 1))
         );
-        assert_eq!(check_mis(&g, &[true, false, false, false]), Some(Violation::NotMaximal(2)));
+        assert_eq!(
+            check_mis(&g, &[true, false, false, false]),
+            Some(Violation::NotMaximal(2))
+        );
     }
 
     #[test]

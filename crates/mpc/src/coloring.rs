@@ -98,12 +98,26 @@ where
             let split = state.split(residual, v);
             let total = (split.k0 + split.k1) as u64;
             thresholds[v] = coin_threshold(split.k1 as u64, total, b);
-            k0_inv[v] = if split.k0 > 0 { 1.0 / split.k0 as f64 } else { 0.0 };
-            k1_inv[v] = if split.k1 > 0 { 1.0 / split.k1 as f64 } else { 0.0 };
+            k0_inv[v] = if split.k0 > 0 {
+                1.0 / split.k0 as f64
+            } else {
+                0.0
+            };
+            k1_inv[v] = if split.k1 > 0 {
+                1.0 / split.k1 as f64
+            } else {
+                0.0
+            };
         }
         let mut seed = PartialSeed::new(seed_len);
         let mut forms: Vec<Vec<BitForm>> = (0..n)
-            .map(|v| if active[v] { family.forms_for(&seed, psi[v]) } else { Vec::new() })
+            .map(|v| {
+                if active[v] {
+                    family.forms_for(&seed, psi[v])
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
         let edges = state.conflict_edges();
         let mut start = 0usize;
@@ -239,31 +253,45 @@ pub fn mpc_color_linear(instance: &ListInstance) -> MpcColoringResult {
             mpc.charge_rounds(1); // distribute results
             break;
         }
-        assert!(iterations < 400, "linear MPC coloring failed to make progress");
+        assert!(
+            iterations < 400,
+            "linear MPC coloring failed to make progress"
+        );
         iterations += 1;
         let delta_act = max_active_degree(&residual, &active);
         let b = accuracy_bits(delta_act, residual.color_bits(), delta_act as u64 + 1);
-        let state = bitwise_selection(
-            &residual,
-            &active,
-            &psi,
-            m_bits,
-            b,
-            lambda,
-            |event| match event {
-                // Owners exchange (k1, |L|) per edge.
-                SelectionCost::Phase => mpc.charge_rounds(1),
-                // Candidate vectors to machine 0 + argmin back.
-                SelectionCost::Segment => mpc.charge_rounds(2),
-            },
-        );
+        let state =
+            bitwise_selection(
+                &residual,
+                &active,
+                &psi,
+                m_bits,
+                b,
+                lambda,
+                |event| match event {
+                    // Owners exchange (k1, |L|) per edge.
+                    SelectionCost::Phase => mpc.charge_rounds(1),
+                    // Candidate vectors to machine 0 + argmin back.
+                    SelectionCost::Segment => mpc.charge_rounds(2),
+                },
+            );
         let keeps = avoid_mis_keeps(&state, &active, n);
         mpc.charge_rounds(2); // keep decision + color announcements
-        apply_keeps(&keeps, &state, &mut residual, &mut active, &mut colors, &mut uncolored);
+        apply_keeps(
+            &keeps,
+            &state,
+            &mut residual,
+            &mut active,
+            &mut colors,
+            &mut uncolored,
+        );
     }
 
     MpcColoringResult {
-        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
         metrics: mpc.metrics(),
         iterations,
         finisher_iterations: 0,
@@ -288,8 +316,9 @@ pub fn mpc_color_sublinear(instance: &ListInstance, alpha: f64) -> MpcColoringRe
     let machines = total.div_ceil(s).max(2);
     let mut mpc = Mpc::new(machines, s);
     let tree_fanout = ((s as f64).sqrt().floor() as usize).max(2);
-    let tree_depth =
-        ((machines as f64).ln() / (tree_fanout as f64).ln()).ceil().max(1.0) as u64;
+    let tree_depth = ((machines as f64).ln() / (tree_fanout as f64).ln())
+        .ceil()
+        .max(1.0) as u64;
 
     let mut colors: Vec<Option<u64>> = vec![None; n];
     if n == 0 {
@@ -327,7 +356,9 @@ pub fn mpc_color_sublinear(instance: &ListInstance, alpha: f64) -> MpcColoringRe
     let psi: Vec<u64> = (0..n as u64).collect();
     let m_bits = (64 - (n.max(2) as u64 - 1).leading_zeros()).max(1);
     // λ < α·log n so that candidate vectors fit the memory; capped for work.
-    let lambda = (((s as f64).log2() / 2.0).floor() as u32).clamp(1, 4).min(m_bits);
+    let lambda = (((s as f64).log2() / 2.0).floor() as u32)
+        .clamp(1, 4)
+        .min(m_bits);
     let mut iterations = 0usize;
     let mut finisher_iterations = 0usize;
 
@@ -353,28 +384,38 @@ pub fn mpc_color_sublinear(instance: &ListInstance, alpha: f64) -> MpcColoringRe
             );
             break;
         }
-        assert!(iterations < 400, "sublinear MPC coloring failed to make progress");
+        assert!(
+            iterations < 400,
+            "sublinear MPC coloring failed to make progress"
+        );
         iterations += 1;
         let b = accuracy_bits(delta_act, residual.color_bits(), delta_act as u64 + 1);
-        let state = bitwise_selection(
-            &residual,
-            &active,
-            &psi,
-            m_bits,
-            b,
-            lambda,
-            |event| match event {
-                // (k1, |L|) via the node aggregation trees + the
-                // (u,v)↔(v,u) machine exchange: O(depth) rounds.
-                SelectionCost::Phase => mpc.charge_rounds(2 * tree_depth + 1),
-                // Candidate vectors aggregated over the global tree.
-                SelectionCost::Segment => mpc.charge_rounds(2 * tree_depth),
-            },
-        );
+        let state =
+            bitwise_selection(
+                &residual,
+                &active,
+                &psi,
+                m_bits,
+                b,
+                lambda,
+                |event| match event {
+                    // (k1, |L|) via the node aggregation trees + the
+                    // (u,v)↔(v,u) machine exchange: O(depth) rounds.
+                    SelectionCost::Phase => mpc.charge_rounds(2 * tree_depth + 1),
+                    // Candidate vectors aggregated over the global tree.
+                    SelectionCost::Segment => mpc.charge_rounds(2 * tree_depth),
+                },
+            );
         let keeps = avoid_mis_keeps(&state, &active, n);
         mpc.charge_rounds(2);
-        let newly =
-            apply_keeps(&keeps, &state, &mut residual, &mut active, &mut colors, &mut uncolored);
+        let newly = apply_keeps(
+            &keeps,
+            &state,
+            &mut residual,
+            &mut active,
+            &mut colors,
+            &mut uncolored,
+        );
         // Real distributed list update (Definition 5.3): delete colors taken
         // by newly colored neighbors from the remaining lists.
         let mut a_entries: Vec<(u64, u64)> = Vec::new();
@@ -414,7 +455,10 @@ pub fn mpc_color_sublinear(instance: &ListInstance, alpha: f64) -> MpcColoringRe
     }
 
     MpcColoringResult {
-        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
         metrics: mpc.metrics(),
         iterations,
         finisher_iterations,
@@ -441,7 +485,10 @@ fn run_finisher(
     let n = residual.graph().n();
     let mut iterations = 0usize;
     while *uncolored > 0 {
-        assert!(iterations < 400, "Lemma 4.2 finisher failed to make progress");
+        assert!(
+            iterations < 400,
+            "Lemma 4.2 finisher failed to make progress"
+        );
         iterations += 1;
         let delta_act = max_active_degree(residual, active);
         // Cap lists at Δ+1 (Equation 9: guarantees ΣΦ < n − n/(Δ+1)).
@@ -456,7 +503,11 @@ fn run_finisher(
                 residual.truncate_list(v, (delta_act + 1).max(deg + 1));
             }
         }
-        let b = accuracy_bits(delta_act, 1, (delta_act as u64 + 1) * (delta_act as u64 + 1));
+        let b = accuracy_bits(
+            delta_act,
+            1,
+            (delta_act as u64 + 1) * (delta_act as u64 + 1),
+        );
         let family = SliceFamily::new(m_bits, b);
         let seed_len = family.seed_len();
         // Quantile thresholds over each node's full list.
@@ -464,21 +515,24 @@ fn run_finisher(
         for v in 0..n {
             if active[v] {
                 let len = residual.list(v).len() as u64;
-                thresholds[v] =
-                    (0..=len).map(|i| coin_threshold(i, len, b)).collect();
+                thresholds[v] = (0..=len).map(|i| coin_threshold(i, len, b)).collect();
             }
         }
         mpc.charge_rounds(2 * tree_depth); // lists meet at edge machines
         let mut seed = PartialSeed::new(seed_len);
         let mut forms: Vec<Vec<BitForm>> = (0..n)
-            .map(|v| if active[v] { family.forms_for(&seed, psi[v]) } else { Vec::new() })
+            .map(|v| {
+                if active[v] {
+                    family.forms_for(&seed, psi[v])
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
         // Conflict edges = all active-active edges (fresh selection).
         let g = residual.graph().clone();
-        let edges: Vec<(NodeId, NodeId)> = g
-            .edges()
-            .filter(|&(u, v)| active[u] && active[v])
-            .collect();
+        let edges: Vec<(NodeId, NodeId)> =
+            g.edges().filter(|&(u, v)| active[u] && active[v]).collect();
         let mut start = 0usize;
         while start < seed_len {
             let end = (start + lambda as usize).min(seed_len);
@@ -497,7 +551,13 @@ fn run_finisher(
                 let mut total = 0.0;
                 for &(u, v) in &edges {
                     total += edge_conflict_expectation(
-                        &family, residual, u, v, &scratch[u], &scratch[v], &thresholds,
+                        &family,
+                        residual,
+                        u,
+                        v,
+                        &scratch[u],
+                        &scratch[v],
+                        &thresholds,
                     );
                 }
                 if total < best.0 {
@@ -541,8 +601,7 @@ fn run_finisher(
             .map(|v| {
                 active[v]
                     && (conflicts[v] == 0
-                        || (conflicts[v] == 1
-                            && (conflicts[partner[v]] > 1 || v > partner[v])))
+                        || (conflicts[v] == 1 && (conflicts[partner[v]] > 1 || v > partner[v])))
             })
             .collect();
         let mut newly = Vec::new();
@@ -606,11 +665,7 @@ fn edge_conflict_expectation(
 
 /// Finishes tiny residual instances greedily (after collection at one
 /// machine).
-fn greedy_finish(
-    residual: &ListInstance,
-    active: &mut [bool],
-    colors: &mut [Option<u64>],
-) {
+fn greedy_finish(residual: &ListInstance, active: &mut [bool], colors: &mut [Option<u64>]) {
     let g = residual.graph();
     for v in g.nodes() {
         if !active[v] {
@@ -715,7 +770,11 @@ mod tests {
         let g = generators::random_regular(40, 4, 2);
         let inst = ListInstance::degree_plus_one(g);
         let r = mpc_color_sublinear(&inst, 0.5);
-        assert!(r.machines > 4, "expected a real cluster, got {}", r.machines);
+        assert!(
+            r.machines > 4,
+            "expected a real cluster, got {}",
+            r.machines
+        );
         assert!(r.memory_words < 40 * 4);
     }
 
@@ -731,7 +790,11 @@ mod tests {
 
     #[test]
     fn structured_graphs_all_models() {
-        for g in [generators::star(18), generators::grid(4, 5), generators::complete(8)] {
+        for g in [
+            generators::star(18),
+            generators::grid(4, 5),
+            generators::complete(8),
+        ] {
             let inst = ListInstance::degree_plus_one(g.clone());
             let lin = mpc_color_linear(&inst);
             assert_eq!(validation::check_proper(&g, &lin.colors), None);
@@ -743,13 +806,20 @@ mod tests {
     #[test]
     fn custom_lists_respected() {
         let g = generators::ring(12);
-        let lists: Vec<Vec<u64>> =
-            (0..12u64).map(|v| vec![(2 * v) % 9, (2 * v + 3) % 9 + 9, v % 4 + 18]).collect();
+        let lists: Vec<Vec<u64>> = (0..12u64)
+            .map(|v| vec![(2 * v) % 9, (2 * v + 3) % 9 + 9, v % 4 + 18])
+            .collect();
         let inst = ListInstance::new(g.clone(), 22, lists.clone()).unwrap();
         let lin = mpc_color_linear(&inst);
-        assert_eq!(validation::check_list_coloring(&g, &lists, &lin.colors), None);
+        assert_eq!(
+            validation::check_list_coloring(&g, &lists, &lin.colors),
+            None
+        );
         let sub = mpc_color_sublinear(&inst, 0.7);
-        assert_eq!(validation::check_list_coloring(&g, &lists, &sub.colors), None);
+        assert_eq!(
+            validation::check_list_coloring(&g, &lists, &sub.colors),
+            None
+        );
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub fn lists_from_edges(mpc: &mut Mpc, edges: &Dist<(u64, u64)>) -> Dist<(u64, u
 /// (used to validate [`lists_from_edges`] in tests and by callers that
 /// already hold the graph).
 pub fn reference_lists(g: &Graph) -> Vec<Vec<u64>> {
-    g.nodes().map(|v| (0..=g.degree(v) as u64).collect()).collect()
+    g.nodes()
+        .map(|v| (0..=g.degree(v) as u64).collect())
+        .collect()
 }
 
 #[cfg(test)]

@@ -94,7 +94,12 @@ impl Mpc {
     pub fn new(machines: usize, memory_words: usize) -> Self {
         assert!(machines > 0, "need at least one machine");
         assert!(memory_words > 0, "memory must be positive");
-        Mpc { machines, memory_words, slack: 4, metrics: MpcMetrics::default() }
+        Mpc {
+            machines,
+            memory_words,
+            slack: 4,
+            metrics: MpcMetrics::default(),
+        }
     }
 
     /// Number of machines.
@@ -140,7 +145,10 @@ impl Mpc {
                 let w = msg.words();
                 sent += w;
                 received[dst] += w;
-                assert!(sent <= budget, "machine {i} exceeded its send budget of {budget} words");
+                assert!(
+                    sent <= budget,
+                    "machine {i} exceeded its send budget of {budget} words"
+                );
                 assert!(
                     received[dst] <= budget,
                     "machine {dst} exceeded its receive budget of {budget} words"

@@ -133,8 +133,9 @@ where
     // minus the count is the machine's exclusive offset.
     let counts: Dist<u64> = (0..p).map(|i| vec![data[i].len() as u64]).collect();
     let scanned = prefix_sums(mpc, &counts, |a, b| a + b);
-    let my_offset: Vec<u64> =
-        (0..p).map(|i| scanned[i][0] - data[i].len() as u64).collect();
+    let my_offset: Vec<u64> = (0..p)
+        .map(|i| scanned[i][0] - data[i].len() as u64)
+        .collect();
     let routed = mpc.round(|i| {
         data[i]
             .iter()
@@ -168,12 +169,15 @@ where
             return vec![];
         }
         let count = (p - 1).min(block.len());
-        let picks: Vec<T> =
-            (1..=count).map(|k| block[k * block.len() / (count + 1)].clone()).collect();
+        let picks: Vec<T> = (1..=count)
+            .map(|k| block[k * block.len() / (count + 1)].clone())
+            .collect();
         vec![(0usize, picks)]
     });
-    let mut all_samples: Vec<T> =
-        samples_round[0].iter().flat_map(|(_, v)| v.iter().cloned()).collect();
+    let mut all_samples: Vec<T> = samples_round[0]
+        .iter()
+        .flat_map(|(_, v)| v.iter().cloned())
+        .collect();
     all_samples.sort();
     let splitters: Vec<T> = if all_samples.is_empty() {
         Vec::new()
@@ -199,7 +203,10 @@ where
         }
     };
     let buckets_in = mpc.round(|i| {
-        local[i].iter().map(|item| (bucket_of(item), item.clone())).collect::<Vec<_>>()
+        local[i]
+            .iter()
+            .map(|item| (bucket_of(item), item.clone()))
+            .collect::<Vec<_>>()
     });
     let mut buckets: Dist<T> = buckets_in
         .into_iter()
@@ -267,8 +274,11 @@ where
                 if i >= p || partner >= p {
                     mpc.charge_traffic(2, 2 * block_words(&blocks[i.min(p - 1)]));
                 }
-                let mut merged: Vec<Keyed<T>> =
-                    blocks[i].iter().cloned().chain(blocks[partner].iter().cloned()).collect();
+                let mut merged: Vec<Keyed<T>> = blocks[i]
+                    .iter()
+                    .cloned()
+                    .chain(blocks[partner].iter().cloned())
+                    .collect();
                 merged.sort();
                 let ascending = (i & k) == 0;
                 let (low, high) = merged.split_at(block_size);
@@ -322,8 +332,7 @@ where
     // Upward pass: level l groups machines into blocks of fanout^l; the
     // leader (lowest machine) of each group learns the group's total.
     // `group_total[i]` = combined total of machine i's current group.
-    let mut group_total: Vec<Option<T>> =
-        (0..p).map(|i| scans[i].last().cloned()).collect();
+    let mut group_total: Vec<Option<T>> = (0..p).map(|i| scans[i].last().cloned()).collect();
     let mut levels: Vec<usize> = Vec::new(); // group sizes per level
     {
         let mut span = 1usize;
@@ -421,12 +430,7 @@ where
 /// Segmented inclusive scan: like [`prefix_sums`] but the accumulator resets
 /// whenever the key changes (data must be grouped by key, e.g. sorted).
 /// This is the aggregation-tree workhorse of Definition 5.4.
-pub fn segmented_scan<T, K, KF, F>(
-    mpc: &mut Mpc,
-    data: &Dist<T>,
-    mut key_of: KF,
-    op: F,
-) -> Dist<T>
+pub fn segmented_scan<T, K, KF, F>(mpc: &mut Mpc, data: &Dist<T>, mut key_of: KF, op: F) -> Dist<T>
 where
     T: Clone + WordSized,
     K: PartialEq + Clone,
@@ -476,8 +480,7 @@ pub fn set_difference(
     // Tag: B sorts before A within a (set, value) run.
     let tagged: Dist<(u64, u64, u64)> = (0..p)
         .map(|i| {
-            let mut block: Vec<(u64, u64, u64)> =
-                b[i].iter().map(|&(s, v)| (s, v, 0)).collect();
+            let mut block: Vec<(u64, u64, u64)> = b[i].iter().map(|&(s, v)| (s, v, 0)).collect();
             block.extend(a[i].iter().map(|&(s, v)| (s, v, 1)));
             block
         })
@@ -488,7 +491,12 @@ pub fn set_difference(
     // element's inclusive scan is 1 iff its run contains a B element.
     let flagged: Dist<(u64, u64, u64)> = sorted
         .iter()
-        .map(|block| block.iter().map(|&(s, v, tag)| (s, v, u64::from(tag == 0))).collect())
+        .map(|block| {
+            block
+                .iter()
+                .map(|&(s, v, tag)| (s, v, u64::from(tag == 0)))
+                .collect()
+        })
         .collect();
     let marks: Dist<(u64, u64, u64)> = segmented_scan(
         mpc,
@@ -597,7 +605,11 @@ mod tests {
     fn prefix_sums_with_max_operator() {
         let mut mpc = Mpc::new(3, 8);
         let items = [3u64, 1, 4, 1, 5, 9, 2, 6];
-        let dist: Dist<u64> = vec![items[..3].to_vec(), items[3..6].to_vec(), items[6..].to_vec()];
+        let dist: Dist<u64> = vec![
+            items[..3].to_vec(),
+            items[3..6].to_vec(),
+            items[6..].to_vec(),
+        ];
         let scanned = prefix_sums(&mut mpc, &dist, |a, b| *a.max(b));
         let flat = gather(&scanned);
         assert_eq!(flat, vec![3, 3, 4, 4, 5, 9, 9, 9]);
@@ -611,8 +623,12 @@ mod tests {
             vec![(1, 0, 10), (1, 0, 20), (2, 0, 1)],
             vec![(2, 0, 2), (2, 0, 3), (3, 0, 7)],
         ];
-        let scanned =
-            segmented_scan(&mut mpc, &dist, |&(k, _, _)| k, |a, b| (b.0, b.1, a.2 + b.2));
+        let scanned = segmented_scan(
+            &mut mpc,
+            &dist,
+            |&(k, _, _)| k,
+            |a, b| (b.0, b.1, a.2 + b.2),
+        );
         let values: Vec<u64> = gather(&scanned).iter().map(|&(_, _, v)| v).collect();
         assert_eq!(values, vec![10, 30, 1, 3, 6, 7]);
     }
@@ -620,10 +636,12 @@ mod tests {
     #[test]
     fn set_difference_matches_hashset_reference() {
         let mut rng = StdRng::seed_from_u64(9);
-        let a: Vec<(u64, u64)> =
-            (0..40).map(|_| (rng.gen_range(0..4), rng.gen_range(0..20))).collect();
-        let b: Vec<(u64, u64)> =
-            (0..30).map(|_| (rng.gen_range(0..4), rng.gen_range(0..20))).collect();
+        let a: Vec<(u64, u64)> = (0..40)
+            .map(|_| (rng.gen_range(0..4), rng.gen_range(0..20)))
+            .collect();
+        let b: Vec<(u64, u64)> = (0..30)
+            .map(|_| (rng.gen_range(0..4), rng.gen_range(0..20)))
+            .collect();
         let reference: std::collections::HashSet<(u64, u64)> = b.iter().copied().collect();
         let mut mpc = Mpc::new(4, 64);
         let result = set_difference(&mut mpc, &scatter(4, &a), &scatter(4, &b));
@@ -644,10 +662,7 @@ mod tests {
         let result = ranks(&mut mpc, &scatter(3, &a));
         let flat = gather(&result);
         for ((s, v), r) in flat {
-            let expected = a
-                .iter()
-                .filter(|&&(s2, v2)| s2 == s && v2 < v)
-                .count() as u64;
+            let expected = a.iter().filter(|&&(s2, v2)| s2 == s && v2 < v).count() as u64;
             assert_eq!(r, expected, "rank of ({s},{v})");
         }
     }

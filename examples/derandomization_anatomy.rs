@@ -39,7 +39,9 @@ fn main() {
         let (_, after) = randomized_one_bit_step(&mut state, &instance, &mut rng);
         mean_after += after / trials as f64;
     }
-    println!("Algorithm 1 (randomized): Φ₀ = {phi0:.2}, mean Φ₁ over {trials} trials = {mean_after:.2}");
+    println!(
+        "Algorithm 1 (randomized): Φ₀ = {phi0:.2}, mean Φ₁ over {trials} trials = {mean_after:.2}"
+    );
 
     // The derandomized process (Lemma 2.6): every phase is *guaranteed* to
     // increase Φ by at most n/⌈log C⌉.

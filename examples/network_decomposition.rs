@@ -5,11 +5,11 @@
 //! cargo run --example network_decomposition --release
 //! ```
 
-use distributed_coloring::congest::network::Network;
 use distributed_coloring::coloring::congest_coloring::{
     color_list_instance, CongestColoringConfig,
 };
 use distributed_coloring::coloring::instance::ListInstance;
+use distributed_coloring::congest::network::Network;
 use distributed_coloring::decomp::coloring::{color_via_decomposition, DecompColoringConfig};
 use distributed_coloring::decomp::rg::{decompose_traced, RgConfig};
 use distributed_coloring::graphs::{generators, metrics, validation};
@@ -29,7 +29,9 @@ fn main() {
     // Step 1: the decomposition itself.
     let mut net = Network::with_default_cap(&graph, 64);
     let (decomposition, trace) = decompose_traced(&mut net, &RgConfig::default());
-    let stats = decomposition.validate(&graph).expect("Definition 3.1 holds");
+    let stats = decomposition
+        .validate(&graph)
+        .expect("Definition 3.1 holds");
     println!(
         "decomposition: α = {} colors, β = {} (max tree diameter), κ = {} (congestion)",
         stats.colors, stats.max_tree_diameter, stats.congestion
@@ -41,7 +43,10 @@ fn main() {
         net.rounds()
     );
     for (run, frac) in trace.clustered_fraction.iter().enumerate() {
-        println!("  run {run}: clustered {:.0}% of the remaining vertices", 100.0 * frac);
+        println!(
+            "  run {run}: clustered {:.0}% of the remaining vertices",
+            100.0 * frac
+        );
     }
 
     // Step 2: color through the decomposition vs directly.
@@ -53,9 +58,10 @@ fn main() {
 
     println!(
         "\nCorollary 1.2: {} rounds to decompose + {} rounds to color = {}",
-        via_decomp.decomposition_rounds,
-        via_decomp.coloring_rounds,
-        via_decomp.metrics.rounds
+        via_decomp.decomposition_rounds, via_decomp.coloring_rounds, via_decomp.metrics.rounds
     );
-    println!("Theorem 1.1 (direct, pays D per seed bit): {} rounds", direct.metrics.rounds);
+    println!(
+        "Theorem 1.1 (direct, pays D per seed bit): {} rounds",
+        direct.metrics.rounds
+    );
 }

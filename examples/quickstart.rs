@@ -38,7 +38,10 @@ fn main() {
         result.metrics.bits,
         result.metrics.max_message_bits
     );
-    println!("Linial input coloring used K = {} colors", result.linial_palette);
+    println!(
+        "Linial input coloring used K = {} colors",
+        result.linial_palette
+    );
     for (i, outcome) in result.outcomes.iter().enumerate() {
         println!(
             "  iteration {}: {}/{} nodes colored (potential {:.1} -> {:.1})",

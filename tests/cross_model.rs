@@ -24,8 +24,11 @@ fn instances() -> Vec<(String, Graph)> {
         ("star".into(), generators::star(21)),
         ("chain".into(), generators::cluster_chain(5, 6, 0.5, 4)),
         ("disconnected".into(), {
-            Graph::from_edges(12, &[(0, 1), (1, 2), (2, 0), (4, 5), (6, 7), (7, 8), (8, 9)])
-                .unwrap()
+            Graph::from_edges(
+                12,
+                &[(0, 1), (1, 2), (2, 0), (4, 5), (6, 7), (7, 8), (8, 9)],
+            )
+            .unwrap()
         }),
     ]
 }
@@ -37,17 +40,36 @@ fn every_model_colors_every_instance_properly() {
         let delta = g.max_degree() as u64;
 
         let congest = color_list_instance(&inst, &CongestColoringConfig::default());
-        assert_eq!(validation::check_proper(&g, &congest.colors), None, "{name}/congest");
-        assert!(congest.colors.iter().all(|&c| c <= delta), "{name}/congest palette");
+        assert_eq!(
+            validation::check_proper(&g, &congest.colors),
+            None,
+            "{name}/congest"
+        );
+        assert!(
+            congest.colors.iter().all(|&c| c <= delta),
+            "{name}/congest palette"
+        );
 
         let decomp = color_via_decomposition(&inst, &DecompColoringConfig::default());
-        assert_eq!(validation::check_proper(&g, &decomp.colors), None, "{name}/decomp");
+        assert_eq!(
+            validation::check_proper(&g, &decomp.colors),
+            None,
+            "{name}/decomp"
+        );
 
         let clique = clique_color(&inst, &CliqueColoringConfig::default());
-        assert_eq!(validation::check_proper(&g, &clique.colors), None, "{name}/clique");
+        assert_eq!(
+            validation::check_proper(&g, &clique.colors),
+            None,
+            "{name}/clique"
+        );
 
         let linear = mpc_color_linear(&inst);
-        assert_eq!(validation::check_proper(&g, &linear.colors), None, "{name}/mpc-linear");
+        assert_eq!(
+            validation::check_proper(&g, &linear.colors),
+            None,
+            "{name}/mpc-linear"
+        );
 
         let sublinear = mpc_color_sublinear(&inst, 0.6);
         assert_eq!(
@@ -57,7 +79,11 @@ fn every_model_colors_every_instance_properly() {
         );
 
         let random = baselines::johansson(&inst, 5);
-        assert_eq!(validation::check_proper(&g, &random.colors), None, "{name}/johansson");
+        assert_eq!(
+            validation::check_proper(&g, &random.colors),
+            None,
+            "{name}/johansson"
+        );
     }
 }
 
@@ -67,19 +93,36 @@ fn all_models_respect_shared_custom_lists() {
     // Lists with gaps, shared across all models.
     let lists: Vec<Vec<u64>> = g
         .nodes()
-        .map(|v| (0..=g.degree(v) as u64).map(|i| i * 5 + (v % 3) as u64).collect())
+        .map(|v| {
+            (0..=g.degree(v) as u64)
+                .map(|i| i * 5 + (v % 3) as u64)
+                .collect()
+        })
         .collect();
     let c = 5 * (g.max_degree() as u64 + 1) + 3;
     let inst = ListInstance::new(g.clone(), c, lists.clone()).unwrap();
 
     for (model, colors) in [
-        ("congest", color_list_instance(&inst, &CongestColoringConfig::default()).colors),
-        ("decomp", color_via_decomposition(&inst, &DecompColoringConfig::default()).colors),
-        ("clique", clique_color(&inst, &CliqueColoringConfig::default()).colors),
+        (
+            "congest",
+            color_list_instance(&inst, &CongestColoringConfig::default()).colors,
+        ),
+        (
+            "decomp",
+            color_via_decomposition(&inst, &DecompColoringConfig::default()).colors,
+        ),
+        (
+            "clique",
+            clique_color(&inst, &CliqueColoringConfig::default()).colors,
+        ),
         ("mpc-linear", mpc_color_linear(&inst).colors),
         ("mpc-sublinear", mpc_color_sublinear(&inst, 0.7).colors),
     ] {
-        assert_eq!(validation::check_list_coloring(&g, &lists, &colors), None, "{model}");
+        assert_eq!(
+            validation::check_list_coloring(&g, &lists, &colors),
+            None,
+            "{model}"
+        );
     }
 }
 
@@ -99,7 +142,10 @@ fn deterministic_models_are_reproducible() {
         clique_color(&inst, &CliqueColoringConfig::default()).colors,
         clique_color(&inst, &CliqueColoringConfig::default()).colors
     );
-    assert_eq!(mpc_color_linear(&inst).colors, mpc_color_linear(&inst).colors);
+    assert_eq!(
+        mpc_color_linear(&inst).colors,
+        mpc_color_linear(&inst).colors
+    );
     assert_eq!(
         mpc_color_sublinear(&inst, 0.5).colors,
         mpc_color_sublinear(&inst, 0.5).colors
@@ -130,7 +176,11 @@ fn decomposition_validates_on_every_instance() {
         });
         // Empirical sanity versus the asymptotic bounds (generous slack).
         let logn = (g.n().max(2) as f64).log2();
-        assert!((stats.colors as f64) <= 4.0 * logn + 8.0, "{name}: α = {}", stats.colors);
+        assert!(
+            (stats.colors as f64) <= 4.0 * logn + 8.0,
+            "{name}: α = {}",
+            stats.colors
+        );
         assert!(
             f64::from(stats.congestion) <= 2.0 * logn + 4.0,
             "{name}: κ = {}",

@@ -31,8 +31,16 @@ fn lemma_2_1_guarantees() {
             lin.palette,
             PartialConfig::default(),
         );
-        assert!(out.colored.len() * 8 >= n, "seed {seed}: colored {}", out.colored.len());
-        assert!(out.eligible_count * 2 >= n, "seed {seed}: eligible {}", out.eligible_count);
+        assert!(
+            out.colored.len() * 8 >= n,
+            "seed {seed}: colored {}",
+            out.colored.len()
+        );
+        assert!(
+            out.eligible_count * 2 >= n,
+            "seed {seed}: eligible {}",
+            out.eligible_count
+        );
         // Lemma 2.6 invariant chain: Σ Φ ≤ 2n at the end.
         assert!(*out.trace.values.last().unwrap() <= 2.0 * n as f64 + 1e-6);
         // Equation (5): every phase within budget.
@@ -77,7 +85,11 @@ fn bandwidth_cap_respected_end_to_end() {
     let g = generators::gnp(40, 0.15, 3);
     let inst = ListInstance::degree_plus_one(g);
     let r = color_list_instance(&inst, &CongestColoringConfig::default());
-    assert!(r.metrics.max_message_bits <= 128, "max message {}", r.metrics.max_message_bits);
+    assert!(
+        r.metrics.max_message_bits <= 128,
+        "max message {}",
+        r.metrics.max_message_bits
+    );
 }
 
 /// Remark after Theorem 1.1: on disconnected instances the algorithm's
@@ -92,12 +104,24 @@ fn disconnected_components_are_independent() {
     // differ — we only require properness and completion here).
     let g = Graph::from_edges(
         10,
-        &[(0, 1), (1, 2), (2, 3), (3, 0), (5, 6), (6, 7), (7, 8), (8, 5)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 5),
+        ],
     )
     .unwrap();
     let inst = ListInstance::degree_plus_one(g.clone());
     let r = color_list_instance(&inst, &CongestColoringConfig::default());
-    assert_eq!(distributed_coloring::graphs::validation::check_proper(&g, &r.colors), None);
+    assert_eq!(
+        distributed_coloring::graphs::validation::check_proper(&g, &r.colors),
+        None
+    );
 }
 
 /// The seed-length accounting matches the documented substitution:

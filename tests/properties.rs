@@ -8,8 +8,8 @@ use distributed_coloring::coloring::congest_coloring::{
     color_list_instance, CongestColoringConfig,
 };
 use distributed_coloring::coloring::instance::ListInstance;
-use distributed_coloring::decomp::rg::{decompose, RgConfig};
 use distributed_coloring::congest::network::Network;
+use distributed_coloring::decomp::rg::{decompose, RgConfig};
 use distributed_coloring::graphs::{generators, validation};
 use proptest::prelude::*;
 
