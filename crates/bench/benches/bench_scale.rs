@@ -1,0 +1,94 @@
+//! Scale-tier benchmarks: generator throughput at 10⁵ nodes, parallel vs
+//! sequential round execution, and the coloring pipeline on bounded-degree
+//! scale instances. The committed baseline lives in `BENCH_scale.json`
+//! (produced by the `scale_baseline` binary); this criterion suite is the
+//! interactive view of the same workloads.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcl_coloring::congest_coloring::{color_degree_plus_one, CongestColoringConfig};
+use dcl_congest::network::Network;
+use dcl_congest::Backend;
+use dcl_graphs::generators;
+
+const SCALE_N: usize = 100_000;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_scale");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("gnp", SCALE_N), &SCALE_N, |b, &n| {
+        b.iter(|| black_box(generators::gnp(n, 8.0 / n as f64, 1)))
+    });
+    group.bench_with_input(BenchmarkId::new("power_law", SCALE_N), &SCALE_N, |b, &n| {
+        b.iter(|| black_box(generators::power_law(n, 2.5, 4.0, 7)))
+    });
+    group.bench_with_input(BenchmarkId::new("expander", SCALE_N), &SCALE_N, |b, &n| {
+        b.iter(|| black_box(generators::expander(n, 8, 1)))
+    });
+    group.finish();
+}
+
+fn bench_round_execution(c: &mut Criterion) {
+    let g = generators::power_law(SCALE_N, 2.5, 4.0, 7);
+    let sender = |v: usize| -> Vec<(usize, u64)> {
+        g.neighbors(v)
+            .iter()
+            .map(|&u| (u, (v ^ u) as u64))
+            .collect()
+    };
+    let mut group = c.benchmark_group("round_scale");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("power_law_round", "sequential"),
+        &(),
+        |b, _| {
+            let mut net = Network::with_default_cap(&g, SCALE_N as u64);
+            b.iter(|| black_box(net.round(sender)))
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("power_law_round", "parallel"),
+        &(),
+        |b, _| {
+            let mut net = Network::with_backend(&g, 128, Backend::Parallel(0));
+            b.iter(|| black_box(net.round(sender)))
+        },
+    );
+    group.finish();
+}
+
+fn bench_coloring_scale(c: &mut Criterion) {
+    // Bounded-degree scale instance: Δ = 8 keeps the seed length small, so
+    // one full coloring fits a bench iteration.
+    let g = generators::expander(10_000, 8, 1);
+    let mut group = c.benchmark_group("coloring_scale");
+    group.sample_size(10);
+    for (label, backend) in [
+        ("sequential", Backend::Sequential),
+        ("parallel", Backend::Parallel(0)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("expander_10k_d8", label),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    black_box(color_degree_plus_one(
+                        &g,
+                        &CongestColoringConfig {
+                            backend,
+                            ..Default::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_round_execution,
+    bench_coloring_scale
+);
+criterion_main!(benches);

@@ -41,6 +41,9 @@ pub struct CliqueColoringConfig {
     pub max_batch_width: u32,
     /// Safety cap on partial-coloring iterations.
     pub max_iterations: usize,
+    /// Round-execution backend of the simulated clique (results are
+    /// bit-identical across backends).
+    pub backend: dcl_congest::Backend,
 }
 
 impl Default for CliqueColoringConfig {
@@ -49,6 +52,7 @@ impl Default for CliqueColoringConfig {
             segment_bits: 6,
             max_batch_width: 3,
             max_iterations: 200,
+            backend: dcl_congest::Backend::Sequential,
         }
     }
 }
@@ -79,6 +83,7 @@ pub fn clique_color(
     let g = instance.graph();
     let n = g.n();
     let mut net = CliqueNetwork::with_default_cap(n.max(2));
+    net.set_backend(config.backend);
     let mut colors: Vec<Option<u64>> = vec![None; n];
     if n == 0 {
         return CliqueColoringResult {

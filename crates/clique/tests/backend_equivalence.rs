@@ -1,0 +1,48 @@
+//! Parallel vs sequential backend equivalence for the CONGESTED CLIQUE
+//! simulator and the Theorem 1.3 coloring.
+
+use dcl_clique::coloring::{clique_color, CliqueColoringConfig};
+use dcl_clique::network::CliqueNetwork;
+use dcl_coloring::instance::ListInstance;
+use dcl_congest::Backend;
+use dcl_graphs::{generators, validation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// clique_color produces identical colorings and metrics per backend.
+    #[test]
+    fn clique_coloring_equivalence(n in 6usize..30, p in 0.1f64..0.4, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let seq = clique_color(&inst, &CliqueColoringConfig::default());
+        let par = clique_color(
+            &inst,
+            &CliqueColoringConfig {
+                backend: Backend::Parallel(3),
+                ..Default::default()
+            },
+        );
+        prop_assert_eq!(&seq.colors, &par.colors);
+        prop_assert_eq!(seq.metrics, par.metrics);
+        prop_assert_eq!(validation::check_proper(&g, &seq.colors), None);
+    }
+
+    /// Raw clique rounds deliver identical inboxes and metrics per backend.
+    #[test]
+    fn clique_round_equivalence(n in 2usize..70, seed in any::<u64>(), threads in 2usize..6) {
+        let sender = |v: usize| -> Vec<(usize, u64)> {
+            (0..n)
+                .filter(|&u| u != v && (u * 7 + v + seed as usize) % 5 == 0)
+                .map(|u| (u, (v * n + u) as u64))
+                .collect()
+        };
+        let mut seq = CliqueNetwork::with_default_cap(n);
+        let mut par = CliqueNetwork::with_backend(n, 128, Backend::Parallel(threads));
+        for _ in 0..2 {
+            prop_assert_eq!(seq.round(sender), par.round(sender));
+        }
+        prop_assert_eq!(seq.metrics(), par.metrics());
+    }
+}

@@ -14,6 +14,10 @@
 //!   implementation used on hot paths (identical results and identical round
 //!   costs; see `DESIGN.md` §2.3).
 //!
+//! Round execution can be switched between a sequential and a multi-threaded
+//! backend via [`Backend`] (see `DESIGN.md` §5): results are bit-identical,
+//! only wall-clock changes.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,6 +43,8 @@ pub mod bfs;
 pub mod network;
 pub mod tree;
 pub mod wire;
+
+pub use dcl_par::Backend;
 
 pub use bfs::BfsTree;
 pub use network::{Metrics, Network};

@@ -2,6 +2,7 @@
 
 use crate::wire::{bit_len, Wire};
 use dcl_graphs::{Graph, NodeId};
+use dcl_par::{Backend, Pool};
 
 /// Cost counters accumulated by a [`Network`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -14,6 +15,19 @@ pub struct Metrics {
     pub bits: u64,
     /// Largest single message observed, in bits.
     pub max_message_bits: u32,
+}
+
+impl Metrics {
+    /// Folds another counter into this one (sums plus max). Used to reduce
+    /// the per-worker accumulators of a parallel round in chunk order; since
+    /// `+` and `max` are commutative and associative, the reduction is
+    /// bit-identical to sequential accounting.
+    pub fn absorb(&mut self, other: Metrics) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+    }
 }
 
 /// Per-node inboxes produced by a communication round: `inboxes[v]` holds
@@ -44,6 +58,11 @@ pub struct Network<'g> {
     graph: &'g Graph,
     cap_bits: u32,
     metrics: Metrics,
+    /// Cached Δ of `graph` (scratch sizing for the duplicate-edge marks).
+    max_deg: usize,
+    backend: Backend,
+    /// Worker pool, present only when `backend` is effectively parallel.
+    pool: Option<Pool>,
 }
 
 impl<'g> Network<'g> {
@@ -58,6 +77,9 @@ impl<'g> Network<'g> {
             graph,
             cap_bits,
             metrics: Metrics::default(),
+            max_deg: graph.max_degree(),
+            backend: Backend::Sequential,
+            pool: None,
         }
     }
 
@@ -67,6 +89,35 @@ impl<'g> Network<'g> {
     /// each color fits in `O(1)` messages.
     pub fn with_default_cap(graph: &'g Graph, color_space: u64) -> Self {
         Network::new(graph, default_cap(graph.n(), color_space))
+    }
+
+    /// Creates a network with an explicit cap and round-execution backend.
+    pub fn with_backend(graph: &'g Graph, cap_bits: u32, backend: Backend) -> Self {
+        let mut net = Network::new(graph, cap_bits);
+        net.set_backend(backend);
+        net
+    }
+
+    /// Switches the round-execution backend. Results (inboxes, metrics,
+    /// panics) are bit-identical across backends; only wall-clock changes.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+        self.pool = backend.is_parallel().then(|| Pool::new(backend.threads()));
+    }
+
+    /// The active round-execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The worker pool of a parallel backend (`None` under
+    /// [`Backend::Sequential`]). Algorithm drivers may use it to
+    /// parallelize *local* per-node computation between rounds — work that
+    /// in the real distributed system every node performs simultaneously
+    /// for free, and that therefore should scale with the same knob as the
+    /// round execution itself.
+    pub fn pool(&self) -> Option<&Pool> {
+        self.pool.as_ref()
     }
 
     /// The underlying graph.
@@ -92,32 +143,63 @@ impl<'g> Network<'g> {
     /// Runs one synchronous round. `sender(v)` returns the messages node `v`
     /// sends this round as `(neighbor, payload)` pairs.
     ///
+    /// Under [`Backend::Parallel`] the `sender` closures are evaluated on the
+    /// worker pool (hence the `Fn + Sync` bound); validation and cost
+    /// accounting happen in per-worker [`Metrics`] accumulators that are
+    /// reduced in node order afterwards, and messages are merged into the
+    /// inboxes in sender order — so inboxes and metrics are bit-identical to
+    /// the sequential backend.
+    ///
     /// # Panics
     ///
     /// Panics if a message is addressed to a non-neighbor, if a node sends
     /// two messages over the same edge in one round, or if a payload exceeds
-    /// the bandwidth cap.
-    pub fn round<M, F>(&mut self, mut sender: F) -> Inboxes<M>
+    /// the bandwidth cap. After a panic the network's metrics are
+    /// unspecified.
+    pub fn round<M, F>(&mut self, sender: F) -> Inboxes<M>
     where
-        M: Wire,
-        F: FnMut(NodeId) -> Vec<(NodeId, M)>,
+        M: Wire + Send,
+        F: Fn(NodeId) -> Vec<(NodeId, M)> + Sync,
     {
         let n = self.graph.n();
-        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
         self.metrics.rounds += 1;
-        let mut sent_marks: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for u in 0..n {
-            for (v, msg) in sender(u) {
-                assert!(
-                    self.graph.has_edge(u, v),
-                    "node {u} attempted to send to non-neighbor {v}"
-                );
-                assert!(
-                    !sent_marks[u].contains(&v),
-                    "node {u} sent two messages to {v} in one round"
-                );
-                sent_marks[u].push(v);
-                self.account(msg.wire_bits());
+        let outgoing: Vec<Vec<(NodeId, M)>> = match &self.pool {
+            Some(pool) => {
+                let (graph, cap, max_deg) = (self.graph, self.cap_bits, self.max_deg);
+                let chunks = pool.map_chunks(n, |range| {
+                    let mut local = Metrics::default();
+                    let mut marks = vec![usize::MAX; max_deg];
+                    let mut out = Vec::with_capacity(range.len());
+                    for u in range {
+                        let msgs = sender(u);
+                        validate_sends(graph, cap, u, &msgs, &mut marks, &mut local);
+                        out.push(msgs);
+                    }
+                    (out, local)
+                });
+                let mut outgoing = Vec::with_capacity(n);
+                for (out, local) in chunks {
+                    self.metrics.absorb(local);
+                    outgoing.extend(out);
+                }
+                outgoing
+            }
+            None => {
+                let mut local = Metrics::default();
+                let mut marks = vec![usize::MAX; self.max_deg];
+                let mut out = Vec::with_capacity(n);
+                for u in 0..n {
+                    let msgs = sender(u);
+                    validate_sends(self.graph, self.cap_bits, u, &msgs, &mut marks, &mut local);
+                    out.push(msgs);
+                }
+                self.metrics.absorb(local);
+                out
+            }
+        };
+        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        for (u, msgs) in outgoing.into_iter().enumerate() {
+            for (v, msg) in msgs {
                 inboxes[v].push((u, msg));
             }
         }
@@ -125,24 +207,65 @@ impl<'g> Network<'g> {
     }
 
     /// Convenience round: every node sends the *same* payload to all of its
-    /// neighbors (or stays silent with `None`).
+    /// neighbors (or stays silent with `None`). Parallelized like
+    /// [`Network::round`] under [`Backend::Parallel`].
     ///
     /// # Panics
     ///
     /// Panics if a payload exceeds the bandwidth cap.
-    pub fn broadcast_round<M, F>(&mut self, mut f: F) -> Inboxes<M>
+    pub fn broadcast_round<M, F>(&mut self, f: F) -> Inboxes<M>
     where
-        M: Wire + Clone,
-        F: FnMut(NodeId) -> Option<M>,
+        M: Wire + Clone + Send,
+        F: Fn(NodeId) -> Option<M> + Sync,
     {
         let n = self.graph.n();
-        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
         self.metrics.rounds += 1;
-        for u in 0..n {
-            if let Some(msg) = f(u) {
-                let bits = msg.wire_bits();
+        let payloads: Vec<Option<M>> = match &self.pool {
+            Some(pool) => {
+                let (graph, cap) = (self.graph, self.cap_bits);
+                let chunks = pool.map_chunks(n, |range| {
+                    let mut local = Metrics::default();
+                    let mut out = Vec::with_capacity(range.len());
+                    for u in range {
+                        let payload = f(u);
+                        if let Some(msg) = &payload {
+                            account_broadcast(graph, cap, u, msg.wire_bits(), &mut local);
+                        }
+                        out.push(payload);
+                    }
+                    (out, local)
+                });
+                let mut payloads = Vec::with_capacity(n);
+                for (out, local) in chunks {
+                    self.metrics.absorb(local);
+                    payloads.extend(out);
+                }
+                payloads
+            }
+            None => {
+                let mut local = Metrics::default();
+                let mut out = Vec::with_capacity(n);
+                for u in 0..n {
+                    let payload = f(u);
+                    if let Some(msg) = &payload {
+                        account_broadcast(
+                            self.graph,
+                            self.cap_bits,
+                            u,
+                            msg.wire_bits(),
+                            &mut local,
+                        );
+                    }
+                    out.push(payload);
+                }
+                self.metrics.absorb(local);
+                out
+            }
+        };
+        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        for (u, payload) in payloads.into_iter().enumerate() {
+            if let Some(msg) = payload {
                 for &v in self.graph.neighbors(u) {
-                    self.account(bits);
                     inboxes[v].push((u, msg.clone()));
                 }
             }
@@ -180,6 +303,61 @@ impl<'g> Network<'g> {
         self.metrics.bits += u64::from(bits);
         self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
     }
+}
+
+/// Validates one node's outgoing messages for a [`Network::round`] and
+/// accounts them into `metrics`.
+///
+/// The duplicate-edge check uses `marks`, a scratch slice of length ≥ Δ
+/// indexed by the recipient's position in `u`'s sorted adjacency list and
+/// stamped with the sender id — an O(log deg) check per message instead of
+/// the former O(deg) scan of a per-node sent list (which made dense-graph
+/// rounds O(deg²) per node). The stamp makes clearing unnecessary: slots
+/// written by other senders hold a different id.
+fn validate_sends<M: Wire>(
+    graph: &Graph,
+    cap_bits: u32,
+    u: NodeId,
+    msgs: &[(NodeId, M)],
+    marks: &mut [usize],
+    metrics: &mut Metrics,
+) {
+    let neighbors = graph.neighbors(u);
+    for (v, msg) in msgs {
+        let pos = neighbors
+            .binary_search(v)
+            .unwrap_or_else(|_| panic!("node {u} attempted to send to non-neighbor {v}"));
+        assert!(
+            marks[pos] != u,
+            "node {u} sent two messages to {v} in one round"
+        );
+        marks[pos] = u;
+        let bits = msg.wire_bits();
+        assert!(
+            bits <= cap_bits,
+            "message of {bits} bits exceeds CONGEST cap of {cap_bits} bits"
+        );
+        metrics.messages += 1;
+        metrics.bits += u64::from(bits);
+        metrics.max_message_bits = metrics.max_message_bits.max(bits);
+    }
+}
+
+/// Accounts one node's broadcast payload (delivered to every neighbor) for a
+/// [`Network::broadcast_round`]. Matches the sequential per-delivery
+/// accounting: nodes without neighbors are not charged (and not cap-checked).
+fn account_broadcast(graph: &Graph, cap_bits: u32, u: NodeId, bits: u32, metrics: &mut Metrics) {
+    let deg = graph.degree(u) as u64;
+    if deg == 0 {
+        return;
+    }
+    assert!(
+        bits <= cap_bits,
+        "message of {bits} bits exceeds CONGEST cap of {cap_bits} bits"
+    );
+    metrics.messages += deg;
+    metrics.bits += deg * u64::from(bits);
+    metrics.max_message_bits = metrics.max_message_bits.max(bits);
 }
 
 /// The default CONGEST bandwidth cap for `n` nodes and color space `[C]`.
@@ -275,6 +453,62 @@ mod tests {
         assert_eq!(default_cap(8, 8), 128);
         assert_eq!(default_cap(1 << 20, 1 << 40), 128);
         assert_eq!(default_cap(8, u64::MAX), 128);
+    }
+
+    #[test]
+    fn parallel_backend_matches_sequential_bit_for_bit() {
+        let g = generators::gnp(80, 0.15, 42);
+        let sender = |v: NodeId| -> Vec<(NodeId, u64)> {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| (u, (v * 1000 + u) as u64))
+                .collect()
+        };
+        let mut seq = Network::with_default_cap(&g, 81);
+        let mut par = Network::with_default_cap(&g, 81);
+        par.set_backend(Backend::Parallel(4));
+        for _ in 0..3 {
+            let a = seq.round(sender);
+            let b = par.round(sender);
+            assert_eq!(a, b);
+        }
+        let a = seq.broadcast_round(|v| (v % 3 == 0).then_some(v as u32));
+        let b = par.broadcast_round(|v| (v % 3 == 0).then_some(v as u32));
+        assert_eq!(a, b);
+        assert_eq!(seq.metrics(), par.metrics());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn parallel_backend_panics_like_sequential() {
+        let g = generators::path(100);
+        let mut net = Network::with_backend(&g, 128, Backend::Parallel(4));
+        let _ = net.round(|v| if v == 50 { vec![(99, 1u32)] } else { vec![] });
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn parallel_duplicate_edge_message_panics() {
+        let g = generators::star(80);
+        let mut net = Network::with_backend(&g, 128, Backend::Parallel(3));
+        let _ = net.round(|v| {
+            if v == 7 {
+                vec![(0, 1u32), (0, 2u32)]
+            } else {
+                vec![]
+            }
+        });
+    }
+
+    #[test]
+    fn backend_knob_roundtrip() {
+        let g = generators::path(3);
+        let mut net = Network::with_default_cap(&g, 2);
+        assert_eq!(net.backend(), Backend::Sequential);
+        net.set_backend(Backend::Parallel(2));
+        assert_eq!(net.backend(), Backend::Parallel(2));
+        net.set_backend(Backend::Sequential);
+        assert_eq!(net.backend(), Backend::Sequential);
     }
 
     #[test]

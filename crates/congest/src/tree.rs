@@ -30,7 +30,7 @@ pub fn convergecast_stepped<M, F>(
     mut combine: F,
 ) -> M
 where
-    M: Wire + Clone,
+    M: Wire + Clone + Send + Sync,
     F: FnMut(&M, &M) -> M,
 {
     let n = values.len();
@@ -92,7 +92,7 @@ where
 /// tree). Costs `tree.height` rounds.
 pub fn broadcast_stepped<M>(net: &mut Network<'_>, tree: &BfsTree, value: M) -> Vec<Option<M>>
 where
-    M: Wire + Clone,
+    M: Wire + Clone + Send + Sync,
 {
     let n = net.graph().n();
     let mut have: Vec<Option<M>> = vec![None; n];

@@ -13,6 +13,7 @@ use crate::linial::linial_from_ids;
 use crate::partial::{partial_coloring, PartialConfig, PartialOutcome};
 use dcl_congest::bfs::build_bfs_forest;
 use dcl_congest::network::{Metrics, Network};
+use dcl_congest::Backend;
 use dcl_graphs::Graph;
 
 /// Configuration of the Theorem 1.1 driver.
@@ -23,6 +24,9 @@ pub struct CongestColoringConfig {
     /// Hard iteration cap (safety net; `None` = `6·⌈log₂ n⌉ + 10`, well
     /// above the guaranteed `log_{8/7} n` bound).
     pub max_iterations: Option<usize>,
+    /// Round-execution backend of the simulated network (results are
+    /// bit-identical across backends).
+    pub backend: Backend,
 }
 
 /// Result of the full CONGEST coloring.
@@ -53,6 +57,7 @@ pub fn color_list_instance(
     let g = instance.graph();
     let n = g.n();
     let mut net = Network::with_default_cap(g, instance.color_space());
+    net.set_backend(config.backend);
     if n == 0 {
         return ColoringResult {
             colors: Vec::new(),
@@ -243,6 +248,7 @@ mod tests {
                 extra_accuracy_bits: 0,
             },
             max_iterations: None,
+            backend: Backend::Sequential,
         };
         let result = color_degree_plus_one(&g, &config);
         assert_eq!(validation::check_proper(&g, &result.colors), None);

@@ -42,6 +42,50 @@ pub struct PhaseOutcome {
     pub seed_len: usize,
 }
 
+/// Conditional expectations of one conflict edge for one seed bit:
+/// `[x⁰ share of u, x⁰ share of v, x¹ share of u, x¹ share of v]`.
+///
+/// This is the dominant work of the whole algorithm (every conflict edge ×
+/// every seed bit × both candidate values). In the real CONGEST network each
+/// *node* evaluates its incident edges locally and simultaneously, so the
+/// simulator farms the per-edge evaluations out to the backend's pool; the
+/// caller replays the returned contributions in edge order on one thread,
+/// which keeps the float association — and hence every leader decision
+/// downstream — bit-identical to the sequential backend.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn edge_shares(
+    family: &SliceFamily,
+    forms: &[Vec<BitForm>],
+    psi: &[u64],
+    thresholds: &[u64],
+    k0_inv: &[f64],
+    k1_inv: &[f64],
+    j: usize,
+    slice: usize,
+    u: usize,
+    v: usize,
+) -> [f64; 4] {
+    let fu = &forms[u];
+    let fv = &forms[v];
+    let (tu, tv) = (thresholds[u], thresholds[v]);
+    let mut out = [0.0f64; 4];
+    for cand in [false, true] {
+        let ou = family.form_with_fix(fu[slice], psi[u], j, cand);
+        let ov = family.form_with_fix(fv[slice], psi[v], j, cand);
+        let p =
+            family.joint_coin_probs_override(fu, Some((slice, ou)), tu, fv, Some((slice, ov)), tv);
+        // Edge survives iff both coins agree; each endpoint adds the
+        // conditional expectation of its own 1/|L_ℓ| share.
+        let share_u = p[3] * k1_inv[u] + p[0] * k0_inv[u];
+        let share_v = p[3] * k1_inv[v] + p[0] * k0_inv[v];
+        let base = if cand { 2 } else { 0 };
+        out[base] = share_u;
+        out[base + 1] = share_v;
+    }
+    out
+}
+
 /// Accuracy parameter `b` such that `ε = 2^{-b} ≤ 1/(10 · Δ · ⌈log C⌉ ·
 /// extra)`; `extra = Δ+1` is the MIS-avoidance variant of Section 4.
 #[must_use]
@@ -137,41 +181,69 @@ pub fn derandomized_phase(
 
     let mut x0 = vec![0.0f64; n];
     let mut x1 = vec![0.0f64; n];
+    // Reused aggregation buffer: rebuilding n two-element vectors per seed
+    // bit costs ~10⁹ allocations on a 10⁵-node run and dominates RSS via
+    // allocator churn.
+    let mut vectors: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0, 0.0]).collect();
     for j in 0..seed_len {
         x0.iter_mut().for_each(|x| *x = 0.0);
         x1.iter_mut().for_each(|x| *x = 0.0);
         let slice = family.slice_of_seed_bit(j) as usize;
-        for &(u, v) in &edges {
-            let fu = &forms[u];
-            let fv = &forms[v];
-            let (tu, tv) = (thresholds[u], thresholds[v]);
-            for cand in [false, true] {
-                let ou = family.form_with_fix(fu[slice], psi[u], j, cand);
-                let ov = family.form_with_fix(fv[slice], psi[v], j, cand);
-                let p = family.joint_coin_probs_override(
-                    fu,
-                    Some((slice, ou)),
-                    tu,
-                    fv,
-                    Some((slice, ov)),
-                    tv,
-                );
-                // Edge survives iff both coins agree; each endpoint adds the
-                // conditional expectation of its own 1/|L_ℓ| share.
-                let share_u = p[3] * k1_inv[u] + p[0] * k0_inv[u];
-                let share_v = p[3] * k1_inv[v] + p[0] * k0_inv[v];
-                if cand {
-                    x1[u] += share_u;
-                    x1[v] += share_v;
-                } else {
-                    x0[u] += share_u;
-                    x0[v] += share_v;
+        match net.pool() {
+            Some(pool) => {
+                let shares = pool.map_chunks(edges.len(), |range| {
+                    range
+                        .map(|e| {
+                            let (u, v) = edges[e];
+                            edge_shares(
+                                &family,
+                                &forms,
+                                psi,
+                                &thresholds,
+                                &k0_inv,
+                                &k1_inv,
+                                j,
+                                slice,
+                                u,
+                                v,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                });
+                for (&(u, v), s) in edges.iter().zip(shares.iter().flatten()) {
+                    x0[u] += s[0];
+                    x0[v] += s[1];
+                    x1[u] += s[2];
+                    x1[v] += s[3];
+                }
+            }
+            None => {
+                for &(u, v) in &edges {
+                    let s = edge_shares(
+                        &family,
+                        &forms,
+                        psi,
+                        &thresholds,
+                        &k0_inv,
+                        &k1_inv,
+                        j,
+                        slice,
+                        u,
+                        v,
+                    );
+                    x0[u] += s[0];
+                    x0[v] += s[1];
+                    x1[u] += s[2];
+                    x1[v] += s[3];
                 }
             }
         }
         // Aggregate [Σ x⁰, Σ x¹] per component over the BFS forest, pick the
         // smaller side at each leader, broadcast the chosen bit back.
-        let vectors: Vec<Vec<f64>> = (0..n).map(|v| vec![x0[v], x1[v]]).collect();
+        for v in 0..n {
+            vectors[v][0] = x0[v];
+            vectors[v][1] = x1[v];
+        }
         let sums = aggregate_vec_forest_charged(net, forest, &vectors, 2);
         let choices: Vec<bool> = sums.iter().map(|s| s[1] < s[0]).collect();
         let delivered = broadcast_forest_charged(net, forest, &choices);

@@ -1,0 +1,98 @@
+//! Backend-equivalence properties: the parallel round-execution backend must
+//! produce bit-identical inboxes, [`Metrics`] and colorings to the sequential
+//! backend on every instance family (the determinism contract of
+//! `DESIGN.md` §7).
+
+use dcl_coloring::congest_coloring::{
+    color_degree_plus_one, ColoringResult, CongestColoringConfig,
+};
+use dcl_congest::network::Network;
+use dcl_congest::Backend;
+use dcl_graphs::{generators, validation, Graph, NodeId};
+use proptest::prelude::*;
+
+fn color_with(g: &Graph, backend: Backend) -> ColoringResult {
+    color_degree_plus_one(
+        g,
+        &CongestColoringConfig {
+            backend,
+            ..Default::default()
+        },
+    )
+}
+
+fn assert_equivalent(g: &Graph, threads: usize) -> Result<(), TestCaseError> {
+    let seq = color_with(g, Backend::Sequential);
+    let par = color_with(g, Backend::Parallel(threads));
+    prop_assert_eq!(&seq.colors, &par.colors);
+    prop_assert_eq!(seq.metrics, par.metrics);
+    prop_assert_eq!(seq.iterations, par.iterations);
+    prop_assert_eq!(validation::check_proper(g, &seq.colors), None);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Identical colorings + metrics on rings of arbitrary size.
+    #[test]
+    fn coloring_equivalence_on_rings(n in 3usize..80, threads in 2usize..5) {
+        assert_equivalent(&generators::ring(n), threads)?;
+    }
+
+    /// Identical colorings + metrics on G(n, p).
+    #[test]
+    fn coloring_equivalence_on_gnp(
+        n in 4usize..48,
+        p in 0.03f64..0.35,
+        seed in any::<u64>(),
+        threads in 2usize..5,
+    ) {
+        assert_equivalent(&generators::gnp(n, p, seed), threads)?;
+    }
+
+    /// Identical colorings + metrics on Chung–Lu power-law graphs (the
+    /// degree-skewed regime where chunk load imbalance is worst).
+    #[test]
+    fn coloring_equivalence_on_power_law(
+        n in 8usize..48,
+        seed in any::<u64>(),
+        threads in 2usize..5,
+    ) {
+        assert_equivalent(&generators::power_law(n, 2.5, 4.0, seed), threads)?;
+    }
+
+    /// Raw round equivalence: inboxes and metrics agree between backends for
+    /// arbitrary per-node fan-out senders.
+    #[test]
+    fn round_inbox_equivalence(
+        n in 2usize..60,
+        p in 0.05f64..0.5,
+        seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let sender = |v: NodeId| -> Vec<(NodeId, u64)> {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&u| (u + v + seed as usize) % 3 != 0)
+                .map(|&u| (u, (v * n + u) as u64))
+                .collect()
+        };
+        let mut seq = Network::with_default_cap(&g, n as u64 + 1);
+        let mut par = Network::with_backend(
+            &g,
+            seq.cap_bits(),
+            Backend::Parallel(threads),
+        );
+        for _ in 0..3 {
+            let a = seq.round(sender);
+            let b = par.round(sender);
+            prop_assert_eq!(a, b);
+        }
+        let a = seq.broadcast_round(|v| (v % 2 == 0).then_some(v as u32));
+        let b = par.broadcast_round(|v| (v % 2 == 0).then_some(v as u32));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(seq.metrics(), par.metrics());
+    }
+}

@@ -28,6 +28,9 @@ pub struct DecompColoringConfig {
     pub rg: RgConfig,
     /// Partial-coloring strategy.
     pub partial: PartialConfig,
+    /// Round-execution backend of the simulated network (results are
+    /// bit-identical across backends).
+    pub backend: dcl_congest::Backend,
 }
 
 /// Result of the decomposition-based coloring.
@@ -121,6 +124,7 @@ pub fn color_via_decomposition(
     let g = instance.graph();
     let n = g.n();
     let mut net = Network::with_default_cap(g, instance.color_space());
+    net.set_backend(config.backend);
     if n == 0 {
         return DecompColoringResult {
             colors: Vec::new(),

@@ -127,30 +127,143 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
 }
 
 /// Erdős–Rényi graph `G(n, p)` with a seeded RNG.
+///
+/// Samples edges by geometric skips over the linearized strict upper
+/// triangle (`O(n + m)` expected work) instead of flipping all `n(n−1)/2`
+/// coins, so sparse instances at `n = 10⁶` are feasible. Edges are emitted
+/// in sorted order and the CSR form is built directly.
+///
+/// Determinism: the edge set is a pure function of `(n, p, seed)`. Note that
+/// the skip-sampling draw sequence differs from the historical per-pair
+/// sampler, so a given seed produces a *different* (equally distributed)
+/// edge set than releases that used the O(n²) loop.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let total = pair_count(n);
+    if p <= 0.0 || total == 0 {
+        return Graph::empty(n);
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            if rng.gen::<f64>() < p {
-                b.add_edge(u, v).expect("gnp edges are valid");
-            }
+    let mut edges = Vec::new();
+    let log_q = (1.0 - p).ln(); // < 0 since 0 < p < 1
+    let mut t: u64 = 0; // next candidate pair index
+    loop {
+        // Geometric gap: number of skipped pairs before the next edge.
+        let u: f64 = rng.gen();
+        let gap = ((1.0 - u).ln() / log_q).floor();
+        if !gap.is_finite() || t as f64 + gap >= total as f64 {
+            break;
+        }
+        t += gap as u64;
+        if t >= total {
+            break;
+        }
+        edges.push(unrank_pair(n, t));
+        t += 1;
+        if t >= total {
+            break;
         }
     }
-    b.build()
+    Graph::from_sorted_edges(n, &edges)
+}
+
+/// Number of unordered pairs `{u, v}` with `u < v < n`.
+fn pair_count(n: usize) -> u64 {
+    let n = n as u64;
+    n * n.saturating_sub(1) / 2
+}
+
+/// Maps a pair index `t ∈ [0, n(n−1)/2)` in the lexicographic enumeration of
+/// the strict upper triangle to its pair `(u, v)`.
+fn unrank_pair(n: usize, t: u64) -> (NodeId, NodeId) {
+    let nf = n as f64;
+    // Row u starts at offset S(u) = u·n − u(u+1)/2; invert approximately,
+    // then correct locally (float error is at most a couple of rows).
+    let tf = t as f64;
+    let mut u = (nf - 0.5 - ((nf - 0.5) * (nf - 0.5) - 2.0 * tf).max(0.0).sqrt()).floor();
+    if u < 0.0 {
+        u = 0.0;
+    }
+    let mut u = (u as u64).min(n as u64 - 2);
+    let row_start = |u: u64| u * n as u64 - u * (u + 1) / 2;
+    while u > 0 && row_start(u) > t {
+        u -= 1;
+    }
+    while u + 2 < n as u64 && row_start(u + 1) <= t {
+        u += 1;
+    }
+    let v = u + 1 + (t - row_start(u));
+    debug_assert!(v < n as u64);
+    (u as NodeId, v as NodeId)
+}
+
+/// Per-run statistics of [`random_regular_detailed`], making the
+/// configuration model's degree contract explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegularStats {
+    /// The requested degree `d`.
+    pub target_degree: usize,
+    /// Stubs requested but not realized as edge endpoints:
+    /// `n·d − 2·m`. Equals the total degree deficit summed over all nodes —
+    /// `0` when a clean configuration-model attempt succeeded, ≥ 1 whenever
+    /// `n·d` is odd (the unpaired last stub is dropped), and possibly larger
+    /// when the greedy fallback had to skip conflicting stubs.
+    pub dropped_stubs: usize,
+    /// Whether the greedy fallback ran (a clean attempt never drops stubs
+    /// beyond the odd-parity one).
+    pub used_fallback: bool,
 }
 
 /// Random `d`-regular-ish graph via the configuration model with rejection of
 /// self loops and parallel edges (the result has maximum degree ≤ `d`; most
 /// nodes attain degree exactly `d`).
 ///
+/// # Degree contract
+///
+/// The generator is *best effort*, not exactly `d`-regular:
+///
+/// - when `n·d` is odd, the last stub cannot be paired and is silently
+///   dropped, so exactly one node ends with degree `d − 1` on a clean
+///   attempt;
+/// - after 20 rejected shuffles, a greedy fallback pairs stubs while
+///   skipping self loops and repeated edges, which can leave further
+///   (deterministically seeded) degree deficits.
+///
+/// Use [`random_regular_detailed`] to observe the realized deficit; see
+/// [`RegularStats`].
+///
 /// # Panics
 ///
 /// Panics if `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    random_regular_detailed(n, d, seed).0
+}
+
+/// [`random_regular`] plus [`RegularStats`] describing how far the result is
+/// from exactly `d`-regular. Identical seeded output to [`random_regular`].
+///
+/// # Panics
+///
+/// Panics if `d >= n`.
+pub fn random_regular_detailed(n: usize, d: usize, seed: u64) -> (Graph, RegularStats) {
     assert!(d < n, "degree must be below n");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let stats = |g: &Graph, used_fallback: bool| {
+        let stats = RegularStats {
+            target_degree: d,
+            dropped_stubs: n * d - 2 * g.m(),
+            used_fallback,
+        };
+        debug_assert!(g.max_degree() <= d, "configuration model exceeded d");
+        debug_assert!(
+            used_fallback || stats.dropped_stubs == (n * d) % 2,
+            "clean attempts drop only the odd-parity stub"
+        );
+        stats
+    };
     // A few restarts are enough in practice; fall back to dropping the
     // conflicting pairs so the generator always terminates.
     for _attempt in 0..20 {
@@ -167,7 +280,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
             b.add_edge(u, v).expect("validated above");
         }
         if ok {
-            return b.build();
+            let g = b.build();
+            let s = stats(&g, false);
+            return (g, s);
         }
     }
     // Fallback: greedy matching of stubs skipping conflicts.
@@ -188,7 +303,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
             }
         }
     }
-    b.build()
+    let g = b.build();
+    let s = stats(&g, true);
+    (g, s)
 }
 
 /// Random spanning tree on `n` nodes (uniform attachment), then `extra`
@@ -244,25 +361,80 @@ pub fn cluster_chain(k: usize, size: usize, p: f64, seed: u64) -> Graph {
     b.build()
 }
 
-/// Chung–Lu style power-law graph: node `v` has weight `(v+1)^{-γ}`-ish,
-/// normalized to a target average degree.
+/// Chung–Lu style power-law graph: node `v` has weight `(v+1)^{-1/(γ−1)}`,
+/// normalized to a target average degree; the edge `{u, v}` appears
+/// independently with probability `min(1, C·w_u·w_v)`.
+///
+/// Sampling uses the Miller–Hagberg skip algorithm: because the weights are
+/// non-increasing in the node id, for a fixed `u` the current probability is
+/// an upper envelope for all later `v`, so candidate neighbors are found by
+/// geometric skips under the envelope and accepted with ratio `p/q` —
+/// `O(n + m)` expected work instead of the former O(n²) pair loop. The edge
+/// stream is sorted, so the CSR form is built directly.
+///
+/// Determinism: the edge set is a pure function of the parameters; as with
+/// [`gnp`], the draw sequence differs from the historical per-pair sampler,
+/// so a given seed yields a different (equally distributed) edge set.
 pub fn power_law(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Graph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    if n < 2 || avg_degree <= 0.0 {
+        return Graph::empty(n);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let weights: Vec<f64> = (0..n)
         .map(|v| ((v + 1) as f64).powf(-1.0 / (gamma - 1.0)))
         .collect();
     let wsum: f64 = weights.iter().sum();
-    let scale = avg_degree * n as f64 / wsum;
-    let mut b = GraphBuilder::new(n);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            let p = (scale * weights[u] * weights[v] / wsum).min(1.0);
-            if rng.gen::<f64>() < p {
-                b.add_edge(u, v).expect("power-law edges are valid");
+    // min(1, C·w_u·w_v) with C chosen so the expected degree sum targets
+    // `avg_degree · n` (same normalization as the historical sampler).
+    let c = avg_degree * n as f64 / (wsum * wsum);
+    let mut edges = Vec::new();
+    for u in 0..n.saturating_sub(1) {
+        let mut v = u + 1;
+        let mut q = (c * weights[u] * weights[v]).min(1.0);
+        while v < n && q > 0.0 {
+            if q < 1.0 {
+                // Geometric skip under the envelope probability q.
+                let r: f64 = rng.gen();
+                let gap = ((1.0 - r).ln() / (1.0 - q).ln()).floor();
+                if !gap.is_finite() || v as f64 + gap >= n as f64 {
+                    break;
+                }
+                v += gap as usize;
             }
+            let p = (c * weights[u] * weights[v]).min(1.0);
+            debug_assert!(p <= q, "weights must be non-increasing");
+            if rng.gen::<f64>() < p / q {
+                edges.push((u, v));
+            }
+            q = p;
+            v += 1;
         }
     }
-    b.build()
+    Graph::from_sorted_edges(n, &edges)
+}
+
+/// Bounded-degree expander-style graph: the union of `d` seeded random
+/// perfect matchings on `n` nodes (for odd `n` each matching leaves one node
+/// unmatched). Collisions between matchings are dropped, so the maximum
+/// degree is ≤ `d` and, for `n ≫ d`, almost all nodes have degree exactly
+/// `d`. Unions of independent random matchings are expanders with high
+/// probability for `d ≥ 3` — the bounded-degree, low-diameter regime used by
+/// the scale benchmarks.
+pub fn expander(n: usize, d: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n / 2 * d);
+    let mut perm: Vec<NodeId> = (0..n).collect();
+    for _ in 0..d {
+        perm.shuffle(&mut rng);
+        for pair in perm.chunks_exact(2) {
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            edges.push((a, b));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_sorted_edges(n, &edges)
 }
 
 #[cfg(test)]
@@ -353,6 +525,88 @@ mod tests {
     fn gnp_extremes() {
         assert_eq!(gnp(20, 0.0, 1).m(), 0);
         assert_eq!(gnp(20, 1.0, 1).m(), 190);
+    }
+
+    #[test]
+    fn unrank_pair_enumerates_the_upper_triangle() {
+        for n in [2usize, 3, 5, 11] {
+            let mut expect = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    expect.push((u, v));
+                }
+            }
+            let got: Vec<_> = (0..pair_count(n)).map(|t| unrank_pair(n, t)).collect();
+            assert_eq!(got, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn gnp_edge_count_tracks_expectation() {
+        let n = 2000;
+        let p = 0.002;
+        let g = gnp(n, p, 99);
+        let expect = pair_count(n) as f64 * p;
+        let m = g.m() as f64;
+        assert!(
+            (m - expect).abs() < 4.0 * expect.sqrt() + 10.0,
+            "m = {m}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn power_law_average_degree_tracks_target() {
+        let n = 3000;
+        let g = power_law(n, 2.5, 6.0, 17);
+        let avg = 2.0 * g.m() as f64 / n as f64;
+        // min(1, ·) clipping loses a little mass on the head nodes, so the
+        // realized average sits slightly below the target.
+        assert!(
+            avg > 3.5 && avg < 7.0,
+            "average degree {avg} far from target 6"
+        );
+        // The head of the id range should be much hotter than the tail.
+        let head_max = (0..10).map(|v| g.degree(v)).max().unwrap();
+        assert!(head_max > 20, "head degree {head_max} not skewed");
+    }
+
+    #[test]
+    fn expander_is_near_regular_and_connected() {
+        let g = expander(2000, 4, 5);
+        assert!(g.max_degree() <= 4);
+        let exact = g.nodes().filter(|&v| g.degree(v) == 4).count();
+        assert!(exact >= 1900, "only {exact} nodes reached degree 4");
+        assert!(metrics::is_connected(&g));
+        assert_eq!(g, expander(2000, 4, 5));
+    }
+
+    #[test]
+    fn expander_odd_n_leaves_unmatched_nodes() {
+        let g = expander(9, 2, 3);
+        assert!(g.max_degree() <= 2);
+        assert!(g.m() <= 8); // 2 matchings × 4 pairs
+    }
+
+    #[test]
+    fn random_regular_detailed_reports_odd_parity_drop() {
+        // n·d = 15 is odd: exactly one stub cannot pair on a clean attempt.
+        let (g, stats) = random_regular_detailed(5, 3, 11);
+        assert_eq!(stats.target_degree, 3);
+        assert_eq!(stats.dropped_stubs, 5 * 3 - 2 * g.m());
+        assert!(stats.dropped_stubs >= 1, "odd n·d must drop a stub");
+        assert_eq!(stats.dropped_stubs % 2, 1);
+        // Even n·d with a comfortable spread: clean attempt, no deficit.
+        let (g2, stats2) = random_regular_detailed(40, 4, 2);
+        if !stats2.used_fallback {
+            assert_eq!(stats2.dropped_stubs, 0);
+            assert_eq!(2 * g2.m(), 160);
+        }
+    }
+
+    #[test]
+    fn random_regular_detailed_matches_plain_variant() {
+        let (g, _) = random_regular_detailed(30, 4, 8);
+        assert_eq!(g, random_regular(30, 4, 8));
     }
 
     #[test]

@@ -88,6 +88,51 @@ impl Graph {
         }
     }
 
+    /// Builds a graph directly in CSR form from an edge list that is already
+    /// strictly sorted lexicographically with `u < v` per edge — `O(n + m)`
+    /// with no sorting pass, the construction path used by the scale-tier
+    /// generators (`gnp`, `power_law`, `expander` at 10⁴–10⁶ nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, an edge has `u >= v`, or the
+    /// list is not strictly increasing (which also catches duplicates).
+    /// Callers that cannot guarantee the precondition should use
+    /// [`Graph::from_edges`].
+    pub fn from_sorted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut deg = vec![0usize; n];
+        let mut prev: Option<(NodeId, NodeId)> = None;
+        for &(u, v) in edges {
+            assert!(u < v, "edge ({u}, {v}) must satisfy u < v");
+            assert!(v < n, "edge endpoint {v} out of range for {n} nodes");
+            if let Some(p) = prev {
+                assert!(p < (u, v), "edge list must be strictly increasing");
+            }
+            prev = Some((u, v));
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut adj = vec![0usize; 2 * edges.len()];
+        let mut cursor = offsets.clone();
+        // Smaller-side neighbors first (for node x these are the `u` of edges
+        // `(u, x)`, which arrive in increasing `u`), then larger-side
+        // neighbors (the `v` of edges `(x, v)`, increasing per `x`): each
+        // adjacency list comes out sorted without a sort pass.
+        for &(u, v) in edges {
+            adj[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        for &(u, v) in edges {
+            adj[cursor[u]] = v;
+            cursor[u] += 1;
+        }
+        Graph { offsets, adj }
+    }
+
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.offsets.len() - 1
@@ -289,6 +334,29 @@ mod tests {
         assert_eq!(g.neighbors(3), &[0, 1]);
         assert_eq!(g.neighbors(0), &[3, 4]);
         assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn from_sorted_edges_matches_from_edges() {
+        let edges = [(0, 3), (0, 4), (1, 3), (2, 4), (3, 4)];
+        let fast = Graph::from_sorted_edges(5, &edges);
+        let slow = Graph::from_edges(5, &edges).unwrap();
+        assert_eq!(fast, slow);
+        for v in 0..5 {
+            assert!(fast.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_edges_rejects_duplicates() {
+        let _ = Graph::from_sorted_edges(3, &[(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "u < v")]
+    fn from_sorted_edges_rejects_unoriented_edges() {
+        let _ = Graph::from_sorted_edges(3, &[(1, 0)]);
     }
 
     #[test]

@@ -198,13 +198,22 @@ fn avoid_mis_keeps(state: &PrefixState, active: &[bool], n: usize) -> Vec<bool> 
 ///
 /// Panics on internal progress bugs.
 pub fn mpc_color_linear(instance: &ListInstance) -> MpcColoringResult {
+    mpc_color_linear_with_backend(instance, dcl_par::Backend::Sequential)
+}
+
+/// [`mpc_color_linear`] with an explicit machine-step execution backend
+/// (results are bit-identical across backends).
+pub fn mpc_color_linear_with_backend(
+    instance: &ListInstance,
+    backend: dcl_par::Backend,
+) -> MpcColoringResult {
     let g = instance.graph();
     let n = g.n();
     let delta = g.max_degree();
     let s = (4 * n).max(8 * (delta + 2)).max(64);
     let total = instance_words(instance, &vec![true; n]);
     let machines = total.div_ceil(s).max(1) + 1;
-    let mut mpc = Mpc::new(machines, s);
+    let mut mpc = Mpc::with_backend(machines, s, backend);
 
     // Owner assignment: first-fit by node-record size.
     let mut owner = vec![0usize; n];
@@ -308,13 +317,23 @@ pub fn mpc_color_linear(instance: &ListInstance) -> MpcColoringResult {
 ///
 /// Panics if `alpha` is not in `(0, 1]` or on internal progress bugs.
 pub fn mpc_color_sublinear(instance: &ListInstance, alpha: f64) -> MpcColoringResult {
+    mpc_color_sublinear_with_backend(instance, alpha, dcl_par::Backend::Sequential)
+}
+
+/// [`mpc_color_sublinear`] with an explicit machine-step execution backend
+/// (results are bit-identical across backends).
+pub fn mpc_color_sublinear_with_backend(
+    instance: &ListInstance,
+    alpha: f64,
+    backend: dcl_par::Backend,
+) -> MpcColoringResult {
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
     let g = instance.graph();
     let n = g.n();
     let s = ((n.max(2) as f64).powf(alpha).ceil() as usize).max(16);
     let total = instance_words(instance, &vec![true; n]).max(1);
     let machines = total.div_ceil(s).max(2);
-    let mut mpc = Mpc::new(machines, s);
+    let mut mpc = Mpc::with_backend(machines, s, backend);
     let tree_fanout = ((s as f64).sqrt().floor() as usize).max(2);
     let tree_depth = ((machines as f64).ln() / (tree_fanout as f64).ln())
         .ceil()

@@ -25,5 +25,8 @@ pub mod instance;
 pub mod machine;
 pub mod tools;
 
-pub use coloring::{mpc_color_linear, mpc_color_sublinear, MpcColoringResult};
+pub use coloring::{
+    mpc_color_linear, mpc_color_linear_with_backend, mpc_color_sublinear,
+    mpc_color_sublinear_with_backend, MpcColoringResult,
+};
 pub use machine::{Mpc, MpcMetrics};

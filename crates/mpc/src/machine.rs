@@ -7,6 +7,8 @@
 //! [`Mpc::assert_storage`] for algorithms to declare their resident state
 //! (checked against the memory bound).
 
+use dcl_par::{Backend, Pool};
+
 /// Word size of message payloads.
 pub trait WordSized {
     /// Number of machine words the value occupies.
@@ -79,6 +81,9 @@ pub struct Mpc {
     /// `slack · S` (the model's `O(S)`).
     slack: usize,
     metrics: MpcMetrics,
+    backend: Backend,
+    /// Worker pool, present only when `backend` is effectively parallel.
+    pool: Option<Pool>,
 }
 
 /// Per-machine inboxes: `(sender, payload)` pairs.
@@ -99,7 +104,28 @@ impl Mpc {
             memory_words,
             slack: 4,
             metrics: MpcMetrics::default(),
+            backend: Backend::Sequential,
+            pool: None,
         }
+    }
+
+    /// Creates a cluster with an explicit round-execution backend.
+    pub fn with_backend(machines: usize, memory_words: usize, backend: Backend) -> Self {
+        let mut mpc = Mpc::new(machines, memory_words);
+        mpc.set_backend(backend);
+        mpc
+    }
+
+    /// Switches the round-execution backend. Results are bit-identical
+    /// across backends; only wall-clock changes.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+        self.pool = backend.is_parallel().then(|| Pool::new(backend.threads()));
+    }
+
+    /// The active round-execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Number of machines.
@@ -129,20 +155,48 @@ impl Mpc {
     ///
     /// Panics if a machine sends or receives more than `O(S)` words or
     /// addresses an unknown machine.
-    pub fn round<M, F>(&mut self, mut sender: F) -> Inboxes<M>
+    /// Under [`Backend::Parallel`] the `sender` closures (and the per-message
+    /// [`WordSized::words`] sizing) are evaluated on the worker pool; the
+    /// send/receive budget checks are then replayed message-by-message in
+    /// machine order on the calling thread, so budgets, panics, metrics and
+    /// inboxes are bit-identical to the sequential backend.
+    pub fn round<M, F>(&mut self, sender: F) -> Inboxes<M>
     where
-        M: WordSized,
-        F: FnMut(usize) -> Vec<(usize, M)>,
+        M: WordSized + Send,
+        F: Fn(usize) -> Vec<(usize, M)> + Sync,
     {
         self.metrics.rounds += 1;
         let budget = self.slack * self.memory_words;
+        let outgoing: Vec<Vec<(usize, usize, M)>> = match &self.pool {
+            Some(pool) => pool
+                .map_chunks(self.machines, |range| {
+                    range
+                        .map(|i| {
+                            sender(i)
+                                .into_iter()
+                                .map(|(dst, msg)| (dst, msg.words(), msg))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect(),
+            None => (0..self.machines)
+                .map(|i| {
+                    sender(i)
+                        .into_iter()
+                        .map(|(dst, msg)| (dst, msg.words(), msg))
+                        .collect()
+                })
+                .collect(),
+        };
         let mut received = vec![0usize; self.machines];
         let mut inboxes: Inboxes<M> = (0..self.machines).map(|_| Vec::new()).collect();
-        for i in 0..self.machines {
+        for (i, msgs) in outgoing.into_iter().enumerate() {
             let mut sent = 0usize;
-            for (dst, msg) in sender(i) {
+            for (dst, w, msg) in msgs {
                 assert!(dst < self.machines, "machine {dst} out of range");
-                let w = msg.words();
                 sent += w;
                 received[dst] += w;
                 assert!(
@@ -202,6 +256,31 @@ mod tests {
         assert_eq!(inboxes[1], vec![(0, 5)]);
         assert_eq!(inboxes[2], vec![(1, 6)]);
         assert_eq!(mpc.metrics().words, 3);
+    }
+
+    #[test]
+    fn parallel_backend_matches_sequential_bit_for_bit() {
+        let sender = |i: usize| -> Vec<(usize, u64)> {
+            (0..100usize)
+                .filter(|&d| d != i && (d + i) % 7 == 0)
+                .map(|d| (d, (i * 1000 + d) as u64))
+                .collect()
+        };
+        let mut seq = Mpc::new(100, 400);
+        let mut par = Mpc::with_backend(100, 400, dcl_par::Backend::Parallel(4));
+        for _ in 0..3 {
+            assert_eq!(seq.round(sender), par.round(sender));
+        }
+        assert_eq!(seq.metrics(), par.metrics());
+    }
+
+    #[test]
+    #[should_panic(expected = "receive budget")]
+    fn parallel_receive_budget_enforced() {
+        let mut mpc = Mpc::with_backend(100, 2, dcl_par::Backend::Parallel(3));
+        // Many senders within their own budgets flood machine 99
+        // (budget = slack 4 × S 2 = 8 words; the ninth word trips it).
+        let _ = mpc.round(|i| if i < 9 { vec![(99usize, 1u64)] } else { vec![] });
     }
 
     #[test]

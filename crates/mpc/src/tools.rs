@@ -64,7 +64,7 @@ impl<T: WordSized> WordSized for Keyed<T> {
 /// merge-split network with `O(log² M)` rounds; see `DESIGN.md` §2.
 pub fn sort<T>(mpc: &mut Mpc, data: Dist<T>) -> Dist<T>
 where
-    T: Ord + Clone + WordSized,
+    T: Ord + Clone + WordSized + Send + Sync,
 {
     let p = mpc.machines();
     assert_eq!(data.len(), p, "one block per machine required");
@@ -126,7 +126,7 @@ where
 /// would overload machine 0 for large clusters), then one routing round.
 fn rebalance<T>(mpc: &mut Mpc, data: Dist<T>, block_size: usize) -> Dist<T>
 where
-    T: Ord + Clone + WordSized,
+    T: Ord + Clone + WordSized + Send + Sync,
 {
     let p = mpc.machines();
     // One single-word item per machine: its local count. The inclusive scan
@@ -155,7 +155,7 @@ where
 /// Constant-round regular-sampling sort on balanced blocks of distinct keys.
 fn sample_sort<T>(mpc: &mut Mpc, mut local: Dist<T>, block_size: usize) -> Dist<T>
 where
-    T: Ord + Clone + WordSized,
+    T: Ord + Clone + WordSized + Send + Sync,
 {
     let p = mpc.machines();
     let total: usize = local.iter().map(Vec::len).sum();
@@ -230,7 +230,7 @@ where
 /// any blocked sequence.
 fn bitonic_sort<T>(mpc: &mut Mpc, local: Dist<Keyed<T>>, block_size: usize) -> Dist<Keyed<T>>
 where
-    T: Ord + Clone + WordSized,
+    T: Ord + Clone + WordSized + Send + Sync,
 {
     let p = mpc.machines();
     let pp = p.next_power_of_two();
@@ -307,7 +307,7 @@ where
 /// aggregation-tree structure of Definition 5.4.
 pub fn prefix_sums<T, F>(mpc: &mut Mpc, data: &Dist<T>, mut op: F) -> Dist<T>
 where
-    T: Clone + WordSized,
+    T: Clone + WordSized + Send + Sync,
     F: FnMut(&T, &T) -> T,
 {
     let p = mpc.machines();
@@ -432,8 +432,8 @@ where
 /// This is the aggregation-tree workhorse of Definition 5.4.
 pub fn segmented_scan<T, K, KF, F>(mpc: &mut Mpc, data: &Dist<T>, mut key_of: KF, op: F) -> Dist<T>
 where
-    T: Clone + WordSized,
-    K: PartialEq + Clone,
+    T: Clone + WordSized + Send + Sync,
+    K: PartialEq + Clone + Send + Sync,
     KF: FnMut(&T) -> K,
     F: Fn(&T, &T) -> T,
 {

@@ -1,0 +1,56 @@
+//! Parallel vs sequential backend equivalence for the MPC simulator and the
+//! Theorem 1.4/1.5 colorings.
+
+use dcl_coloring::instance::ListInstance;
+use dcl_graphs::{generators, validation};
+use dcl_mpc::machine::Mpc;
+use dcl_mpc::{
+    mpc_color_linear, mpc_color_linear_with_backend, mpc_color_sublinear,
+    mpc_color_sublinear_with_backend,
+};
+use dcl_par::Backend;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Linear-memory MPC coloring is identical per backend.
+    #[test]
+    fn mpc_linear_equivalence(n in 6usize..26, p in 0.1f64..0.35, seed in any::<u64>()) {
+        let g = generators::gnp(n, p, seed);
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let seq = mpc_color_linear(&inst);
+        let par = mpc_color_linear_with_backend(&inst, Backend::Parallel(3));
+        prop_assert_eq!(&seq.colors, &par.colors);
+        prop_assert_eq!(seq.metrics, par.metrics);
+        prop_assert_eq!(validation::check_proper(&g, &seq.colors), None);
+    }
+
+    /// Sublinear-memory MPC coloring is identical per backend.
+    #[test]
+    fn mpc_sublinear_equivalence(n in 8usize..22, seed in any::<u64>()) {
+        let g = generators::gnp(n, 0.25, seed);
+        let inst = ListInstance::degree_plus_one(g.clone());
+        let seq = mpc_color_sublinear(&inst, 0.6);
+        let par = mpc_color_sublinear_with_backend(&inst, 0.6, Backend::Parallel(4));
+        prop_assert_eq!(&seq.colors, &par.colors);
+        prop_assert_eq!(seq.metrics, par.metrics);
+    }
+
+    /// Raw MPC rounds deliver identical inboxes and metrics per backend.
+    #[test]
+    fn mpc_round_equivalence(machines in 2usize..50, seed in any::<u64>(), threads in 2usize..6) {
+        let sender = |i: usize| -> Vec<(usize, u64)> {
+            (0..machines)
+                .filter(|&d| d != i && (d + i + seed as usize) % 4 == 0)
+                .map(|d| (d, (i * machines + d) as u64))
+                .collect()
+        };
+        let mut seq = Mpc::new(machines, 4 * machines.max(4));
+        let mut par = Mpc::with_backend(machines, 4 * machines.max(4), Backend::Parallel(threads));
+        for _ in 0..2 {
+            prop_assert_eq!(seq.round(sender), par.round(sender));
+        }
+        prop_assert_eq!(seq.metrics(), par.metrics());
+    }
+}

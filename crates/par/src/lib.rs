@@ -1,0 +1,432 @@
+//! Std-only scoped fork-join thread pool shared by the three simulators.
+//!
+//! The build image has no crates.io access, so instead of rayon this crate
+//! provides the minimal deterministic parallel primitive the simulators need:
+//! evaluate a pure per-index function over `0..jobs` on a fixed set of worker
+//! threads and hand the results back *in index order*. The [`Backend`] enum is
+//! the user-facing knob: every simulator (`dcl_congest::Network`,
+//! `dcl_clique::CliqueNetwork`, `dcl_mpc::Mpc`) accepts it and uses a [`Pool`]
+//! when it is [`Backend::Parallel`].
+//!
+//! # Determinism contract
+//!
+//! Work is split into *chunks* with boundaries that depend only on the item
+//! count and the thread count, never on timing. Which worker executes which
+//! chunk is racy, but each chunk writes only its own result slot, so the
+//! values returned by [`Pool::map_chunks`] are bit-identical across runs and
+//! across thread counts with the same chunking. The simulators additionally
+//! reduce per-chunk cost counters in chunk order, which makes their metrics
+//! independent of scheduling too.
+//!
+//! # Panics
+//!
+//! A panic inside a job is caught on the worker, and after the whole batch
+//! has drained, the payload of the *lowest-indexed* panicking job is resumed
+//! on the caller — so `should_panic` tests observe the same message under
+//! both backends, and the choice of propagated panic is deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcl_par::{Backend, Pool};
+//!
+//! let pool = Pool::new(Backend::Parallel(4).threads());
+//! let squares = pool.map_chunks(10, |range| {
+//!     range.map(|i| i * i).collect::<Vec<_>>()
+//! });
+//! let flat: Vec<usize> = squares.into_iter().flatten().collect();
+//! assert_eq!(flat, (0..10).map(|i| i * i).collect::<Vec<_>>());
+//! ```
+
+use std::any::Any;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Execution backend for a simulator's round loop.
+///
+/// `Sequential` is the default everywhere and preserves the exact historical
+/// behavior. `Parallel(t)` evaluates the per-node `sender` closures of a round
+/// on `t` threads (`0` = one per available core) and merges the results in
+/// node order, producing bit-identical inboxes, metrics and colorings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Single-threaded round execution (the default).
+    #[default]
+    Sequential,
+    /// Multi-threaded round execution with the given thread count;
+    /// `Parallel(0)` uses [`std::thread::available_parallelism`].
+    Parallel(usize),
+}
+
+impl Backend {
+    /// Effective worker-thread count of this backend (always ≥ 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Backend::Sequential => 1,
+            Backend::Parallel(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Backend::Parallel(t) => t,
+        }
+    }
+
+    /// Whether this backend actually runs more than one thread.
+    pub fn is_parallel(self) -> bool {
+        self.threads() > 1
+    }
+}
+
+/// An erased `&dyn Fn(usize)` with the lifetime transmuted away so it can sit
+/// in the shared state while a batch runs. Soundness: [`Pool::run`] blocks
+/// until every worker has finished the batch *before* returning, so the
+/// referent outlives every dereference.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine) and
+// the pool guarantees it stays alive for the duration of the batch.
+unsafe impl Send for TaskPtr {}
+
+struct State {
+    /// Batch counter; workers pick up work when it changes.
+    epoch: u64,
+    /// Jobs in the current batch.
+    jobs: usize,
+    /// Next unclaimed job index.
+    next_job: usize,
+    /// Workers that have not yet drained the current batch.
+    workers_running: usize,
+    /// The erased job closure of the current batch.
+    task: Option<TaskPtr>,
+    /// Panics caught during the current batch, tagged by job index.
+    panics: Vec<(usize, Box<dyn Any + Send + 'static>)>,
+    /// Tells workers to exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a new batch (or shutdown) is available.
+    work_cv: Condvar,
+    /// Signals the caller that all workers drained the batch.
+    done_cv: Condvar,
+}
+
+/// A fixed-size fork-join pool of persistent worker threads.
+///
+/// The pool holds `threads - 1` background workers; the thread calling
+/// [`Pool::run`] or [`Pool::map_chunks`] participates as the remaining
+/// worker, so `Pool::new(1)` spawns nothing and runs everything inline.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with `threads` total workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                jobs: 0,
+                next_job: 0,
+                workers_running: 0,
+                task: None,
+                panics: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Creates the pool prescribed by `backend` (1 thread for
+    /// [`Backend::Sequential`]).
+    pub fn from_backend(backend: Backend) -> Self {
+        Pool::new(backend.threads())
+    }
+
+    /// Total worker count (background workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..jobs`, returning when all jobs have
+    /// finished. Panics inside jobs are re-raised on the caller (the
+    /// lowest-indexed panicking job wins).
+    pub fn run<F: Fn(usize) + Sync>(&self, jobs: usize, f: &F) {
+        if jobs == 0 {
+            return;
+        }
+        if self.threads == 1 || jobs == 1 {
+            for i in 0..jobs {
+                f(i);
+            }
+            return;
+        }
+        let task: &(dyn Fn(usize) + Sync) = f;
+        // SAFETY: see `TaskPtr` — we block below until the batch fully
+        // drains, so the erased borrow never outlives `f`.
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert_eq!(st.workers_running, 0, "pool batches never nest");
+            st.epoch += 1;
+            st.jobs = jobs;
+            st.next_job = 0;
+            st.workers_running = self.handles.len();
+            st.task = Some(task);
+            st.panics.clear();
+            self.shared.work_cv.notify_all();
+        }
+        // The caller participates in the batch.
+        drain_jobs(&self.shared, task);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.workers_running > 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.task = None;
+        let mut panics = std::mem::take(&mut st.panics);
+        drop(st);
+        if !panics.is_empty() {
+            panics.sort_by_key(|(i, _)| *i);
+            resume_unwind(panics.swap_remove(0).1);
+        }
+    }
+
+    /// Splits `0..items` into contiguous chunks (boundaries depend only on
+    /// `items` and the thread count), evaluates `f` on every chunk across the
+    /// pool, and returns the per-chunk results **in chunk order**.
+    pub fn map_chunks<R, F>(&self, items: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(items, self.threads);
+        let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        self.run(ranges.len(), &|j| {
+            let result = f(ranges[j].clone());
+            *slots[j].lock().unwrap() = Some(result);
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("run() returns only after every job completed")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Deterministic chunking: at most `4 · threads` chunks (for load balancing
+/// under skewed per-item cost), never smaller than 64 items per chunk (so
+/// tiny rounds do not drown in coordination), always covering `0..items`.
+fn chunk_ranges(items: usize, threads: usize) -> Vec<Range<usize>> {
+    if items == 0 {
+        return Vec::new();
+    }
+    let max_chunks = (threads * 4).max(1);
+    let min_chunk = 64usize;
+    let chunks = (items.div_ceil(min_chunk)).clamp(1, max_chunks);
+    let base = items / chunks;
+    let extra = items % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, items);
+    ranges
+}
+
+fn drain_jobs(shared: &Shared, task: TaskPtr) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            if st.next_job >= st.jobs {
+                None
+            } else {
+                let i = st.next_job;
+                st.next_job += 1;
+                Some(i)
+            }
+        };
+        let Some(i) = job else { break };
+        // SAFETY: `task` points to the batch closure, alive until run()
+        // returns (which happens only after every worker finished).
+        let f = unsafe { &*task.0 };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+            shared.state.lock().unwrap().panics.push((i, payload));
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let task = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.task.expect("task set for the active epoch");
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        drain_jobs(shared, task);
+        let mut st = shared.state.lock().unwrap();
+        st.workers_running -= 1;
+        if st.workers_running == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn backend_thread_counts() {
+        assert_eq!(Backend::Sequential.threads(), 1);
+        assert_eq!(Backend::Parallel(3).threads(), 3);
+        assert!(Backend::Parallel(0).threads() >= 1);
+        assert!(!Backend::Sequential.is_parallel());
+        assert!(Backend::Parallel(2).is_parallel());
+        assert!(!Backend::Parallel(1).is_parallel());
+        assert_eq!(Backend::default(), Backend::Sequential);
+    }
+
+    #[test]
+    fn run_executes_every_job_exactly_once() {
+        let pool = Pool::new(4);
+        let counters: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(1000, &|i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn map_chunks_results_are_in_order_and_cover_all_items() {
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            for items in [0usize, 1, 63, 64, 65, 1000] {
+                let chunks = pool.map_chunks(items, |r| r.collect::<Vec<_>>());
+                let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+                assert_eq!(
+                    flat,
+                    (0..items).collect::<Vec<_>>(),
+                    "threads {threads} items {items}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = Pool::new(3);
+        for round in 0..50 {
+            let sums = pool.map_chunks(500, |r| r.map(|i| i + round).sum::<usize>());
+            let total: usize = sums.into_iter().sum();
+            assert_eq!(total, (0..500).map(|i| i + round).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts_with_same_chunking() {
+        // Same thread count => same chunk boundaries => identical outputs.
+        let a = Pool::new(4).map_chunks(777, |r| r.map(|i| i * 3).collect::<Vec<_>>());
+        let b = Pool::new(4).map_chunks(777, |r| r.map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(a, b);
+        // Across thread counts, the *flattened* result is still identical.
+        let c: Vec<usize> = Pool::new(2)
+            .map_chunks(777, |r| r.map(|i| i * 3).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(a.into_iter().flatten().collect::<Vec<_>>(), c);
+    }
+
+    #[test]
+    fn panic_propagates_with_lowest_job_index() {
+        let pool = Pool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(100, &|i| {
+                if i == 17 || i == 93 {
+                    panic!("job {i} failed");
+                }
+            });
+        }));
+        let payload = result.expect_err("should panic");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "job 17 failed");
+        // The pool survives a panicking batch.
+        let ok = pool.map_chunks(10, |r| r.len());
+        assert_eq!(ok.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.map_chunks(200, |r| r.sum::<usize>());
+        assert_eq!(out.iter().sum::<usize>(), (0..200).sum::<usize>());
+    }
+
+    #[test]
+    fn chunk_ranges_respect_minimum_size() {
+        // 100 items on 8 threads: 100/64 rounds up to 2 chunks, not 32.
+        let ranges = chunk_ranges(100, 8);
+        assert_eq!(ranges.len(), 2);
+        // Large inputs cap at 4x threads.
+        let ranges = chunk_ranges(1_000_000, 4);
+        assert_eq!(ranges.len(), 16);
+    }
+}

@@ -38,3 +38,4 @@ pub use dcl_decomp as decomp;
 pub use dcl_derand as derand;
 pub use dcl_graphs as graphs;
 pub use dcl_mpc as mpc;
+pub use dcl_par::{Backend, Pool};

@@ -1,0 +1,68 @@
+//! Release-gated scale smoke tests (n = 10⁵): the scale-tier generators, the
+//! parallel backend and the full coloring pipeline at sizes the experiment
+//! harness targets. Debug builds mark these `#[ignore]` — run them with
+//! `cargo test --release`.
+
+use distributed_coloring::coloring::congest_coloring::{
+    color_degree_plus_one, CongestColoringConfig,
+};
+use distributed_coloring::congest::network::Network;
+use distributed_coloring::graphs::{generators, validation};
+use distributed_coloring::Backend;
+
+const SCALE_N: usize = 100_000;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "scale test; run with cargo test --release")]
+fn scale_generators_build_100k_graphs() {
+    let gnp = generators::gnp(SCALE_N, 8.0 / SCALE_N as f64, 1);
+    assert_eq!(gnp.n(), SCALE_N);
+    let expect = SCALE_N as f64 * 4.0;
+    assert!((gnp.m() as f64 - expect).abs() < 0.05 * expect);
+
+    let pl = generators::power_law(SCALE_N, 2.5, 4.0, 7);
+    assert!(pl.m() > SCALE_N);
+    assert!(pl.max_degree() > 500, "power law should have heavy head");
+
+    let ex = generators::expander(SCALE_N, 8, 1);
+    assert!(ex.max_degree() <= 8);
+    assert!(ex.nodes().filter(|&v| ex.degree(v) == 8).count() > SCALE_N - 100);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "scale test; run with cargo test --release")]
+fn scale_round_backend_equivalence_on_power_law() {
+    let g = generators::power_law(SCALE_N, 2.5, 4.0, 7);
+    let sender = |v: usize| -> Vec<(usize, u64)> {
+        g.neighbors(v)
+            .iter()
+            .filter(|&&u| (u ^ v) % 4 == 0)
+            .map(|&u| (u, (v ^ u) as u64))
+            .collect()
+    };
+    let mut seq = Network::with_default_cap(&g, SCALE_N as u64);
+    let mut par = Network::with_backend(&g, seq.cap_bits(), Backend::Parallel(0));
+    for _ in 0..5 {
+        assert_eq!(seq.round(sender), par.round(sender));
+        let a = seq.broadcast_round(|v| (v % 7 == 0).then_some(v as u64));
+        let b = par.broadcast_round(|v| (v % 7 == 0).then_some(v as u64));
+        assert_eq!(a, b);
+    }
+    assert_eq!(seq.metrics(), par.metrics());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "scale test; run with cargo test --release")]
+fn scale_coloring_completes_on_100k_expander() {
+    let g = generators::expander(SCALE_N, 8, 1);
+    let par = color_degree_plus_one(
+        &g,
+        &CongestColoringConfig {
+            backend: Backend::Parallel(0),
+            ..Default::default()
+        },
+    );
+    assert_eq!(validation::check_proper(&g, &par.colors), None);
+    // (Δ+1)-coloring: palette ≤ 9.
+    assert!(par.colors.iter().all(|&c| c <= 8));
+}
