@@ -74,7 +74,7 @@ fn bench_coloring_scale(c: &mut Criterion) {
                     black_box(color_degree_plus_one(
                         &g,
                         &CongestColoringConfig {
-                            backend,
+                            exec: dcl_sim::ExecConfig::with_backend(backend),
                             ..Default::default()
                         },
                     ))

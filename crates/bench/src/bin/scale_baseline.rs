@@ -59,7 +59,7 @@ fn time_coloring(workload: String, g: &Graph, threads: usize) -> PairRow {
     let par = color_degree_plus_one(
         g,
         &CongestColoringConfig {
-            backend: Backend::Parallel(threads),
+            exec: dcl_sim::ExecConfig::with_backend(Backend::Parallel(threads)),
             ..Default::default()
         },
     );

@@ -1,5 +1,6 @@
 //! Experiment harness: workloads, table printing and the experiment
-//! implementations (E1–E11 of `DESIGN.md` §4).
+//! implementations (E1–E12 of `DESIGN.md` §4, including the E12 bandwidth
+//! sweep enabled by `dcl_sim::ExecConfig`).
 //!
 //! The paper is a theory paper without an empirical section, so every
 //! quantitative claim (potential invariants, progress guarantees, round
@@ -576,6 +577,65 @@ pub fn e10_ablation() -> Table {
     t
 }
 
+/// E12 — the paper's headline axis: Theorem 1.1 (CONGEST) and Theorem 1.3
+/// (CONGESTED CLIQUE) round/bit counts as a function of the bandwidth cap,
+/// swept over `cap_bits ∈ {⌈log₂ n⌉, …, 8·⌈log₂ n⌉}`. Below the default
+/// two-word cap, word-sized payloads (conditional-expectation shares,
+/// routed records) fragment and the round counts grow; total bits stay
+/// essentially flat because fragmentation moves the same payload in more,
+/// smaller messages.
+pub fn e12_bandwidth_sweep() -> Table {
+    use dcl_clique::coloring::{clique_color, CliqueColoringConfig};
+    use dcl_sim::{BandwidthCap, ExecConfig};
+    let mut t = Table::new(
+        "E12 (Thms 1.1+1.3): rounds and bits vs bandwidth cap (n=96, Delta=6)",
+        &[
+            "cap_bits",
+            "x_log_n",
+            "congest_rounds",
+            "congest_msgs",
+            "congest_bits",
+            "clique_rounds",
+            "clique_bits",
+            "proper",
+        ],
+    );
+    let g = generators::random_regular(96, 6, 5);
+    let inst = ListInstance::degree_plus_one(g.clone());
+    let log_n = usize::BITS - (g.n() - 1).leading_zeros(); // ⌈log₂ n⌉ = 7
+    for mult in [1u32, 2, 4, 8] {
+        let cap = BandwidthCap::new(mult * log_n);
+        let exec = ExecConfig::with_cap(cap);
+        let congest = color_list_instance(
+            &inst,
+            &CongestColoringConfig {
+                exec,
+                ..Default::default()
+            },
+        );
+        let clique = clique_color(
+            &inst,
+            &CliqueColoringConfig {
+                exec,
+                ..Default::default()
+            },
+        );
+        let proper = validation::check_proper(&g, &congest.colors).is_none()
+            && validation::check_proper(&g, &clique.colors).is_none();
+        t.row(vec![
+            cap.bits().to_string(),
+            format!("{mult}x"),
+            congest.metrics.rounds.to_string(),
+            congest.metrics.messages.to_string(),
+            congest.metrics.bits.to_string(),
+            clique.metrics.rounds.to_string(),
+            clique.metrics.bits.to_string(),
+            proper.to_string(),
+        ]);
+    }
+    t
+}
+
 /// E11 — Section 5 toolbox: constant-round sort/prefix/set-difference.
 pub fn e11_mpc_tools() -> Table {
     use dcl_mpc::machine::Mpc;
@@ -641,6 +701,7 @@ pub fn run_all_experiments() -> String {
         e9_baselines(),
         e10_ablation(),
         e11_mpc_tools(),
+        e12_bandwidth_sweep(),
     ];
     let mut out = String::new();
     out.push_str("# Experiment report — deterministic distributed coloring reproduction\n\n");
@@ -673,6 +734,36 @@ mod tests {
             let after: f64 = row[3].parse().unwrap();
             assert!(after <= before * 1.10, "{before} -> {after}");
         }
+    }
+
+    #[test]
+    fn e12_smaller_caps_cost_more_rounds_never_correctness() {
+        let t = e12_bandwidth_sweep();
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            assert_eq!(row[7], "true", "coloring must stay proper at every cap");
+        }
+        // Rounds are non-increasing as the cap widens, strictly cheaper from
+        // the tightest cap to the widest, in both models.
+        let congest: Vec<u64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let clique: Vec<u64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
+        for w in congest.windows(2) {
+            assert!(
+                w[0] >= w[1],
+                "congest rounds increased with the cap: {congest:?}"
+            );
+        }
+        for w in clique.windows(2) {
+            assert!(
+                w[0] >= w[1],
+                "clique rounds increased with the cap: {clique:?}"
+            );
+        }
+        assert!(
+            congest[0] > congest[3],
+            "sweep should show a bandwidth cost"
+        );
+        assert!(clique[0] > clique[3], "sweep should show a bandwidth cost");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use dcl_coloring::instance::ListInstance;
 use dcl_coloring::prefix::PrefixState;
 use dcl_derand::seed::PartialSeed;
 use dcl_derand::slice::{coin_threshold, BitForm, SliceFamily};
+use dcl_sim::{ExecConfig, Wire};
 
 /// Configuration of the clique coloring.
 #[derive(Debug, Clone, Copy)]
@@ -41,9 +42,9 @@ pub struct CliqueColoringConfig {
     pub max_batch_width: u32,
     /// Safety cap on partial-coloring iterations.
     pub max_iterations: usize,
-    /// Round-execution backend of the simulated clique (results are
-    /// bit-identical across backends).
-    pub backend: dcl_congest::Backend,
+    /// Simulator execution: round backend (results are bit-identical across
+    /// backends) and bandwidth cap (`None` = two words).
+    pub exec: ExecConfig,
 }
 
 impl Default for CliqueColoringConfig {
@@ -52,7 +53,22 @@ impl Default for CliqueColoringConfig {
             segment_bits: 6,
             max_batch_width: 3,
             max_iterations: 200,
-            backend: dcl_congest::Backend::Sequential,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+impl CliqueColoringConfig {
+    /// A default config on the given round-execution backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `exec: ExecConfig::with_backend(backend)`"
+    )]
+    #[must_use]
+    pub fn with_backend(backend: dcl_congest::Backend) -> Self {
+        CliqueColoringConfig {
+            exec: ExecConfig::with_backend(backend),
+            ..Default::default()
         }
     }
 }
@@ -82,8 +98,7 @@ pub fn clique_color(
 ) -> CliqueColoringResult {
     let g = instance.graph();
     let n = g.n();
-    let mut net = CliqueNetwork::with_default_cap(n.max(2));
-    net.set_backend(config.backend);
+    let mut net = CliqueNetwork::from_exec(n.max(2), &config.exec);
     let mut colors: Vec<Option<u64>> = vec![None; n];
     if n == 0 {
         return CliqueColoringResult {
@@ -113,25 +128,44 @@ pub fn clique_color(
             let leader = 0usize;
             // Ship the subgraph and lists to the leader (edge and list
             // entries as one message each; small instances skip routing).
-            let mut msgs: Vec<(usize, usize, (u64, u64))> = Vec::new();
-            for v in 0..n {
+            // Every node assembles its own routing records — simultaneous
+            // local work in the real clique, so the preparation runs on the
+            // backend pool, with the per-node batches concatenated in node
+            // order (bit-identical to the sequential loop).
+            let node_msgs = |v: usize| -> Vec<(usize, usize, (u64, u64))> {
                 if !active[v] {
-                    continue;
+                    return Vec::new();
                 }
+                let mut out = Vec::new();
                 for &u in g.neighbors(v) {
                     if active[u] && u > v {
-                        msgs.push((v, leader, (v as u64, u as u64)));
+                        out.push((v, leader, (v as u64, u as u64)));
                     }
                 }
                 for &c in residual.list(v) {
-                    msgs.push((v, leader, (v as u64 | 1 << 63, c)));
+                    out.push((v, leader, (v as u64 | 1 << 63, c)));
                 }
-            }
+                out
+            };
+            let msgs: Vec<(usize, usize, (u64, u64))> =
+                dcl_sim::map_indexed(net.pool(), n, node_msgs)
+                    .into_iter()
+                    .flatten()
+                    .collect();
             if message_count <= n {
                 let _ = net.lenzen_route(msgs);
             } else {
-                // Tiny instance: a constant number of plain rounds suffices.
-                net.charge_rounds(msgs.len().div_ceil(n.max(2) - 1) as u64);
+                // Tiny instance: a constant number of plain rounds suffices
+                // — stretched by the widest record's fragment count, exactly
+                // like the lenzen_route branch prices the same records.
+                let max_fragments = msgs
+                    .iter()
+                    .map(|(_, _, m)| net.cap().fragments(m.wire_bits()))
+                    .max()
+                    .unwrap_or(1);
+                net.charge_rounds(
+                    msgs.len().div_ceil(n.max(2) - 1) as u64 * u64::from(max_fragments),
+                );
             }
             // Leader solves greedily on the collected instance.
             let order: Vec<usize> = (0..n).filter(|&v| active[v]).collect();
@@ -151,8 +185,9 @@ pub fn clique_color(
                     .expect("(degree+1) slack guarantees a free color");
                 local[v] = Some(c);
             }
-            // Leader distributes the colors (one unicast round).
-            net.charge_rounds(1);
+            // Leader distributes the colors (one unicast round; color names
+            // fragment at caps below ⌈log₂ C⌉ bits).
+            net.charge_rounds(u64::from(net.cap().fragments(residual.color_bits())));
             for &v in &order {
                 colors[v] = local[v];
                 active[v] = false;
@@ -207,9 +242,11 @@ pub fn clique_color(
                     .map(|&k| if k > 0 { 1.0 / k as f64 } else { 0.0 })
                     .collect();
             }
-            // One round: neighbors exchange their digit-count vectors (2^w
-            // words; within the routing headroom by choice of w).
-            net.charge_rounds(1);
+            // One round: neighbors exchange their digit-count vectors. The
+            // routing headroom absorbs the 2^w word *count* (that is how w
+            // was chosen), but each word still fragments at sub-word caps,
+            // so the round stretches by the per-word fragment factor.
+            net.charge_rounds(u64::from(net.cap().fragments(64)));
 
             // Segmented derandomization of the shared seed.
             let mut seed = PartialSeed::new(seed_len);
@@ -226,9 +263,15 @@ pub fn clique_color(
             let mut start = 0usize;
             while start < seed_len {
                 let end = (start + lambda as usize).min(seed_len);
-                let candidates = 1u64 << (end - start);
-                let mut best = (f64::INFINITY, 0u64);
-                for cand in 0..candidates {
+                let candidates = 1usize << (end - start);
+                // All 2^λ candidate values are evaluated simultaneously —
+                // one responsible node each in the real clique, the backend
+                // pool here. Each candidate's score is computed with the
+                // sequential float-operation order and the argmin breaks
+                // ties toward the lower candidate, so the winning segment is
+                // bit-identical across backends.
+                let score = |cand: usize| -> f64 {
+                    let cand = cand as u64;
                     // Candidate forms: base forms with the segment fixed.
                     let mut scratch: Vec<Vec<BitForm>> = forms.clone();
                     for (offset, j) in (start..end).enumerate() {
@@ -252,14 +295,14 @@ pub fn clique_color(
                             total += p * (inv[u][a] + inv[v][a]);
                         }
                     }
-                    if total < best.0 {
-                        best = (total, cand);
-                    }
-                }
+                    total
+                };
+                let (_, winner) = dcl_sim::argmin_f64(net.pool(), candidates, score);
                 // Fix the winning segment; O(1) rounds (responsible-node
-                // evaluation + leader argmin + broadcast).
+                // evaluation + leader argmin + broadcast; the word-sized
+                // scores fragment at sub-word caps).
                 for (offset, j) in (start..end).enumerate() {
-                    let bit = best.1 >> offset & 1 == 1;
+                    let bit = (winner as u64) >> offset & 1 == 1;
                     seed.fix(j, bit);
                     for v in 0..n {
                         if active[v] {
@@ -267,7 +310,7 @@ pub fn clique_color(
                         }
                     }
                 }
-                net.charge_rounds(4);
+                net.charge_rounds(2 + 2 * u64::from(net.cap().fragments(64)));
                 start = end;
             }
 

@@ -7,30 +7,19 @@
 //! cost-model form of Lenzen's deterministic routing theorem \[Len13\]: any
 //! instance where every node sends and receives at most `n` messages is
 //! delivered in `O(1)` (charged: 2) rounds.
+//!
+//! The runtime — backend fan-out, duplicate-recipient validation, cap
+//! enforcement, cost metering — lives in [`dcl_sim`]; this module is the
+//! clique *policy*: all-pairs unicast ([`AllPairsTopology`]), the two-word
+//! default cap, and the Lenzen-routing cost model.
 
-use dcl_congest::wire::Wire;
 use dcl_par::{Backend, Pool};
+use dcl_sim::wire::Wire;
+use dcl_sim::{AllPairsTopology, BandwidthCap, RoundEngine, SendPolicy, Topology};
 
-/// Cost counters of a [`CliqueNetwork`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CliqueMetrics {
-    /// Synchronous rounds elapsed.
-    pub rounds: u64,
-    /// Messages delivered.
-    pub messages: u64,
-    /// Bits delivered.
-    pub bits: u64,
-}
-
-impl CliqueMetrics {
-    /// Folds another counter into this one; used to reduce per-worker
-    /// accumulators of a parallel round in chunk order.
-    pub fn absorb(&mut self, other: CliqueMetrics) {
-        self.rounds += other.rounds;
-        self.messages += other.messages;
-        self.bits += other.bits;
-    }
-}
+/// Cost counters of a [`CliqueNetwork`] (the shared
+/// [`dcl_sim::SimMetrics`]).
+pub use dcl_sim::SimMetrics as CliqueMetrics;
 
 /// A congested clique on `n` nodes.
 ///
@@ -47,12 +36,10 @@ impl CliqueMetrics {
 /// ```
 #[derive(Debug)]
 pub struct CliqueNetwork {
-    n: usize,
-    cap_bits: u32,
+    topo: AllPairsTopology,
+    cap: BandwidthCap,
     metrics: CliqueMetrics,
-    backend: Backend,
-    /// Worker pool, present only when `backend` is effectively parallel.
-    pool: Option<Pool>,
+    engine: RoundEngine,
 }
 
 /// Per-node inboxes: `(sender, payload)` pairs.
@@ -65,20 +52,23 @@ impl CliqueNetwork {
     ///
     /// Panics if `cap_bits == 0`.
     pub fn new(n: usize, cap_bits: u32) -> Self {
-        assert!(cap_bits > 0, "bandwidth cap must be positive");
+        CliqueNetwork::with_cap(n, BandwidthCap::new(cap_bits))
+    }
+
+    /// Creates a clique of `n` nodes with an explicit [`BandwidthCap`].
+    pub fn with_cap(n: usize, cap: BandwidthCap) -> Self {
         CliqueNetwork {
-            n,
-            cap_bits,
+            topo: AllPairsTopology::new(n),
+            cap,
             metrics: CliqueMetrics::default(),
-            backend: Backend::Sequential,
-            pool: None,
+            engine: RoundEngine::new(Backend::Sequential),
         }
     }
 
     /// Creates a clique with the default cap (two 64-bit words, covering
     /// `O(log n)`-bit ids and colors plus a word-sized value).
     pub fn with_default_cap(n: usize) -> Self {
-        CliqueNetwork::new(n, 128)
+        CliqueNetwork::with_cap(n, BandwidthCap::two_words())
     }
 
     /// Creates a clique with an explicit cap and round-execution backend.
@@ -88,21 +78,41 @@ impl CliqueNetwork {
         net
     }
 
+    /// Creates a clique from an [`dcl_sim::ExecConfig`]: the config's cap
+    /// override if set, else the two-word default; the config's backend.
+    pub fn from_exec(n: usize, exec: &dcl_sim::ExecConfig) -> Self {
+        let mut net = CliqueNetwork::with_cap(n, exec.cap_or(BandwidthCap::two_words()));
+        net.set_backend(exec.backend);
+        net
+    }
+
     /// Switches the round-execution backend. Results are bit-identical
     /// across backends; only wall-clock changes.
     pub fn set_backend(&mut self, backend: Backend) {
-        self.backend = backend;
-        self.pool = backend.is_parallel().then(|| Pool::new(backend.threads()));
+        self.engine.set_backend(backend);
     }
 
     /// The active round-execution backend.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.engine.backend()
+    }
+
+    /// The worker pool of a parallel backend (`None` under
+    /// [`Backend::Sequential`]). The coloring driver uses it to evaluate
+    /// seed-segment candidates and assemble routing instances in parallel —
+    /// work every node performs simultaneously in the real clique.
+    pub fn pool(&self) -> Option<&Pool> {
+        self.engine.pool()
     }
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        self.n
+        self.topo.len()
+    }
+
+    /// The per-message bandwidth cap.
+    pub fn cap(&self) -> BandwidthCap {
+        self.cap
     }
 
     /// Accumulated cost counters.
@@ -132,86 +142,50 @@ impl CliqueNetwork {
         M: Wire + Send,
         F: Fn(usize) -> Vec<(usize, M)> + Sync,
     {
-        self.metrics.rounds += 1;
-        let n = self.n;
-        let outgoing: Vec<Vec<(usize, M)>> = match &self.pool {
-            Some(pool) => {
-                let cap = self.cap_bits;
-                let chunks = pool.map_chunks(n, |range| {
-                    let mut local = CliqueMetrics::default();
-                    // Duplicate-recipient marks, stamped with the sender id:
-                    // O(1) per message instead of the former O(#recipients)
-                    // scan (O(n²) per node in all-to-all rounds).
-                    let mut marks = vec![usize::MAX; n];
-                    let mut out = Vec::with_capacity(range.len());
-                    for u in range {
-                        let msgs = sender(u);
-                        validate_unicasts(n, cap, u, &msgs, &mut marks, &mut local);
-                        out.push(msgs);
-                    }
-                    (out, local)
-                });
-                let mut outgoing = Vec::with_capacity(n);
-                for (out, local) in chunks {
-                    self.metrics.absorb(local);
-                    outgoing.extend(out);
-                }
-                outgoing
-            }
-            None => {
-                let mut local = CliqueMetrics::default();
-                let mut marks = vec![usize::MAX; n];
-                let mut out = Vec::with_capacity(n);
-                for u in 0..n {
-                    let msgs = sender(u);
-                    validate_unicasts(n, self.cap_bits, u, &msgs, &mut marks, &mut local);
-                    out.push(msgs);
-                }
-                self.metrics.absorb(local);
-                out
-            }
-        };
-        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
-        for (u, msgs) in outgoing.into_iter().enumerate() {
-            for (v, msg) in msgs {
-                inboxes[v].push((u, msg));
-            }
-        }
-        inboxes
+        self.engine.message_round(
+            &self.topo,
+            self.cap,
+            SendPolicy::Strict,
+            &mut self.metrics,
+            sender,
+        )
     }
 
     /// Lenzen routing: delivers an arbitrary multiset of messages in a
-    /// charged constant number of rounds (2), after verifying the theorem's
-    /// precondition that every node sends at most `n` and receives at most
-    /// `n` messages.
+    /// charged constant number of rounds (2 per fragment of the widest
+    /// payload — 2 exactly at any cap that fits every payload), after
+    /// verifying the theorem's precondition that every node sends at most
+    /// `n` and receives at most `n` messages. Payloads wider than the cap
+    /// fragment into `⌈bits / cap⌉` cap-sized messages, which is what keeps
+    /// the routing runnable under swept caps.
     ///
     /// # Panics
     ///
-    /// Panics if a send or receive budget is exceeded or a payload is
-    /// oversized.
+    /// Panics if a send or receive budget is exceeded or an endpoint is out
+    /// of range.
     pub fn lenzen_route<M>(&mut self, messages: Vec<(usize, usize, M)>) -> Inboxes<M>
     where
         M: Wire,
     {
-        let mut sent = vec![0usize; self.n];
-        let mut received = vec![0usize; self.n];
-        let mut inboxes: Inboxes<M> = (0..self.n).map(|_| Vec::new()).collect();
+        let n = self.n();
+        let mut sent = vec![0usize; n];
+        let mut received = vec![0usize; n];
+        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        let mut max_fragments = 1u32;
         for (src, dst, msg) in messages {
-            assert!(src < self.n && dst < self.n, "endpoint out of range");
+            assert!(src < n && dst < n, "endpoint out of range");
             sent[src] += 1;
             received[dst] += 1;
+            assert!(sent[src] <= n, "node {src} exceeds the Lenzen send budget");
             assert!(
-                sent[src] <= self.n,
-                "node {src} exceeds the Lenzen send budget"
-            );
-            assert!(
-                received[dst] <= self.n,
+                received[dst] <= n,
                 "node {dst} exceeds the Lenzen receive budget"
             );
-            self.account(msg.wire_bits());
+            max_fragments =
+                max_fragments.max(self.metrics.account_fragmented(self.cap, msg.wire_bits()));
             inboxes[dst].push((src, msg));
         }
-        self.metrics.rounds += 2;
+        self.metrics.rounds += 2 * u64::from(max_fragments);
         inboxes
     }
 
@@ -219,46 +193,6 @@ impl CliqueNetwork {
     /// cost is a closed formula).
     pub fn charge_rounds(&mut self, rounds: u64) {
         self.metrics.rounds += rounds;
-    }
-
-    fn account(&mut self, bits: u32) {
-        assert!(
-            bits <= self.cap_bits,
-            "message of {bits} bits exceeds clique cap of {} bits",
-            self.cap_bits
-        );
-        self.metrics.messages += 1;
-        self.metrics.bits += u64::from(bits);
-    }
-}
-
-/// Validates one node's unicasts for a [`CliqueNetwork::round`] and accounts
-/// them into `metrics`. `marks` is a scratch slice of length `n` stamped with
-/// the sender id for the duplicate-recipient check.
-fn validate_unicasts<M: Wire>(
-    n: usize,
-    cap_bits: u32,
-    u: usize,
-    msgs: &[(usize, M)],
-    marks: &mut [usize],
-    metrics: &mut CliqueMetrics,
-) {
-    for (v, msg) in msgs {
-        let v = *v;
-        assert!(v < n, "recipient {v} out of range");
-        assert_ne!(u, v, "node {u} sent a message to itself");
-        assert!(
-            marks[v] != u,
-            "node {u} sent two messages to {v} in one round"
-        );
-        marks[v] = u;
-        let bits = msg.wire_bits();
-        assert!(
-            bits <= cap_bits,
-            "message of {bits} bits exceeds clique cap of {cap_bits} bits"
-        );
-        metrics.messages += 1;
-        metrics.bits += u64::from(bits);
     }
 }
 
@@ -312,7 +246,7 @@ mod tests {
     fn parallel_backend_matches_sequential_bit_for_bit() {
         let sender = |v: usize| -> Vec<(usize, u64)> {
             (0..90usize)
-                .filter(|&u| u != v && (u + v) % 3 == 0)
+                .filter(|&u| u != v && (u + v).is_multiple_of(3))
                 .map(|u| (u, (v * 100 + u) as u64))
                 .collect()
         };
@@ -339,6 +273,17 @@ mod tests {
         assert_eq!(net.metrics().rounds, 2);
         assert_eq!(inboxes[1].len(), 2);
         assert_eq!(inboxes[2], vec![(0, 6)]);
+    }
+
+    #[test]
+    fn lenzen_routing_stretches_with_fragments_at_small_caps() {
+        let mut net = CliqueNetwork::new(4, 4);
+        // An 8-bit payload at a 4-bit cap: 2 fragments → 4 charged rounds.
+        let inboxes = net.lenzen_route(vec![(0, 1, 255u32), (2, 3, 1u32)]);
+        assert_eq!(net.metrics().rounds, 4);
+        assert_eq!(net.metrics().messages, 3);
+        assert_eq!(net.metrics().bits, 9);
+        assert_eq!(inboxes[1], vec![(0, 255)]);
     }
 
     #[test]

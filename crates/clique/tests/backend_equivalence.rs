@@ -1,12 +1,17 @@
 //! Parallel vs sequential backend equivalence for the CONGESTED CLIQUE
-//! simulator and the Theorem 1.3 coloring.
+//! simulator and the Theorem 1.3 coloring, via the shared
+//! `dcl_sim::test_util` helpers (this file only contributes the clique
+//! runners).
 
 use dcl_clique::coloring::{clique_color, CliqueColoringConfig};
 use dcl_clique::network::CliqueNetwork;
 use dcl_coloring::instance::ListInstance;
 use dcl_congest::Backend;
 use dcl_graphs::{generators, validation};
+use dcl_sim::test_util::{assert_backend_equivalent, assert_eq_sides, assert_round_equivalence};
+use dcl_sim::ExecConfig;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -16,17 +21,18 @@ proptest! {
     fn clique_coloring_equivalence(n in 6usize..30, p in 0.1f64..0.4, seed in any::<u64>()) {
         let g = generators::gnp(n, p, seed);
         let inst = ListInstance::degree_plus_one(g.clone());
-        let seq = clique_color(&inst, &CliqueColoringConfig::default());
-        let par = clique_color(
-            &inst,
-            &CliqueColoringConfig {
-                backend: Backend::Parallel(3),
-                ..Default::default()
-            },
-        );
-        prop_assert_eq!(&seq.colors, &par.colors);
-        prop_assert_eq!(seq.metrics, par.metrics);
-        prop_assert_eq!(validation::check_proper(&g, &seq.colors), None);
+        let seq = assert_backend_equivalent(3, |backend| {
+            let r = clique_color(
+                &inst,
+                &CliqueColoringConfig {
+                    exec: ExecConfig::with_backend(backend),
+                    ..Default::default()
+                },
+            );
+            (r.colors, r.metrics, r.iterations, r.collected_nodes)
+        })
+        .map_err(TestCaseError::Fail)?;
+        prop_assert_eq!(validation::check_proper(&g, &seq.0), None);
     }
 
     /// Raw clique rounds deliver identical inboxes and metrics per backend.
@@ -34,15 +40,14 @@ proptest! {
     fn clique_round_equivalence(n in 2usize..70, seed in any::<u64>(), threads in 2usize..6) {
         let sender = |v: usize| -> Vec<(usize, u64)> {
             (0..n)
-                .filter(|&u| u != v && (u * 7 + v + seed as usize) % 5 == 0)
+                .filter(|&u| u != v && (u * 7 + v + seed as usize).is_multiple_of(5))
                 .map(|u| (u, (v * n + u) as u64))
                 .collect()
         };
         let mut seq = CliqueNetwork::with_default_cap(n);
         let mut par = CliqueNetwork::with_backend(n, 128, Backend::Parallel(threads));
-        for _ in 0..2 {
-            prop_assert_eq!(seq.round(sender), par.round(sender));
-        }
-        prop_assert_eq!(seq.metrics(), par.metrics());
+        assert_round_equivalence(2, || (seq.round(sender), par.round(sender)))
+            .map_err(TestCaseError::Fail)?;
+        assert_eq_sides("metrics", seq.metrics(), par.metrics()).map_err(TestCaseError::Fail)?;
     }
 }

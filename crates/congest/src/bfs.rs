@@ -66,7 +66,7 @@ pub fn build_bfs_tree(net: &mut Network<'_>, root: NodeId) -> BfsTree {
     while !frontier.is_empty() {
         // Round: the current frontier announces "I joined at depth d".
         let announcing = frontier.clone();
-        let inboxes = net.broadcast_round(|v| {
+        let inboxes = net.fragmented_broadcast_round(|v| {
             if announcing.contains(&v) {
                 Some(depth[v])
             } else {
@@ -170,7 +170,7 @@ pub fn build_bfs_forest(net: &mut Network<'_>) -> BfsForest {
             }
             a
         };
-        let inboxes = net.broadcast_round(|v| {
+        let inboxes = net.fragmented_broadcast_round(|v| {
             if announcing[v] {
                 Some((origin[v] as u64, depth[v]))
             } else {

@@ -6,8 +6,10 @@
 //!
 //! - a [`network::Network`] that delivers messages between neighbors,
 //!   meters rounds / messages / bits, and *enforces* the per-message
-//!   bandwidth cap (the defining constraint of the model);
-//! - message size accounting via the [`wire::Wire`] trait;
+//!   bandwidth cap (the defining constraint of the model) — a thin CONGEST
+//!   policy over the shared [`dcl_sim`] runtime (`DESIGN.md` §2.2a);
+//! - message size accounting via the [`wire::Wire`] trait (re-exported from
+//!   [`dcl_sim::wire`]);
 //! - distributed BFS-tree construction ([`bfs`]);
 //! - converge-cast (aggregation) and broadcast over trees ([`tree`]), in both
 //!   a literal round-by-round implementation and an equivalent *charged*
@@ -42,10 +44,11 @@
 pub mod bfs;
 pub mod network;
 pub mod tree;
-pub mod wire;
 
 pub use dcl_par::Backend;
+pub use dcl_sim::wire;
 
 pub use bfs::BfsTree;
+pub use dcl_sim::{BandwidthCap, ExecConfig};
 pub use network::{Metrics, Network};
 pub use wire::Wire;

@@ -1,34 +1,19 @@
 //! Synchronous message-passing network with bandwidth enforcement.
+//!
+//! The runtime — backend fan-out, duplicate-send validation, cap
+//! enforcement, cost metering — lives in [`dcl_sim`]; this module is the
+//! CONGEST *policy*: neighbor-only delivery ([`NeighborTopology`]), the
+//! paper's default cap formula, and the charged-traffic entry points the
+//! tree collectives use.
 
-use crate::wire::{bit_len, Wire};
+use crate::wire::Wire;
 use dcl_graphs::{Graph, NodeId};
 use dcl_par::{Backend, Pool};
+use dcl_sim::{BandwidthCap, ExecConfig, NeighborTopology, RoundEngine, SendPolicy};
 
-/// Cost counters accumulated by a [`Network`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Metrics {
-    /// Number of synchronous rounds elapsed.
-    pub rounds: u64,
-    /// Total number of messages delivered.
-    pub messages: u64,
-    /// Total number of bits delivered.
-    pub bits: u64,
-    /// Largest single message observed, in bits.
-    pub max_message_bits: u32,
-}
-
-impl Metrics {
-    /// Folds another counter into this one (sums plus max). Used to reduce
-    /// the per-worker accumulators of a parallel round in chunk order; since
-    /// `+` and `max` are commutative and associative, the reduction is
-    /// bit-identical to sequential accounting.
-    pub fn absorb(&mut self, other: Metrics) {
-        self.rounds += other.rounds;
-        self.messages += other.messages;
-        self.bits += other.bits;
-        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
-    }
-}
+/// Cost counters accumulated by a [`Network`] (the shared
+/// [`dcl_sim::SimMetrics`]).
+pub use dcl_sim::SimMetrics as Metrics;
 
 /// Per-node inboxes produced by a communication round: `inboxes[v]` holds
 /// `(sender, payload)` pairs.
@@ -38,7 +23,11 @@ pub type Inboxes<M> = Vec<Vec<(NodeId, M)>>;
 ///
 /// All communication APIs assert the model's constraints: messages travel
 /// only along edges, and each message is at most [`Network::cap_bits`] bits
-/// wide. Violations are simulation bugs and panic.
+/// wide. Violations are simulation bugs and panic. Algorithm drivers that
+/// must run under *swept* (small) caps use the `fragmented_*` round
+/// variants, which split oversized payloads into cap-sized physical
+/// messages and stretch the round accordingly — at a cap that fits every
+/// payload they cost exactly the same as the strict rounds.
 ///
 /// # Examples
 ///
@@ -55,14 +44,10 @@ pub type Inboxes<M> = Vec<Vec<(NodeId, M)>>;
 /// ```
 #[derive(Debug)]
 pub struct Network<'g> {
-    graph: &'g Graph,
-    cap_bits: u32,
+    topo: NeighborTopology<'g>,
+    cap: BandwidthCap,
     metrics: Metrics,
-    /// Cached Δ of `graph` (scratch sizing for the duplicate-edge marks).
-    max_deg: usize,
-    backend: Backend,
-    /// Worker pool, present only when `backend` is effectively parallel.
-    pool: Option<Pool>,
+    engine: RoundEngine,
 }
 
 impl<'g> Network<'g> {
@@ -72,14 +57,16 @@ impl<'g> Network<'g> {
     ///
     /// Panics if `cap_bits == 0`.
     pub fn new(graph: &'g Graph, cap_bits: u32) -> Self {
-        assert!(cap_bits > 0, "bandwidth cap must be positive");
+        Network::with_cap(graph, BandwidthCap::new(cap_bits))
+    }
+
+    /// Creates a network with an explicit [`BandwidthCap`].
+    pub fn with_cap(graph: &'g Graph, cap: BandwidthCap) -> Self {
         Network {
-            graph,
-            cap_bits,
+            topo: NeighborTopology::new(graph),
+            cap,
             metrics: Metrics::default(),
-            max_deg: graph.max_degree(),
-            backend: Backend::Sequential,
-            pool: None,
+            engine: RoundEngine::new(Backend::Sequential),
         }
     }
 
@@ -88,7 +75,7 @@ impl<'g> Network<'g> {
     /// words of `O(log max(n, C))` bits, matching the paper's assumption that
     /// each color fits in `O(1)` messages.
     pub fn with_default_cap(graph: &'g Graph, color_space: u64) -> Self {
-        Network::new(graph, default_cap(graph.n(), color_space))
+        Network::with_cap(graph, BandwidthCap::default_for(graph.n(), color_space))
     }
 
     /// Creates a network with an explicit cap and round-execution backend.
@@ -98,16 +85,24 @@ impl<'g> Network<'g> {
         net
     }
 
+    /// Creates a network from an [`ExecConfig`]: the config's cap override
+    /// if set, else the default cap for `color_space`; the config's backend.
+    pub fn from_exec(graph: &'g Graph, color_space: u64, exec: &ExecConfig) -> Self {
+        let cap = exec.cap_or(BandwidthCap::default_for(graph.n(), color_space));
+        let mut net = Network::with_cap(graph, cap);
+        net.set_backend(exec.backend);
+        net
+    }
+
     /// Switches the round-execution backend. Results (inboxes, metrics,
     /// panics) are bit-identical across backends; only wall-clock changes.
     pub fn set_backend(&mut self, backend: Backend) {
-        self.backend = backend;
-        self.pool = backend.is_parallel().then(|| Pool::new(backend.threads()));
+        self.engine.set_backend(backend);
     }
 
     /// The active round-execution backend.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.engine.backend()
     }
 
     /// The worker pool of a parallel backend (`None` under
@@ -117,17 +112,22 @@ impl<'g> Network<'g> {
     /// for free, and that therefore should scale with the same knob as the
     /// round execution itself.
     pub fn pool(&self) -> Option<&Pool> {
-        self.pool.as_ref()
+        self.engine.pool()
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &'g Graph {
-        self.graph
+        self.topo.graph()
     }
 
     /// The per-message bandwidth cap in bits.
     pub fn cap_bits(&self) -> u32 {
-        self.cap_bits
+        self.cap.bits()
+    }
+
+    /// The per-message bandwidth cap.
+    pub fn cap(&self) -> BandwidthCap {
+        self.cap
     }
 
     /// Accumulated cost counters.
@@ -161,49 +161,37 @@ impl<'g> Network<'g> {
         M: Wire + Send,
         F: Fn(NodeId) -> Vec<(NodeId, M)> + Sync,
     {
-        let n = self.graph.n();
-        self.metrics.rounds += 1;
-        let outgoing: Vec<Vec<(NodeId, M)>> = match &self.pool {
-            Some(pool) => {
-                let (graph, cap, max_deg) = (self.graph, self.cap_bits, self.max_deg);
-                let chunks = pool.map_chunks(n, |range| {
-                    let mut local = Metrics::default();
-                    let mut marks = vec![usize::MAX; max_deg];
-                    let mut out = Vec::with_capacity(range.len());
-                    for u in range {
-                        let msgs = sender(u);
-                        validate_sends(graph, cap, u, &msgs, &mut marks, &mut local);
-                        out.push(msgs);
-                    }
-                    (out, local)
-                });
-                let mut outgoing = Vec::with_capacity(n);
-                for (out, local) in chunks {
-                    self.metrics.absorb(local);
-                    outgoing.extend(out);
-                }
-                outgoing
-            }
-            None => {
-                let mut local = Metrics::default();
-                let mut marks = vec![usize::MAX; self.max_deg];
-                let mut out = Vec::with_capacity(n);
-                for u in 0..n {
-                    let msgs = sender(u);
-                    validate_sends(self.graph, self.cap_bits, u, &msgs, &mut marks, &mut local);
-                    out.push(msgs);
-                }
-                self.metrics.absorb(local);
-                out
-            }
-        };
-        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
-        for (u, msgs) in outgoing.into_iter().enumerate() {
-            for (v, msg) in msgs {
-                inboxes[v].push((u, msg));
-            }
-        }
-        inboxes
+        self.engine.message_round(
+            &self.topo,
+            self.cap,
+            SendPolicy::Strict,
+            &mut self.metrics,
+            sender,
+        )
+    }
+
+    /// [`Network::round`] for algorithm drivers running under swept caps:
+    /// payloads wider than the cap are split into `⌈bits / cap⌉` physical
+    /// messages, and the round stretches to the largest fragment count
+    /// among its messages. At a cap that fits every payload this is exactly
+    /// [`Network::round`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-neighbor or duplicate-edge sends (never on payload
+    /// width).
+    pub fn fragmented_round<M, F>(&mut self, sender: F) -> Inboxes<M>
+    where
+        M: Wire + Send,
+        F: Fn(NodeId) -> Vec<(NodeId, M)> + Sync,
+    {
+        self.engine.message_round(
+            &self.topo,
+            self.cap,
+            SendPolicy::Fragment,
+            &mut self.metrics,
+            sender,
+        )
     }
 
     /// Convenience round: every node sends the *same* payload to all of its
@@ -218,59 +206,29 @@ impl<'g> Network<'g> {
         M: Wire + Clone + Send,
         F: Fn(NodeId) -> Option<M> + Sync,
     {
-        let n = self.graph.n();
-        self.metrics.rounds += 1;
-        let payloads: Vec<Option<M>> = match &self.pool {
-            Some(pool) => {
-                let (graph, cap) = (self.graph, self.cap_bits);
-                let chunks = pool.map_chunks(n, |range| {
-                    let mut local = Metrics::default();
-                    let mut out = Vec::with_capacity(range.len());
-                    for u in range {
-                        let payload = f(u);
-                        if let Some(msg) = &payload {
-                            account_broadcast(graph, cap, u, msg.wire_bits(), &mut local);
-                        }
-                        out.push(payload);
-                    }
-                    (out, local)
-                });
-                let mut payloads = Vec::with_capacity(n);
-                for (out, local) in chunks {
-                    self.metrics.absorb(local);
-                    payloads.extend(out);
-                }
-                payloads
-            }
-            None => {
-                let mut local = Metrics::default();
-                let mut out = Vec::with_capacity(n);
-                for u in 0..n {
-                    let payload = f(u);
-                    if let Some(msg) = &payload {
-                        account_broadcast(
-                            self.graph,
-                            self.cap_bits,
-                            u,
-                            msg.wire_bits(),
-                            &mut local,
-                        );
-                    }
-                    out.push(payload);
-                }
-                self.metrics.absorb(local);
-                out
-            }
-        };
-        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
-        for (u, payload) in payloads.into_iter().enumerate() {
-            if let Some(msg) = payload {
-                for &v in self.graph.neighbors(u) {
-                    inboxes[v].push((u, msg.clone()));
-                }
-            }
-        }
-        inboxes
+        self.engine.broadcast_round(
+            &self.topo,
+            self.cap,
+            SendPolicy::Strict,
+            &mut self.metrics,
+            f,
+        )
+    }
+
+    /// [`Network::broadcast_round`] with fragmentation instead of the
+    /// oversized-payload panic (see [`Network::fragmented_round`]).
+    pub fn fragmented_broadcast_round<M, F>(&mut self, f: F) -> Inboxes<M>
+    where
+        M: Wire + Clone + Send,
+        F: Fn(NodeId) -> Option<M> + Sync,
+    {
+        self.engine.broadcast_round(
+            &self.topo,
+            self.cap,
+            SendPolicy::Fragment,
+            &mut self.metrics,
+            f,
+        )
     }
 
     /// Charges `rounds` additional synchronous rounds without message
@@ -289,81 +247,26 @@ impl<'g> Network<'g> {
     /// Panics if `bits_each` exceeds the bandwidth cap.
     pub fn charge_traffic(&mut self, messages: u64, bits_each: u32) {
         for _ in 0..messages {
-            self.account(bits_each);
+            self.metrics.account(self.cap, bits_each, "CONGEST");
         }
     }
 
-    fn account(&mut self, bits: u32) {
-        assert!(
-            bits <= self.cap_bits,
-            "message of {bits} bits exceeds CONGEST cap of {} bits",
-            self.cap_bits
-        );
-        self.metrics.messages += 1;
-        self.metrics.bits += u64::from(bits);
-        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+    /// Charges `count` logical payloads of `bits_each` bits, splitting each
+    /// into cap-sized fragments when oversized. Returns the per-payload
+    /// fragment count (the number of sub-rounds each payload occupies on
+    /// its link); callers charge rounds accordingly. At a cap that fits the
+    /// payload this equals [`Network::charge_traffic`] and returns 1.
+    pub fn charge_payload_traffic(&mut self, count: u64, bits_each: u32) -> u32 {
+        self.metrics
+            .account_fragmented_many(self.cap, count, bits_each)
     }
 }
 
-/// Validates one node's outgoing messages for a [`Network::round`] and
-/// accounts them into `metrics`.
-///
-/// The duplicate-edge check uses `marks`, a scratch slice of length ≥ Δ
-/// indexed by the recipient's position in `u`'s sorted adjacency list and
-/// stamped with the sender id — an O(log deg) check per message instead of
-/// the former O(deg) scan of a per-node sent list (which made dense-graph
-/// rounds O(deg²) per node). The stamp makes clearing unnecessary: slots
-/// written by other senders hold a different id.
-fn validate_sends<M: Wire>(
-    graph: &Graph,
-    cap_bits: u32,
-    u: NodeId,
-    msgs: &[(NodeId, M)],
-    marks: &mut [usize],
-    metrics: &mut Metrics,
-) {
-    let neighbors = graph.neighbors(u);
-    for (v, msg) in msgs {
-        let pos = neighbors
-            .binary_search(v)
-            .unwrap_or_else(|_| panic!("node {u} attempted to send to non-neighbor {v}"));
-        assert!(
-            marks[pos] != u,
-            "node {u} sent two messages to {v} in one round"
-        );
-        marks[pos] = u;
-        let bits = msg.wire_bits();
-        assert!(
-            bits <= cap_bits,
-            "message of {bits} bits exceeds CONGEST cap of {cap_bits} bits"
-        );
-        metrics.messages += 1;
-        metrics.bits += u64::from(bits);
-        metrics.max_message_bits = metrics.max_message_bits.max(bits);
-    }
-}
-
-/// Accounts one node's broadcast payload (delivered to every neighbor) for a
-/// [`Network::broadcast_round`]. Matches the sequential per-delivery
-/// accounting: nodes without neighbors are not charged (and not cap-checked).
-fn account_broadcast(graph: &Graph, cap_bits: u32, u: NodeId, bits: u32, metrics: &mut Metrics) {
-    let deg = graph.degree(u) as u64;
-    if deg == 0 {
-        return;
-    }
-    assert!(
-        bits <= cap_bits,
-        "message of {bits} bits exceeds CONGEST cap of {cap_bits} bits"
-    );
-    metrics.messages += deg;
-    metrics.bits += deg * u64::from(bits);
-    metrics.max_message_bits = metrics.max_message_bits.max(bits);
-}
-
-/// The default CONGEST bandwidth cap for `n` nodes and color space `[C]`.
+/// The default CONGEST bandwidth cap for `n` nodes and color space `[C]`,
+/// in bits (see [`BandwidthCap::default_for`]).
 #[must_use]
 pub fn default_cap(n: usize, color_space: u64) -> u32 {
-    2 * 64u32.max(bit_len(n as u64)).max(bit_len(color_space))
+    BandwidthCap::default_for(n, color_space).bits()
 }
 
 #[cfg(test)]
@@ -424,6 +327,43 @@ mod tests {
     }
 
     #[test]
+    fn fragmented_round_splits_instead_of_panicking() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, 8);
+        // 41-bit payload at an 8-bit cap: 6 fragments.
+        let inboxes = net.fragmented_round(|v| {
+            if v == 0 {
+                vec![(1, 1u64 << 40)]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(inboxes[1], vec![(0, 1u64 << 40)]);
+        assert_eq!(net.metrics().rounds, 6);
+        assert_eq!(net.metrics().messages, 6);
+        assert_eq!(net.metrics().bits, 41);
+        assert_eq!(net.metrics().max_message_bits, 8);
+    }
+
+    #[test]
+    fn fragmented_round_equals_strict_round_at_the_default_cap() {
+        let g = generators::gnp(30, 0.2, 5);
+        let sender = |v: NodeId| -> Vec<(NodeId, u64)> {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| (u, (v * 31 + u) as u64))
+                .collect()
+        };
+        let mut strict = Network::with_default_cap(&g, 31);
+        let mut frag = Network::with_default_cap(&g, 31);
+        assert_eq!(strict.round(sender), frag.fragmented_round(sender));
+        let a = strict.broadcast_round(|v| (v % 2 == 0).then_some(v as u32));
+        let b = frag.fragmented_broadcast_round(|v| (v % 2 == 0).then_some(v as u32));
+        assert_eq!(a, b);
+        assert_eq!(strict.metrics(), frag.metrics());
+    }
+
+    #[test]
     fn broadcast_round_reaches_all_neighbors() {
         let g = generators::star(5);
         let mut net = Network::with_default_cap(&g, 2);
@@ -447,12 +387,43 @@ mod tests {
     }
 
     #[test]
+    fn charge_payload_traffic_fragments_oversized_payloads() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, 8);
+        assert_eq!(net.charge_payload_traffic(3, 20), 3);
+        assert_eq!(net.metrics().messages, 9);
+        assert_eq!(net.metrics().bits, 60);
+        assert_eq!(net.metrics().max_message_bits, 8);
+        // Fitting payloads behave exactly like charge_traffic.
+        let mut a = Network::new(&g, 64);
+        let mut b = Network::new(&g, 64);
+        assert_eq!(a.charge_payload_traffic(4, 10), 1);
+        b.charge_traffic(4, 10);
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
     fn default_cap_is_two_words() {
         // For every u64-representable n and C the dominant term is the
         // 64-bit machine word, so the cap is two words.
         assert_eq!(default_cap(8, 8), 128);
         assert_eq!(default_cap(1 << 20, 1 << 40), 128);
         assert_eq!(default_cap(8, u64::MAX), 128);
+    }
+
+    #[test]
+    fn from_exec_applies_cap_override_and_backend() {
+        let g = generators::path(4);
+        let net = Network::from_exec(&g, 100, &ExecConfig::default());
+        assert_eq!(net.cap_bits(), 128);
+        assert_eq!(net.backend(), Backend::Sequential);
+        let exec = ExecConfig {
+            backend: Backend::Parallel(2),
+            cap: Some(BandwidthCap::new(9)),
+        };
+        let net = Network::from_exec(&g, 100, &exec);
+        assert_eq!(net.cap_bits(), 9);
+        assert_eq!(net.backend(), Backend::Parallel(2));
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //!
 //! Round costs: a scalar converge-cast or broadcast over a tree of height `h`
 //! costs `h` rounds; a `W`-word vector aggregation pipelines to `h + W − 1`
-//! rounds.
+//! rounds. Under a swept (small) bandwidth cap, payloads wider than the cap
+//! fragment into `⌈bits / cap⌉` messages and every level stretches
+//! accordingly — the stepped variants inherit this from
+//! [`Network::fragmented_round`], and the charged variants charge the
+//! identical stretched costs, so stepped ≡ charged holds at *every* cap (at
+//! the default cap nothing fragments and all costs equal the historical
+//! ones).
 
 use crate::bfs::BfsTree;
 use crate::network::Network;
@@ -48,7 +54,7 @@ where
                 }
             })
             .collect();
-        let inboxes = net.round(|v| payloads[v].clone().into_iter().collect::<Vec<_>>());
+        let inboxes = net.fragmented_round(|v| payloads[v].clone().into_iter().collect::<Vec<_>>());
         for v in 0..n {
             for (_, msg) in &inboxes[v] {
                 partial[v] = combine(&partial[v], msg);
@@ -75,15 +81,21 @@ where
     assert_eq!(n, net.graph().n(), "one value per node required");
     let mut partial: Vec<M> = values.to_vec();
     let levels = tree.levels();
-    net.charge_rounds(u64::from(tree.height));
+    // Each level is one (possibly fragment-stretched) round: the level's
+    // cost is the largest fragment count among its messages, exactly what
+    // the stepped variant's fragmented rounds charge.
+    let mut rounds = 0u64;
     for d in (1..levels.len()).rev() {
+        let mut level_cost = 1u32;
         for &v in &levels[d] {
             let p = tree.parent[v].expect("non-root tree nodes have parents");
             let msg = partial[v].clone();
-            net.charge_traffic(1, msg.wire_bits());
+            level_cost = level_cost.max(net.charge_payload_traffic(1, msg.wire_bits()));
             partial[p] = combine(&partial[p], &msg);
         }
+        rounds += u64::from(level_cost);
     }
+    net.charge_rounds(rounds);
     partial[tree.root].clone()
 }
 
@@ -110,7 +122,7 @@ where
                 }
             })
             .collect();
-        let inboxes = net.round(|v| payloads[v].clone());
+        let inboxes = net.fragmented_round(|v| payloads[v].clone());
         for v in 0..n {
             if let Some((_, msg)) = inboxes[v].first() {
                 have[v] = Some(msg.clone());
@@ -127,12 +139,14 @@ where
 {
     let n = net.graph().n();
     let mut have: Vec<Option<M>> = vec![None; n];
-    net.charge_rounds(u64::from(tree.height));
     let bits = value.wire_bits();
+    // Every level repeats the same value, so every level stretches by the
+    // same fragment count.
+    net.charge_rounds(u64::from(tree.height) * u64::from(net.cap().fragments(bits)));
     for v in 0..n {
         if tree.contains(v) {
             if v != tree.root {
-                net.charge_traffic(1, bits);
+                net.charge_payload_traffic(1, bits);
             }
             have[v] = Some(value.clone());
         }
@@ -168,9 +182,12 @@ pub fn aggregate_vec_charged(
             }
         }
     }
-    let extra = (width as u64).saturating_sub(1);
+    // Every vector entry is one 64-bit word; at a sub-word cap each word
+    // fragments and the pipeline stretches accordingly.
+    let fragments = u64::from(net.cap().fragments(64));
+    let extra = (width as u64 * fragments).saturating_sub(1);
     net.charge_rounds(u64::from(tree.height) + extra);
-    net.charge_traffic(tree_edges * width as u64, 64);
+    net.charge_payload_traffic(tree_edges * width as u64, 64);
     sum
 }
 
@@ -206,9 +223,10 @@ pub fn aggregate_vec_forest_charged(
             tree_edges += 1;
         }
     }
-    let extra = (width as u64).saturating_sub(1);
+    let fragments = u64::from(net.cap().fragments(64));
+    let extra = (width as u64 * fragments).saturating_sub(1);
     net.charge_rounds(u64::from(forest.max_height()) + extra);
-    net.charge_traffic(tree_edges * width as u64, 64);
+    net.charge_payload_traffic(tree_edges * width as u64, 64);
     sums
 }
 
@@ -229,16 +247,19 @@ where
         "one value per tree required"
     );
     let n = net.graph().n();
-    net.charge_rounds(u64::from(forest.max_height()));
     let mut out = Vec::with_capacity(n);
+    let mut max_fragments = 1u32;
     for v in 0..n {
         let c = forest.component[v];
         let msg = per_tree[c].clone();
         if v != forest.trees[c].root && forest.trees[c].contains(v) {
-            net.charge_traffic(1, msg.wire_bits());
+            max_fragments = max_fragments.max(net.charge_payload_traffic(1, msg.wire_bits()));
         }
         out.push(msg);
     }
+    // All trees broadcast in the same rounds; the widest payload dictates
+    // how far each level stretches.
+    net.charge_rounds(u64::from(forest.max_height()) * u64::from(max_fragments));
     out
 }
 

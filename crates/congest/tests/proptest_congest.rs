@@ -1,6 +1,10 @@
 //! Property-based tests of the CONGEST substrate: BFS forests, charged vs
 //! stepped collectives, and metric accounting.
 
+// Node ids double as indices into per-node state vectors (same policy as
+// the crate roots).
+#![allow(clippy::needless_range_loop)]
+
 use dcl_congest::bfs::{build_bfs_forest, build_bfs_tree};
 use dcl_congest::network::Network;
 use dcl_congest::tree::{

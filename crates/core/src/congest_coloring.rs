@@ -15,6 +15,7 @@ use dcl_congest::bfs::build_bfs_forest;
 use dcl_congest::network::{Metrics, Network};
 use dcl_congest::Backend;
 use dcl_graphs::Graph;
+use dcl_sim::ExecConfig;
 
 /// Configuration of the Theorem 1.1 driver.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,9 +25,26 @@ pub struct CongestColoringConfig {
     /// Hard iteration cap (safety net; `None` = `6·⌈log₂ n⌉ + 10`, well
     /// above the guaranteed `log_{8/7} n` bound).
     pub max_iterations: Option<usize>,
-    /// Round-execution backend of the simulated network (results are
-    /// bit-identical across backends).
-    pub backend: Backend,
+    /// Simulator execution: round backend (results are bit-identical across
+    /// backends) and bandwidth cap (`None` = the model default; smaller
+    /// caps fragment wide payloads and stretch rounds accordingly — the
+    /// sweep axis of `dcl_bench::e12_bandwidth_sweep`).
+    pub exec: ExecConfig,
+}
+
+impl CongestColoringConfig {
+    /// A default config on the given round-execution backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `exec: ExecConfig::with_backend(backend)`"
+    )]
+    #[must_use]
+    pub fn with_backend(backend: Backend) -> Self {
+        CongestColoringConfig {
+            exec: ExecConfig::with_backend(backend),
+            ..Default::default()
+        }
+    }
 }
 
 /// Result of the full CONGEST coloring.
@@ -56,8 +74,7 @@ pub fn color_list_instance(
 ) -> ColoringResult {
     let g = instance.graph();
     let n = g.n();
-    let mut net = Network::with_default_cap(g, instance.color_space());
-    net.set_backend(config.backend);
+    let mut net = Network::from_exec(g, instance.color_space(), &config.exec);
     if n == 0 {
         return ColoringResult {
             colors: Vec::new(),
@@ -103,7 +120,7 @@ pub fn color_list_instance(
             }
             a
         };
-        let inboxes = net.broadcast_round(|v| newly[v]);
+        let inboxes = net.fragmented_broadcast_round(|v| newly[v]);
         for &(v, c) in &outcome.colored {
             colors[v] = Some(c);
             active[v] = false;
@@ -248,7 +265,7 @@ mod tests {
                 extra_accuracy_bits: 0,
             },
             max_iterations: None,
-            backend: Backend::Sequential,
+            exec: ExecConfig::default(),
         };
         let result = color_degree_plus_one(&g, &config);
         assert_eq!(validation::check_proper(&g, &result.colors), None);

@@ -155,7 +155,7 @@ pub fn derandomized_phase(
     // evaluate the survival probability of the shared edge (they already
     // know ψ of their neighbors from the setup round of the partial
     // coloring).
-    let _ = net.broadcast_round(|v| {
+    let _ = net.fragmented_broadcast_round(|v| {
         if state.is_active(v) {
             Some((thresholds[v], state.candidate_count(v) as u64))
         } else {
@@ -273,7 +273,7 @@ pub fn derandomized_phase(
     }
     // One real round: exchange the chosen bit so both endpoints of every
     // conflict edge learn whether the edge survived.
-    let _ = net.broadcast_round(|v| if state.is_active(v) { Some(1u8) } else { None });
+    let _ = net.fragmented_broadcast_round(|v| if state.is_active(v) { Some(1u8) } else { None });
     state.finish_phase();
 
     PhaseOutcome {

@@ -137,7 +137,8 @@ pub fn linial_coloring(
             break; // no further progress possible
         }
         // One round: everyone announces its current color.
-        let inboxes = net.broadcast_round(|v| if active[v] { Some(colors[v]) } else { None });
+        let inboxes =
+            net.fragmented_broadcast_round(|v| if active[v] { Some(colors[v]) } else { None });
         let mut next = colors.clone();
         for v in 0..n {
             if !active[v] {

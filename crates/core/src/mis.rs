@@ -48,7 +48,7 @@ pub fn mis_bounded_degree(
         let joining: Vec<bool> = (0..n)
             .map(|v| active[v] && !blocked[v] && !in_set[v] && reduced.colors[v] == class)
             .collect();
-        let inboxes = net.broadcast_round(|v| if joining[v] { Some(1u8) } else { None });
+        let inboxes = net.fragmented_broadcast_round(|v| if joining[v] { Some(1u8) } else { None });
         for v in 0..n {
             if joining[v] {
                 in_set[v] = true;

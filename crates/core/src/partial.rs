@@ -102,7 +102,7 @@ pub fn partial_coloring(
 
     // Setup round: neighbors learn each other's ψ (used throughout the
     // phases to derive each other's coins from the shared seed).
-    let _ = net.broadcast_round(|v| if active[v] { Some(psi[v]) } else { None });
+    let _ = net.fragmented_broadcast_round(|v| if active[v] { Some(psi[v]) } else { None });
 
     let max_deg = instance
         .graph()
@@ -167,7 +167,7 @@ pub fn partial_coloring(
         ConflictResolution::AvoidMis => {
             // One round: conflict pairs resolve by id (the induced conflict
             // graph on eligible nodes is a matching).
-            let _ = net.broadcast_round(|v| if eligible[v] { Some(1u8) } else { None });
+            let _ = net.fragmented_broadcast_round(|v| if eligible[v] { Some(1u8) } else { None });
             (0..n)
                 .map(|v| {
                     if !eligible[v] {

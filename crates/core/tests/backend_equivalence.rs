@@ -1,33 +1,34 @@
-//! Backend-equivalence properties: the parallel round-execution backend must
-//! produce bit-identical inboxes, [`Metrics`] and colorings to the sequential
-//! backend on every instance family (the determinism contract of
-//! `DESIGN.md` §7).
+//! Backend-equivalence properties for the CONGEST simulator and the
+//! Theorem 1.1 coloring: the parallel round-execution backend must produce
+//! bit-identical inboxes, metrics and colorings to the sequential backend on
+//! every instance family (the determinism contract of `DESIGN.md` §7).
+//!
+//! The assertion scaffolding is shared across the three models via
+//! `dcl_sim::test_util`; this file only contributes the CONGEST runners and
+//! instance strategies.
 
-use dcl_coloring::congest_coloring::{
-    color_degree_plus_one, ColoringResult, CongestColoringConfig,
-};
+use dcl_coloring::congest_coloring::{color_degree_plus_one, CongestColoringConfig};
 use dcl_congest::network::Network;
 use dcl_congest::Backend;
 use dcl_graphs::{generators, validation, Graph, NodeId};
+use dcl_sim::test_util::{assert_backend_equivalent, assert_eq_sides, assert_round_equivalence};
+use dcl_sim::ExecConfig;
 use proptest::prelude::*;
-
-fn color_with(g: &Graph, backend: Backend) -> ColoringResult {
-    color_degree_plus_one(
-        g,
-        &CongestColoringConfig {
-            backend,
-            ..Default::default()
-        },
-    )
-}
+use proptest::test_runner::TestCaseError;
 
 fn assert_equivalent(g: &Graph, threads: usize) -> Result<(), TestCaseError> {
-    let seq = color_with(g, Backend::Sequential);
-    let par = color_with(g, Backend::Parallel(threads));
-    prop_assert_eq!(&seq.colors, &par.colors);
-    prop_assert_eq!(seq.metrics, par.metrics);
-    prop_assert_eq!(seq.iterations, par.iterations);
-    prop_assert_eq!(validation::check_proper(g, &seq.colors), None);
+    let seq = assert_backend_equivalent(threads, |backend| {
+        let r = color_degree_plus_one(
+            g,
+            &CongestColoringConfig {
+                exec: ExecConfig::with_backend(backend),
+                ..Default::default()
+            },
+        );
+        (r.colors, r.metrics, r.iterations)
+    })
+    .map_err(TestCaseError::Fail)?;
+    prop_assert_eq!(validation::check_proper(g, &seq.0), None);
     Ok(())
 }
 
@@ -75,24 +76,17 @@ proptest! {
         let sender = |v: NodeId| -> Vec<(NodeId, u64)> {
             g.neighbors(v)
                 .iter()
-                .filter(|&&u| (u + v + seed as usize) % 3 != 0)
+                .filter(|&&u| !(u + v + seed as usize).is_multiple_of(3))
                 .map(|&u| (u, (v * n + u) as u64))
                 .collect()
         };
         let mut seq = Network::with_default_cap(&g, n as u64 + 1);
-        let mut par = Network::with_backend(
-            &g,
-            seq.cap_bits(),
-            Backend::Parallel(threads),
-        );
-        for _ in 0..3 {
-            let a = seq.round(sender);
-            let b = par.round(sender);
-            prop_assert_eq!(a, b);
-        }
+        let mut par = Network::with_backend(&g, seq.cap_bits(), Backend::Parallel(threads));
+        assert_round_equivalence(3, || (seq.round(sender), par.round(sender)))
+            .map_err(TestCaseError::Fail)?;
         let a = seq.broadcast_round(|v| (v % 2 == 0).then_some(v as u32));
         let b = par.broadcast_round(|v| (v % 2 == 0).then_some(v as u32));
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(seq.metrics(), par.metrics());
+        assert_eq_sides("broadcast inboxes", a, b).map_err(TestCaseError::Fail)?;
+        assert_eq_sides("metrics", seq.metrics(), par.metrics()).map_err(TestCaseError::Fail)?;
     }
 }

@@ -28,9 +28,24 @@ pub struct DecompColoringConfig {
     pub rg: RgConfig,
     /// Partial-coloring strategy.
     pub partial: PartialConfig,
-    /// Round-execution backend of the simulated network (results are
-    /// bit-identical across backends).
-    pub backend: dcl_congest::Backend,
+    /// Simulator execution: round backend (results are bit-identical across
+    /// backends) and bandwidth cap (`None` = the model default).
+    pub exec: dcl_sim::ExecConfig,
+}
+
+impl DecompColoringConfig {
+    /// A default config on the given round-execution backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `exec: dcl_sim::ExecConfig::with_backend(backend)`"
+    )]
+    #[must_use]
+    pub fn with_backend(backend: dcl_congest::Backend) -> Self {
+        DecompColoringConfig {
+            exec: dcl_sim::ExecConfig::with_backend(backend),
+            ..Default::default()
+        }
+    }
 }
 
 /// Result of the decomposition-based coloring.
@@ -123,8 +138,7 @@ pub fn color_via_decomposition(
 ) -> DecompColoringResult {
     let g = instance.graph();
     let n = g.n();
-    let mut net = Network::with_default_cap(g, instance.color_space());
-    net.set_backend(config.backend);
+    let mut net = Network::from_exec(g, instance.color_space(), &config.exec);
     if n == 0 {
         return DecompColoringResult {
             colors: Vec::new(),
@@ -184,7 +198,7 @@ pub fn color_via_decomposition(
                 }
                 a
             };
-            let inboxes = net.broadcast_round(|v| newly[v]);
+            let inboxes = net.fragmented_broadcast_round(|v| newly[v]);
             for &(v, c) in &outcome.colored {
                 colors[v] = Some(c);
                 active[v] = false;

@@ -57,36 +57,42 @@ fn instance_words(instance: &ListInstance, active: &[bool]) -> usize {
         .sum()
 }
 
-/// Cost events emitted by the bitwise candidate selection; the host model
-/// translates them into rounds.
+/// Round charges of the bitwise candidate selection, per cost event. The
+/// host model's data placement determines them: with linear memory the
+/// aggregations go straight to machine 0, with sublinear memory they climb
+/// `O(1/α)`-deep fan-in trees.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SelectionCost {
-    /// Start of a prefix-bit phase (neighbors exchange `(k₁, |L|)`).
-    Phase,
-    /// One seed segment derandomized (candidate vectors + argmin).
-    Segment,
+pub struct SelectionCosts {
+    /// Rounds charged at the start of each prefix-bit phase (neighbors
+    /// exchange `(k₁, |L|)`).
+    pub phase_rounds: u64,
+    /// Rounds charged per derandomized seed segment (candidate vectors +
+    /// argmin).
+    pub segment_rounds: u64,
 }
 
-/// One derandomized bitwise candidate selection over all active nodes.
-/// `charge` is invoked once per cost event with the event kind.
-fn bitwise_selection<F>(
+/// One derandomized bitwise candidate selection over all active nodes,
+/// charged to `mpc` per `costs`. The `2^λ` segment candidates are evaluated
+/// through the cluster's backend pool (free local computation in the MPC
+/// cost model), with the deterministic argmin of [`dcl_sim::argmin_f64`] —
+/// bit-identical to the sequential evaluation.
+#[allow(clippy::too_many_arguments)]
+fn bitwise_selection(
+    mpc: &mut Mpc,
     residual: &ListInstance,
     active: &[bool],
     psi: &[u64],
     m_bits: u32,
     b: u32,
     lambda: u32,
-    mut charge: F,
-) -> PrefixState
-where
-    F: FnMut(SelectionCost),
-{
+    costs: SelectionCosts,
+) -> PrefixState {
     let n = residual.graph().n();
     let family = SliceFamily::new(m_bits, b);
     let seed_len = family.seed_len();
     let mut state = PrefixState::new(residual, active);
     while state.remaining_bits() > 0 {
-        charge(SelectionCost::Phase);
+        mpc.charge_rounds(costs.phase_rounds);
         // Per-node thresholds.
         let mut thresholds = vec![0u64; n];
         let mut k0_inv = vec![0.0f64; n];
@@ -123,9 +129,9 @@ where
         let mut start = 0usize;
         while start < seed_len {
             let end = (start + lambda as usize).min(seed_len);
-            let candidates = 1u64 << (end - start);
-            let mut best = (f64::INFINITY, 0u64);
-            for cand in 0..candidates {
+            let candidates = 1usize << (end - start);
+            let score = |cand: usize| -> f64 {
+                let cand = cand as u64;
                 let mut scratch = forms.clone();
                 for (offset, j) in (start..end).enumerate() {
                     let bit = cand >> offset & 1 == 1;
@@ -145,12 +151,11 @@ where
                     );
                     total += p[3] * (k1_inv[u] + k1_inv[v]) + p[0] * (k0_inv[u] + k0_inv[v]);
                 }
-                if total < best.0 {
-                    best = (total, cand);
-                }
-            }
+                total
+            };
+            let (_, winner) = dcl_sim::argmin_f64(mpc.pool(), candidates, score);
             for (offset, j) in (start..end).enumerate() {
-                let bit = best.1 >> offset & 1 == 1;
+                let bit = (winner as u64) >> offset & 1 == 1;
                 seed.fix(j, bit);
                 for v in 0..n {
                     if active[v] {
@@ -158,7 +163,7 @@ where
                     }
                 }
             }
-            charge(SelectionCost::Segment);
+            mpc.charge_rounds(costs.segment_rounds);
             start = end;
         }
         for v in 0..n {
@@ -198,14 +203,16 @@ fn avoid_mis_keeps(state: &PrefixState, active: &[bool], n: usize) -> Vec<bool> 
 ///
 /// Panics on internal progress bugs.
 pub fn mpc_color_linear(instance: &ListInstance) -> MpcColoringResult {
-    mpc_color_linear_with_backend(instance, dcl_par::Backend::Sequential)
+    mpc_color_linear_with(instance, &dcl_sim::ExecConfig::default())
 }
 
-/// [`mpc_color_linear`] with an explicit machine-step execution backend
-/// (results are bit-identical across backends).
-pub fn mpc_color_linear_with_backend(
+/// [`mpc_color_linear`] with an explicit [`dcl_sim::ExecConfig`] (results
+/// are bit-identical across backends). The config's bandwidth cap is
+/// ignored: in MPC the per-machine word budget `S` plays the bandwidth
+/// role.
+pub fn mpc_color_linear_with(
     instance: &ListInstance,
-    backend: dcl_par::Backend,
+    exec: &dcl_sim::ExecConfig,
 ) -> MpcColoringResult {
     let g = instance.graph();
     let n = g.n();
@@ -213,7 +220,7 @@ pub fn mpc_color_linear_with_backend(
     let s = (4 * n).max(8 * (delta + 2)).max(64);
     let total = instance_words(instance, &vec![true; n]);
     let machines = total.div_ceil(s).max(1) + 1;
-    let mut mpc = Mpc::with_backend(machines, s, backend);
+    let mut mpc = Mpc::with_backend(machines, s, exec.backend);
 
     // Owner assignment: first-fit by node-record size.
     let mut owner = vec![0usize; n];
@@ -269,21 +276,21 @@ pub fn mpc_color_linear_with_backend(
         iterations += 1;
         let delta_act = max_active_degree(&residual, &active);
         let b = accuracy_bits(delta_act, residual.color_bits(), delta_act as u64 + 1);
-        let state =
-            bitwise_selection(
-                &residual,
-                &active,
-                &psi,
-                m_bits,
-                b,
-                lambda,
-                |event| match event {
-                    // Owners exchange (k1, |L|) per edge.
-                    SelectionCost::Phase => mpc.charge_rounds(1),
-                    // Candidate vectors to machine 0 + argmin back.
-                    SelectionCost::Segment => mpc.charge_rounds(2),
-                },
-            );
+        let state = bitwise_selection(
+            &mut mpc,
+            &residual,
+            &active,
+            &psi,
+            m_bits,
+            b,
+            lambda,
+            SelectionCosts {
+                // Owners exchange (k1, |L|) per edge.
+                phase_rounds: 1,
+                // Candidate vectors to machine 0 + argmin back.
+                segment_rounds: 2,
+            },
+        );
         let keeps = avoid_mis_keeps(&state, &active, n);
         mpc.charge_rounds(2); // keep decision + color announcements
         apply_keeps(
@@ -309,6 +316,31 @@ pub fn mpc_color_linear_with_backend(
     }
 }
 
+/// Deprecated alias of [`mpc_color_linear_with`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mpc_color_linear_with(instance, &ExecConfig::with_backend(backend))`"
+)]
+pub fn mpc_color_linear_with_backend(
+    instance: &ListInstance,
+    backend: dcl_par::Backend,
+) -> MpcColoringResult {
+    mpc_color_linear_with(instance, &dcl_sim::ExecConfig::with_backend(backend))
+}
+
+/// Deprecated alias of [`mpc_color_sublinear_with`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mpc_color_sublinear_with(instance, alpha, &ExecConfig::with_backend(backend))`"
+)]
+pub fn mpc_color_sublinear_with_backend(
+    instance: &ListInstance,
+    alpha: f64,
+    backend: dcl_par::Backend,
+) -> MpcColoringResult {
+    mpc_color_sublinear_with(instance, alpha, &dcl_sim::ExecConfig::with_backend(backend))
+}
+
 /// Theorem 1.5: `(degree+1)`-list coloring with sublinear memory
 /// (`S = Θ(n^α)`), in `O(log Δ · log C + log n)`-shaped rounds, finishing
 /// with Lemma 4.2.
@@ -317,15 +349,17 @@ pub fn mpc_color_linear_with_backend(
 ///
 /// Panics if `alpha` is not in `(0, 1]` or on internal progress bugs.
 pub fn mpc_color_sublinear(instance: &ListInstance, alpha: f64) -> MpcColoringResult {
-    mpc_color_sublinear_with_backend(instance, alpha, dcl_par::Backend::Sequential)
+    mpc_color_sublinear_with(instance, alpha, &dcl_sim::ExecConfig::default())
 }
 
-/// [`mpc_color_sublinear`] with an explicit machine-step execution backend
-/// (results are bit-identical across backends).
-pub fn mpc_color_sublinear_with_backend(
+/// [`mpc_color_sublinear`] with an explicit [`dcl_sim::ExecConfig`]
+/// (results are bit-identical across backends). The config's bandwidth cap
+/// is ignored: in MPC the per-machine word budget `S` plays the bandwidth
+/// role.
+pub fn mpc_color_sublinear_with(
     instance: &ListInstance,
     alpha: f64,
-    backend: dcl_par::Backend,
+    exec: &dcl_sim::ExecConfig,
 ) -> MpcColoringResult {
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
     let g = instance.graph();
@@ -333,7 +367,7 @@ pub fn mpc_color_sublinear_with_backend(
     let s = ((n.max(2) as f64).powf(alpha).ceil() as usize).max(16);
     let total = instance_words(instance, &vec![true; n]).max(1);
     let machines = total.div_ceil(s).max(2);
-    let mut mpc = Mpc::with_backend(machines, s, backend);
+    let mut mpc = Mpc::with_backend(machines, s, exec.backend);
     let tree_fanout = ((s as f64).sqrt().floor() as usize).max(2);
     let tree_depth = ((machines as f64).ln() / (tree_fanout as f64).ln())
         .ceil()
@@ -409,22 +443,22 @@ pub fn mpc_color_sublinear_with_backend(
         );
         iterations += 1;
         let b = accuracy_bits(delta_act, residual.color_bits(), delta_act as u64 + 1);
-        let state =
-            bitwise_selection(
-                &residual,
-                &active,
-                &psi,
-                m_bits,
-                b,
-                lambda,
-                |event| match event {
-                    // (k1, |L|) via the node aggregation trees + the
-                    // (u,v)↔(v,u) machine exchange: O(depth) rounds.
-                    SelectionCost::Phase => mpc.charge_rounds(2 * tree_depth + 1),
-                    // Candidate vectors aggregated over the global tree.
-                    SelectionCost::Segment => mpc.charge_rounds(2 * tree_depth),
-                },
-            );
+        let state = bitwise_selection(
+            &mut mpc,
+            &residual,
+            &active,
+            &psi,
+            m_bits,
+            b,
+            lambda,
+            SelectionCosts {
+                // (k1, |L|) via the node aggregation trees + the
+                // (u,v)↔(v,u) machine exchange: O(depth) rounds.
+                phase_rounds: 2 * tree_depth + 1,
+                // Candidate vectors aggregated over the global tree.
+                segment_rounds: 2 * tree_depth,
+            },
+        );
         let keeps = avoid_mis_keeps(&state, &active, n);
         mpc.charge_rounds(2);
         let newly = apply_keeps(
@@ -555,9 +589,9 @@ fn run_finisher(
         let mut start = 0usize;
         while start < seed_len {
             let end = (start + lambda as usize).min(seed_len);
-            let candidates = 1u64 << (end - start);
-            let mut best = (f64::INFINITY, 0u64);
-            for cand in 0..candidates {
+            let candidates = 1usize << (end - start);
+            let score = |cand: usize| -> f64 {
+                let cand = cand as u64;
                 let mut scratch = forms.clone();
                 for (offset, j) in (start..end).enumerate() {
                     let bit = cand >> offset & 1 == 1;
@@ -579,12 +613,11 @@ fn run_finisher(
                         &thresholds,
                     );
                 }
-                if total < best.0 {
-                    best = (total, cand);
-                }
-            }
+                total
+            };
+            let (_, winner) = dcl_sim::argmin_f64(mpc.pool(), candidates, score);
             for (offset, j) in (start..end).enumerate() {
-                let bit = best.1 >> offset & 1 == 1;
+                let bit = (winner as u64) >> offset & 1 == 1;
                 seed.fix(j, bit);
                 for v in 0..n {
                     if active[v] {

@@ -6,8 +6,15 @@
 //! and receive budgets on every [`Mpc::round`] and offers
 //! [`Mpc::assert_storage`] for algorithms to declare their resident state
 //! (checked against the memory bound).
+//!
+//! The backend fan-out runs through the shared [`dcl_sim`] round engine
+//! ([`dcl_sim::MachineTopology`] is the addressing policy: any machine may
+//! message any machine, repeatedly); the volume budgets are MPC-specific
+//! and are replayed message-by-message in machine order on the calling
+//! thread, since receive budgets couple different senders.
 
 use dcl_par::{Backend, Pool};
+use dcl_sim::{MachineTopology, RoundEngine, SimMetrics, Topology};
 
 /// Word size of message payloads.
 pub trait WordSized {
@@ -46,6 +53,10 @@ impl<T: WordSized> WordSized for Vec<T> {
 }
 
 /// Cost counters of an [`Mpc`] cluster.
+///
+/// Internally the cluster meters through the shared [`SimMetrics`] (with
+/// words playing the role of bits); this read-out struct keeps the
+/// MPC-native field names plus the storage high-water mark.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MpcMetrics {
     /// Synchronous rounds elapsed.
@@ -75,15 +86,15 @@ pub struct MpcMetrics {
 /// ```
 #[derive(Debug)]
 pub struct Mpc {
-    machines: usize,
+    topo: MachineTopology,
     memory_words: usize,
     /// Budget slack constant: per-round send/receive and storage may reach
     /// `slack · S` (the model's `O(S)`).
     slack: usize,
-    metrics: MpcMetrics,
-    backend: Backend,
-    /// Worker pool, present only when `backend` is effectively parallel.
-    pool: Option<Pool>,
+    /// Shared counters; `bits` counts *words* in this model.
+    metrics: SimMetrics,
+    max_storage_words: usize,
+    engine: RoundEngine,
 }
 
 /// Per-machine inboxes: `(sender, payload)` pairs.
@@ -100,12 +111,12 @@ impl Mpc {
         assert!(machines > 0, "need at least one machine");
         assert!(memory_words > 0, "memory must be positive");
         Mpc {
-            machines,
+            topo: MachineTopology::new(machines),
             memory_words,
             slack: 4,
-            metrics: MpcMetrics::default(),
-            backend: Backend::Sequential,
-            pool: None,
+            metrics: SimMetrics::default(),
+            max_storage_words: 0,
+            engine: RoundEngine::new(Backend::Sequential),
         }
     }
 
@@ -119,18 +130,25 @@ impl Mpc {
     /// Switches the round-execution backend. Results are bit-identical
     /// across backends; only wall-clock changes.
     pub fn set_backend(&mut self, backend: Backend) {
-        self.backend = backend;
-        self.pool = backend.is_parallel().then(|| Pool::new(backend.threads()));
+        self.engine.set_backend(backend);
     }
 
     /// The active round-execution backend.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.engine.backend()
+    }
+
+    /// The worker pool of a parallel backend (`None` under
+    /// [`Backend::Sequential`]). The coloring drivers use it to evaluate
+    /// seed-segment candidates in parallel — free local computation in the
+    /// MPC cost model.
+    pub fn pool(&self) -> Option<&Pool> {
+        self.engine.pool()
     }
 
     /// Number of machines.
     pub fn machines(&self) -> usize {
-        self.machines
+        self.topo.len()
     }
 
     /// Memory size `S` in words.
@@ -140,7 +158,12 @@ impl Mpc {
 
     /// Accumulated cost counters.
     pub fn metrics(&self) -> MpcMetrics {
-        self.metrics
+        MpcMetrics {
+            rounds: self.metrics.rounds,
+            messages: self.metrics.messages,
+            words: self.metrics.bits,
+            max_storage_words: self.max_storage_words,
+        }
     }
 
     /// Rounds elapsed.
@@ -166,37 +189,29 @@ impl Mpc {
         F: Fn(usize) -> Vec<(usize, M)> + Sync,
     {
         self.metrics.rounds += 1;
+        let machines = self.machines();
         let budget = self.slack * self.memory_words;
-        let outgoing: Vec<Vec<(usize, usize, M)>> = match &self.pool {
-            Some(pool) => pool
-                .map_chunks(self.machines, |range| {
-                    range
-                        .map(|i| {
-                            sender(i)
-                                .into_iter()
-                                .map(|(dst, msg)| (dst, msg.words(), msg))
-                                .collect::<Vec<_>>()
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect(),
-            None => (0..self.machines)
-                .map(|i| {
-                    sender(i)
-                        .into_iter()
-                        .map(|(dst, msg)| (dst, msg.words(), msg))
-                        .collect()
-                })
-                .collect(),
-        };
-        let mut received = vec![0usize; self.machines];
-        let mut inboxes: Inboxes<M> = (0..self.machines).map(|_| Vec::new()).collect();
+        // Shared fan-out: evaluate the senders (and the per-message
+        // `WordSized::words` sizing) on the pool; the volume-budget checks
+        // below are then replayed message-by-message in machine order.
+        let (outgoing, _) = self.engine.fan_out(
+            machines,
+            0,
+            &mut self.metrics,
+            |i| {
+                sender(i)
+                    .into_iter()
+                    .map(|(dst, msg)| (dst, msg.words(), msg))
+                    .collect::<Vec<_>>()
+            },
+            |_, _, _, _| 1,
+        );
+        let mut received = vec![0usize; machines];
+        let mut inboxes: Inboxes<M> = (0..machines).map(|_| Vec::new()).collect();
         for (i, msgs) in outgoing.into_iter().enumerate() {
             let mut sent = 0usize;
             for (dst, w, msg) in msgs {
-                assert!(dst < self.machines, "machine {dst} out of range");
+                let _ = self.topo.route(i, dst);
                 sent += w;
                 received[dst] += w;
                 assert!(
@@ -208,7 +223,7 @@ impl Mpc {
                     "machine {dst} exceeded its receive budget of {budget} words"
                 );
                 self.metrics.messages += 1;
-                self.metrics.words += w as u64;
+                self.metrics.bits += w as u64;
                 inboxes[dst].push((i, msg));
             }
         }
@@ -223,7 +238,7 @@ impl Mpc {
             words <= budget,
             "machine {machine} stores {words} words, exceeding its memory of {budget}"
         );
-        self.metrics.max_storage_words = self.metrics.max_storage_words.max(words);
+        self.max_storage_words = self.max_storage_words.max(words);
     }
 
     /// Charges `rounds` rounds without traffic (schedule steps whose cost is
@@ -236,7 +251,7 @@ impl Mpc {
     /// split across `messages` messages.
     pub fn charge_traffic(&mut self, messages: u64, words: u64) {
         self.metrics.messages += messages;
-        self.metrics.words += words;
+        self.metrics.bits += words;
     }
 }
 
@@ -262,7 +277,7 @@ mod tests {
     fn parallel_backend_matches_sequential_bit_for_bit() {
         let sender = |i: usize| -> Vec<(usize, u64)> {
             (0..100usize)
-                .filter(|&d| d != i && (d + i) % 7 == 0)
+                .filter(|&d| d != i && (d + i).is_multiple_of(7))
                 .map(|d| (d, (i * 1000 + d) as u64))
                 .collect()
         };

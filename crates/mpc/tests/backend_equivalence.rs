@@ -1,15 +1,17 @@
 //! Parallel vs sequential backend equivalence for the MPC simulator and the
-//! Theorem 1.4/1.5 colorings.
+//! Theorem 1.4/1.5 colorings, via the shared `dcl_sim::test_util` helpers
+//! (this file only contributes the MPC runners). One case also pins the
+//! deprecated `*_with_backend` shims to the new entry points.
 
 use dcl_coloring::instance::ListInstance;
 use dcl_graphs::{generators, validation};
 use dcl_mpc::machine::Mpc;
-use dcl_mpc::{
-    mpc_color_linear, mpc_color_linear_with_backend, mpc_color_sublinear,
-    mpc_color_sublinear_with_backend,
-};
+use dcl_mpc::{mpc_color_linear_with, mpc_color_sublinear_with};
 use dcl_par::Backend;
+use dcl_sim::test_util::{assert_backend_equivalent, assert_eq_sides, assert_round_equivalence};
+use dcl_sim::ExecConfig;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -19,11 +21,12 @@ proptest! {
     fn mpc_linear_equivalence(n in 6usize..26, p in 0.1f64..0.35, seed in any::<u64>()) {
         let g = generators::gnp(n, p, seed);
         let inst = ListInstance::degree_plus_one(g.clone());
-        let seq = mpc_color_linear(&inst);
-        let par = mpc_color_linear_with_backend(&inst, Backend::Parallel(3));
-        prop_assert_eq!(&seq.colors, &par.colors);
-        prop_assert_eq!(seq.metrics, par.metrics);
-        prop_assert_eq!(validation::check_proper(&g, &seq.colors), None);
+        let seq = assert_backend_equivalent(3, |backend| {
+            let r = mpc_color_linear_with(&inst, &ExecConfig::with_backend(backend));
+            (r.colors, r.metrics)
+        })
+        .map_err(TestCaseError::Fail)?;
+        prop_assert_eq!(validation::check_proper(&g, &seq.0), None);
     }
 
     /// Sublinear-memory MPC coloring is identical per backend.
@@ -31,10 +34,11 @@ proptest! {
     fn mpc_sublinear_equivalence(n in 8usize..22, seed in any::<u64>()) {
         let g = generators::gnp(n, 0.25, seed);
         let inst = ListInstance::degree_plus_one(g.clone());
-        let seq = mpc_color_sublinear(&inst, 0.6);
-        let par = mpc_color_sublinear_with_backend(&inst, 0.6, Backend::Parallel(4));
-        prop_assert_eq!(&seq.colors, &par.colors);
-        prop_assert_eq!(seq.metrics, par.metrics);
+        assert_backend_equivalent(4, |backend| {
+            let r = mpc_color_sublinear_with(&inst, 0.6, &ExecConfig::with_backend(backend));
+            (r.colors, r.metrics)
+        })
+        .map_err(TestCaseError::Fail)?;
     }
 
     /// Raw MPC rounds deliver identical inboxes and metrics per backend.
@@ -42,15 +46,32 @@ proptest! {
     fn mpc_round_equivalence(machines in 2usize..50, seed in any::<u64>(), threads in 2usize..6) {
         let sender = |i: usize| -> Vec<(usize, u64)> {
             (0..machines)
-                .filter(|&d| d != i && (d + i + seed as usize) % 4 == 0)
+                .filter(|&d| d != i && (d + i + seed as usize).is_multiple_of(4))
                 .map(|d| (d, (i * machines + d) as u64))
                 .collect()
         };
         let mut seq = Mpc::new(machines, 4 * machines.max(4));
         let mut par = Mpc::with_backend(machines, 4 * machines.max(4), Backend::Parallel(threads));
-        for _ in 0..2 {
-            prop_assert_eq!(seq.round(sender), par.round(sender));
-        }
-        prop_assert_eq!(seq.metrics(), par.metrics());
+        assert_round_equivalence(2, || (seq.round(sender), par.round(sender)))
+            .map_err(TestCaseError::Fail)?;
+        assert_eq_sides("metrics", seq.metrics(), par.metrics()).map_err(TestCaseError::Fail)?;
     }
+}
+
+/// The deprecated one-release shims forward to the new `ExecConfig` entry
+/// points unchanged.
+#[test]
+#[allow(deprecated)]
+fn deprecated_backend_shims_forward_to_exec_config() {
+    use dcl_mpc::{mpc_color_linear_with_backend, mpc_color_sublinear_with_backend};
+    let g = generators::gnp(14, 0.3, 9);
+    let inst = ListInstance::degree_plus_one(g);
+    let old = mpc_color_linear_with_backend(&inst, Backend::Sequential);
+    let new = mpc_color_linear_with(&inst, &ExecConfig::default());
+    assert_eq!(old.colors, new.colors);
+    assert_eq!(old.metrics, new.metrics);
+    let old = mpc_color_sublinear_with_backend(&inst, 0.6, Backend::Sequential);
+    let new = mpc_color_sublinear_with(&inst, 0.6, &ExecConfig::default());
+    assert_eq!(old.colors, new.colors);
+    assert_eq!(old.metrics, new.metrics);
 }

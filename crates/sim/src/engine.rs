@@ -1,0 +1,491 @@
+//! The backend-aware round engine shared by every simulator.
+//!
+//! One generic fan-out owns everything the three models used to duplicate:
+//! evaluating the per-node `sender` closures (inline or on the
+//! [`dcl_par::Pool`]), per-worker scratch for the stamp-mark duplicate-send
+//! check, per-worker [`SimMetrics`] accumulators reduced in chunk order,
+//! deterministic panic propagation (via the pool's lowest-index rule), and
+//! the sender-order merge into per-recipient inboxes. A simulator is the
+//! engine plus a [`Topology`] policy plus whatever cost
+//! events its model charges — ~100 lines of policy instead of a hand-rolled
+//! runtime.
+
+use crate::cap::BandwidthCap;
+use crate::metrics::SimMetrics;
+use crate::topology::{validate_sends, NeighborTopology, Topology};
+use crate::wire::Wire;
+use dcl_par::{Backend, Pool};
+
+/// Per-endpoint inboxes produced by a communication round: `inboxes[v]`
+/// holds `(sender, payload)` pairs in sender order.
+pub type Inboxes<M> = Vec<Vec<(usize, M)>>;
+
+/// How a round treats payloads wider than the bandwidth cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendPolicy {
+    /// Oversized payloads are model violations and panic. The round costs
+    /// exactly one round. This is the contract of the raw `round()` APIs.
+    Strict,
+    /// Oversized payloads fragment into `⌈bits / cap⌉` physical messages and
+    /// the round stretches to the largest fragment count among its messages
+    /// (the synchronous schedule: every link finishes before the next
+    /// logical round starts). At a cap that fits every payload this is
+    /// exactly [`SendPolicy::Strict`] — same costs, bit for bit — which is
+    /// what lets algorithm drivers run unchanged under swept caps.
+    Fragment,
+}
+
+/// Backend-aware round executor: a [`Backend`] knob plus the worker pool it
+/// implies.
+#[derive(Debug)]
+pub struct RoundEngine {
+    backend: Backend,
+    /// Worker pool, present only when `backend` is effectively parallel.
+    pool: Option<Pool>,
+}
+
+impl RoundEngine {
+    /// An engine with the given round-execution backend.
+    #[must_use]
+    pub fn new(backend: Backend) -> Self {
+        let mut engine = RoundEngine {
+            backend: Backend::Sequential,
+            pool: None,
+        };
+        engine.set_backend(backend);
+        engine
+    }
+
+    /// Switches the round-execution backend. Results (inboxes, metrics,
+    /// panics) are bit-identical across backends; only wall-clock changes.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+        self.pool = backend.is_parallel().then(|| Pool::new(backend.threads()));
+    }
+
+    /// The active round-execution backend.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The worker pool of a parallel backend (`None` under
+    /// [`Backend::Sequential`]). Algorithm drivers may use it to parallelize
+    /// *local* per-node computation between rounds — work that in the real
+    /// distributed system every node performs simultaneously for free, and
+    /// that therefore should scale with the same knob as the round execution
+    /// itself.
+    #[must_use]
+    pub fn pool(&self) -> Option<&Pool> {
+        self.pool.as_ref()
+    }
+
+    /// Evaluates `produce(i)` for every `i in 0..n` — on the pool when the
+    /// backend is parallel, inline otherwise — running `validate` over each
+    /// item with per-worker mark scratch and a per-worker [`SimMetrics`]
+    /// accumulator. Accumulators are reduced into `metrics` in chunk order;
+    /// items come back in index order. Returns the items and the maximum
+    /// value `validate` returned (used as the fragment-stretched round cost;
+    /// 1 when `n == 0`).
+    ///
+    /// This is the single pool fan-out under all three simulators; panics
+    /// inside `produce`/`validate` propagate deterministically (the pool
+    /// re-raises the lowest-indexed panicking job).
+    pub fn fan_out<T, F, V>(
+        &self,
+        n: usize,
+        marks_len: usize,
+        metrics: &mut SimMetrics,
+        produce: F,
+        validate: V,
+    ) -> (Vec<T>, u32)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        V: Fn(usize, &T, &mut [usize], &mut SimMetrics) -> u32 + Sync,
+    {
+        let mut round_cost = 1u32;
+        let items = match &self.pool {
+            Some(pool) => {
+                let chunks = pool.map_chunks(n, |range| {
+                    let mut local = SimMetrics::default();
+                    let mut marks = vec![usize::MAX; marks_len];
+                    let mut max_cost = 1u32;
+                    let mut out = Vec::with_capacity(range.len());
+                    for u in range {
+                        let item = produce(u);
+                        max_cost = max_cost.max(validate(u, &item, &mut marks, &mut local));
+                        out.push(item);
+                    }
+                    (out, local, max_cost)
+                });
+                let mut items = Vec::with_capacity(n);
+                for (out, local, max_cost) in chunks {
+                    metrics.absorb(local);
+                    round_cost = round_cost.max(max_cost);
+                    items.extend(out);
+                }
+                items
+            }
+            None => {
+                let mut local = SimMetrics::default();
+                let mut marks = vec![usize::MAX; marks_len];
+                let mut out = Vec::with_capacity(n);
+                for u in 0..n {
+                    let item = produce(u);
+                    round_cost = round_cost.max(validate(u, &item, &mut marks, &mut local));
+                    out.push(item);
+                }
+                metrics.absorb(local);
+                out
+            }
+        };
+        (items, round_cost)
+    }
+
+    /// Runs one synchronous unicast round over `topo`: `sender(u)` returns
+    /// the messages endpoint `u` sends as `(recipient, payload)` pairs.
+    /// Validation (addressing, duplicate sends, cap) and cost accounting
+    /// happen in per-worker accumulators reduced in chunk order; messages
+    /// merge into the inboxes in sender order — bit-identical across
+    /// backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message violates `topo`'s addressing, if an endpoint
+    /// sends twice to the same recipient in one round (when `topo` enables
+    /// the duplicate check), or — under [`SendPolicy::Strict`] — if a
+    /// payload exceeds `cap`. After a panic the metrics are unspecified.
+    pub fn message_round<M, T, F>(
+        &self,
+        topo: &T,
+        cap: BandwidthCap,
+        policy: SendPolicy,
+        metrics: &mut SimMetrics,
+        sender: F,
+    ) -> Inboxes<M>
+    where
+        M: Wire + Send,
+        T: Topology,
+        F: Fn(usize) -> Vec<(usize, M)> + Sync,
+    {
+        let n = topo.len();
+        let (outgoing, round_cost) = self.fan_out(
+            n,
+            topo.marks_len(),
+            metrics,
+            &sender,
+            |u, msgs: &Vec<(usize, M)>, marks, local| {
+                validate_sends(topo, cap, policy, u, msgs, marks, local)
+            },
+        );
+        metrics.rounds += u64::from(round_cost);
+        deliver(n, outgoing)
+    }
+
+    /// Runs one broadcast round over a [`NeighborTopology`]: every node
+    /// sends the *same* payload to all of its neighbors (or stays silent
+    /// with `None`). Nodes without neighbors are not charged (and, under
+    /// [`SendPolicy::Strict`], not cap-checked), matching per-delivery
+    /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// Under [`SendPolicy::Strict`], panics if a payload exceeds `cap`.
+    pub fn broadcast_round<M, F>(
+        &self,
+        topo: &NeighborTopology<'_>,
+        cap: BandwidthCap,
+        policy: SendPolicy,
+        metrics: &mut SimMetrics,
+        f: F,
+    ) -> Inboxes<M>
+    where
+        M: Wire + Clone + Send,
+        F: Fn(usize) -> Option<M> + Sync,
+    {
+        let n = topo.len();
+        let graph = topo.graph();
+        let (payloads, round_cost) = self.fan_out(
+            n,
+            0,
+            metrics,
+            &f,
+            |u, payload: &Option<M>, _marks, local| {
+                let Some(msg) = payload else { return 1 };
+                let deg = graph.degree(u) as u64;
+                if deg == 0 {
+                    return 1;
+                }
+                let bits = msg.wire_bits();
+                match policy {
+                    SendPolicy::Strict => {
+                        assert!(
+                            cap.fits(bits),
+                            "message of {bits} bits exceeds {} cap of {} bits",
+                            topo.model(),
+                            cap.bits()
+                        );
+                        local.messages += deg;
+                        local.bits += deg * u64::from(bits);
+                        local.max_message_bits = local.max_message_bits.max(bits);
+                        1
+                    }
+                    SendPolicy::Fragment => {
+                        let fragments = cap.fragments(bits);
+                        local.messages += deg * u64::from(fragments);
+                        local.bits += deg * u64::from(bits);
+                        local.max_message_bits = local.max_message_bits.max(bits.min(cap.bits()));
+                        fragments
+                    }
+                }
+            },
+        );
+        metrics.rounds += u64::from(round_cost);
+        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+        for (u, payload) in payloads.into_iter().enumerate() {
+            if let Some(msg) = payload {
+                for &v in graph.neighbors(u) {
+                    inboxes[v].push((u, msg.clone()));
+                }
+            }
+        }
+        inboxes
+    }
+}
+
+/// Merges per-sender outgoing message lists into per-recipient inboxes, in
+/// sender order (the order the sequential loop uses).
+pub fn deliver<M>(n: usize, outgoing: Vec<Vec<(usize, M)>>) -> Inboxes<M> {
+    let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
+    for (u, msgs) in outgoing.into_iter().enumerate() {
+        for (v, msg) in msgs {
+            inboxes[v].push((u, msg));
+        }
+    }
+    inboxes
+}
+
+/// Evaluates `f(i)` for every `i in 0..jobs` across the pool — one job per
+/// index, unlike [`Pool::map_chunks`]'s 64-item chunking, so it parallelizes
+/// small batches of *expensive* jobs (e.g. the `2^λ` candidate evaluations
+/// of a seed segment) — and returns the results in index order.
+pub fn par_map_jobs<R, F>(pool: &Pool, jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..jobs).map(|_| std::sync::Mutex::new(None)).collect();
+    pool.run(jobs, &|i| {
+        *slots[i].lock().unwrap() = Some(f(i));
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("run() returns only after every job completed")
+        })
+        .collect()
+}
+
+/// Evaluates `f(i)` for every `i in 0..n` — chunked across `pool` when one
+/// is given, inline otherwise — and returns the results in index order.
+/// This is the backend dispatch for drivers' *local* per-node computation
+/// (e.g. assembling routing records): results are position-for-position
+/// identical to the sequential loop, so flattening them preserves the
+/// sequential emission order.
+pub fn map_indexed<R, F>(pool: Option<&Pool>, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match pool {
+        Some(pool) => pool
+            .map_chunks(n, |range| range.map(&f).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect(),
+        None => (0..n).map(f).collect(),
+    }
+}
+
+/// Deterministic parallel argmin: evaluates `score(i)` for `i in 0..count`
+/// (on `pool` when given, inline otherwise) and returns `(best_score,
+/// best_index)` under strict `<` — the lowest index wins ties, exactly like
+/// the sequential loop `for i { if score < best }`. Each score is computed
+/// by a single worker with the same float-operation order as the sequential
+/// evaluation, and the reduction scans indices in order, so the winner is
+/// bit-identical across backends.
+///
+/// Returns `(f64::INFINITY, 0)` when `count == 0`.
+pub fn argmin_f64<F>(pool: Option<&Pool>, count: usize, score: F) -> (f64, usize)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let mut best = (f64::INFINITY, 0usize);
+    match pool {
+        Some(pool) if count > 1 => {
+            for (i, s) in par_map_jobs(pool, count, &score).into_iter().enumerate() {
+                if s < best.0 {
+                    best = (s, i);
+                }
+            }
+        }
+        _ => {
+            for i in 0..count {
+                let s = score(i);
+                if s < best.0 {
+                    best = (s, i);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::AllPairsTopology;
+    use dcl_graphs::generators;
+
+    #[test]
+    fn message_round_delivers_and_meters() {
+        let topo = AllPairsTopology::new(3);
+        let engine = RoundEngine::new(Backend::Sequential);
+        let mut metrics = SimMetrics::default();
+        let inboxes = engine.message_round(
+            &topo,
+            BandwidthCap::two_words(),
+            SendPolicy::Strict,
+            &mut metrics,
+            |v| match v {
+                0 => vec![(1, 10u32), (2, 20u32)],
+                1 => vec![(2, 30u32)],
+                _ => vec![],
+            },
+        );
+        assert_eq!(inboxes[1], vec![(0, 10)]);
+        assert_eq!(inboxes[2], vec![(0, 20), (1, 30)]);
+        assert_eq!(metrics.rounds, 1);
+        assert_eq!(metrics.messages, 3);
+    }
+
+    #[test]
+    fn parallel_fan_out_is_bit_identical() {
+        let topo = AllPairsTopology::new(90);
+        let sender = |v: usize| -> Vec<(usize, u64)> {
+            (0..90usize)
+                .filter(|&u| u != v && (u + v).is_multiple_of(3))
+                .map(|u| (u, (v * 100 + u) as u64))
+                .collect()
+        };
+        let seq_engine = RoundEngine::new(Backend::Sequential);
+        let par_engine = RoundEngine::new(Backend::Parallel(4));
+        let cap = BandwidthCap::two_words();
+        let mut seq = SimMetrics::default();
+        let mut par = SimMetrics::default();
+        for _ in 0..3 {
+            let a = seq_engine.message_round(&topo, cap, SendPolicy::Strict, &mut seq, sender);
+            let b = par_engine.message_round(&topo, cap, SendPolicy::Strict, &mut par, sender);
+            assert_eq!(a, b);
+        }
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fragmented_round_stretches_to_widest_message() {
+        let g = generators::path(3);
+        let topo = NeighborTopology::new(&g);
+        let engine = RoundEngine::new(Backend::Sequential);
+        let cap = BandwidthCap::new(7);
+        let mut metrics = SimMetrics::default();
+        // Node 0 sends a 20-bit payload (3 fragments at 7 bits).
+        let inboxes = engine.message_round(&topo, cap, SendPolicy::Fragment, &mut metrics, |v| {
+            if v == 0 {
+                vec![(1usize, 0xF_FFFFu32)]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(inboxes[1], vec![(0, 0xF_FFFF)]);
+        assert_eq!(metrics.rounds, 3, "20 bits at cap 7 = 3 sub-rounds");
+        assert_eq!(metrics.messages, 3);
+        assert_eq!(metrics.bits, 20);
+        assert_eq!(metrics.max_message_bits, 7);
+    }
+
+    #[test]
+    fn fragment_policy_matches_strict_when_everything_fits() {
+        let g = generators::gnp(40, 0.2, 3);
+        let cap = BandwidthCap::default_for(40, 41);
+        let sender = |v: usize| -> Vec<(usize, u64)> {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| (u, (v + u) as u64))
+                .collect()
+        };
+        let engine = RoundEngine::new(Backend::Sequential);
+        let topo = NeighborTopology::new(&g);
+        let mut strict = SimMetrics::default();
+        let mut frag = SimMetrics::default();
+        let a = engine.message_round(&topo, cap, SendPolicy::Strict, &mut strict, sender);
+        let b = engine.message_round(&topo, cap, SendPolicy::Fragment, &mut frag, sender);
+        assert_eq!(a, b);
+        assert_eq!(strict, frag);
+        let a = engine.broadcast_round(&topo, cap, SendPolicy::Strict, &mut strict, |v| {
+            (v % 2 == 0).then_some(v as u32)
+        });
+        let b = engine.broadcast_round(&topo, cap, SendPolicy::Fragment, &mut frag, |v| {
+            (v % 2 == 0).then_some(v as u32)
+        });
+        assert_eq!(a, b);
+        assert_eq!(strict, frag);
+    }
+
+    #[test]
+    fn empty_round_still_costs_one_round() {
+        let topo = AllPairsTopology::new(0);
+        let engine = RoundEngine::new(Backend::Sequential);
+        let mut metrics = SimMetrics::default();
+        let inboxes: Inboxes<u32> = engine.message_round(
+            &topo,
+            BandwidthCap::two_words(),
+            SendPolicy::Strict,
+            &mut metrics,
+            |_| vec![],
+        );
+        assert!(inboxes.is_empty());
+        assert_eq!(metrics.rounds, 1);
+    }
+
+    #[test]
+    fn argmin_is_identical_across_backends_and_breaks_ties_low() {
+        let scores = [3.0f64, 1.0, 1.0, 2.0, 1.0];
+        let seq = argmin_f64(None, scores.len(), |i| scores[i]);
+        let pool = Pool::new(4);
+        let par = argmin_f64(Some(&pool), scores.len(), |i| scores[i]);
+        assert_eq!(seq, (1.0, 1));
+        assert_eq!(seq, par);
+        assert_eq!(argmin_f64(None, 0, |_| 0.0), (f64::INFINITY, 0));
+    }
+
+    #[test]
+    fn par_map_jobs_returns_in_index_order() {
+        let pool = Pool::new(3);
+        let out = par_map_jobs(&pool, 10, |i| i * i);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential_order_with_and_without_pool() {
+        let f = |i: usize| vec![i, i + 100];
+        let seq = map_indexed(None, 200, f);
+        let pool = Pool::new(4);
+        let par = map_indexed(Some(&pool), 200, f);
+        assert_eq!(seq, par);
+        assert_eq!(seq[7], vec![7, 107]);
+    }
+}

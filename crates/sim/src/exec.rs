@@ -1,0 +1,73 @@
+//! The unified execution knob shared by every coloring driver.
+
+use crate::cap::BandwidthCap;
+use dcl_par::Backend;
+
+/// Simulator execution configuration: which backend runs the rounds and
+/// which bandwidth cap the model enforces.
+///
+/// Every driver config (`CongestColoringConfig`, `DecompColoringConfig`,
+/// `CliqueColoringConfig`, the `mpc_color_*_with` entry points) embeds one
+/// of these instead of ad-hoc `backend`/cap fields, so a bandwidth sweep or
+/// a backend switch is the same one-liner everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Round-execution backend (results are bit-identical across backends;
+    /// only wall-clock changes).
+    pub backend: Backend,
+    /// Per-message bandwidth cap override; `None` uses the model's default
+    /// (`2·max(64, ⌈log₂ n⌉, ⌈log₂ C⌉)` bits in CONGEST, two words in the
+    /// clique). Ignored by MPC, whose bandwidth role is played by the
+    /// per-machine word budget `S`.
+    pub cap: Option<BandwidthCap>,
+}
+
+impl ExecConfig {
+    /// A config selecting `backend` with the model's default cap.
+    #[must_use]
+    pub fn with_backend(backend: Backend) -> Self {
+        ExecConfig {
+            backend,
+            ..Default::default()
+        }
+    }
+
+    /// A config overriding the bandwidth cap on the sequential backend.
+    #[must_use]
+    pub fn with_cap(cap: BandwidthCap) -> Self {
+        ExecConfig {
+            cap: Some(cap),
+            ..Default::default()
+        }
+    }
+
+    /// The cap to use: the override if set, else `default`.
+    #[must_use]
+    pub fn cap_or(&self, default: BandwidthCap) -> BandwidthCap {
+        self.cap.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_with_model_cap() {
+        let exec = ExecConfig::default();
+        assert_eq!(exec.backend, Backend::Sequential);
+        assert_eq!(exec.cap, None);
+        assert_eq!(exec.cap_or(BandwidthCap::new(99)).bits(), 99);
+    }
+
+    #[test]
+    fn builders_set_one_knob_each() {
+        assert_eq!(
+            ExecConfig::with_backend(Backend::Parallel(2)).backend,
+            Backend::Parallel(2)
+        );
+        let exec = ExecConfig::with_cap(BandwidthCap::new(16));
+        assert_eq!(exec.cap_or(BandwidthCap::new(99)).bits(), 16);
+        assert_eq!(exec.backend, Backend::Sequential);
+    }
+}

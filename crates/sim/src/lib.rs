@@ -1,0 +1,70 @@
+//! Shared simulator runtime under the CONGEST, CONGESTED CLIQUE and MPC
+//! simulators.
+//!
+//! The paper's subject is what deterministic coloring costs *as a function
+//! of bandwidth*, so the bandwidth machinery lives here once instead of
+//! three times (`DESIGN.md` §2.2a):
+//!
+//! - [`wire`] — the [`Wire`] message-size accounting every payload
+//!   implements;
+//! - [`cap`] — [`BandwidthCap`]: the per-message bit cap with the paper's
+//!   default formula and the fragmentation rule for swept (small) caps;
+//! - [`metrics`] — [`SimMetrics`]: rounds / messages / bits /
+//!   max-message-width counters with the chunk-ordered parallel reduction;
+//! - [`topology`] — the [`Topology`] policy trait (neighbor-only delivery
+//!   vs. all-pairs unicast vs. machine-addressed) with the
+//!   sorted-adjacency/stamp-mark duplicate-send validation;
+//! - [`engine`] — the [`RoundEngine`]: one generic backend-aware fan-out
+//!   owning pool execution, per-worker validation/accounting, deterministic
+//!   panic propagation and the sender-order inbox merge, plus the
+//!   deterministic [`argmin_f64`] used by the drivers' central loops;
+//! - [`exec`] — [`ExecConfig`]: the `{backend, cap}` knob every driver
+//!   config embeds.
+//!
+//! Each model crate (`dcl_congest`, `dcl_clique`, `dcl_mpc`) is a thin
+//! policy on top: a [`Topology`], the model's default cap, and its charged
+//! cost events.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcl_par::Backend;
+//! use dcl_sim::{AllPairsTopology, BandwidthCap, RoundEngine, SendPolicy, SimMetrics};
+//!
+//! // Three endpoints, all-pairs unicast, two-word cap.
+//! let topo = AllPairsTopology::new(3);
+//! let engine = RoundEngine::new(Backend::Sequential);
+//! let mut metrics = SimMetrics::default();
+//! let inboxes = engine.message_round(
+//!     &topo,
+//!     BandwidthCap::two_words(),
+//!     SendPolicy::Strict,
+//!     &mut metrics,
+//!     |v| if v == 0 { vec![(2usize, 7u32)] } else { vec![] },
+//! );
+//! assert_eq!(inboxes[2], vec![(0, 7u32)]);
+//! assert_eq!(metrics.rounds, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cap;
+pub mod engine;
+pub mod exec;
+pub mod metrics;
+pub mod topology;
+pub mod wire;
+
+#[cfg(feature = "test-util")]
+pub mod test_util;
+
+pub use cap::BandwidthCap;
+pub use dcl_par::{Backend, Pool};
+pub use engine::{
+    argmin_f64, deliver, map_indexed, par_map_jobs, Inboxes, RoundEngine, SendPolicy,
+};
+pub use exec::ExecConfig;
+pub use metrics::SimMetrics;
+pub use topology::{AllPairsTopology, MachineTopology, NeighborTopology, Topology};
+pub use wire::{bit_len, Wire};

@@ -8,6 +8,9 @@
 //! on a single crate:
 //!
 //! - [`graphs`] — graph representation, generators, metrics, validators.
+//! - [`sim`] — the shared simulator runtime: wire accounting, bandwidth
+//!   caps ([`sim::BandwidthCap`]), unified metrics, topology policies and
+//!   the backend-aware round engine every model runs on.
 //! - [`congest`] — CONGEST model simulator (rounds, bandwidth, BFS trees).
 //! - [`derand`] — hash families, biased coins, conditional expectations.
 //! - [`coloring`] — the paper's core algorithms (Algorithm 1, Lemmas 2.1–2.6,
@@ -39,3 +42,5 @@ pub use dcl_derand as derand;
 pub use dcl_graphs as graphs;
 pub use dcl_mpc as mpc;
 pub use dcl_par::{Backend, Pool};
+pub use dcl_sim as sim;
+pub use dcl_sim::{BandwidthCap, ExecConfig};

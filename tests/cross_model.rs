@@ -10,6 +10,11 @@ use distributed_coloring::coloring::congest_coloring::{
     color_list_instance, CongestColoringConfig,
 };
 use distributed_coloring::coloring::instance::ListInstance;
+use distributed_coloring::congest::bfs::build_bfs_tree;
+use distributed_coloring::congest::network::Network;
+use distributed_coloring::congest::tree::{
+    broadcast_charged, broadcast_stepped, convergecast_charged, convergecast_stepped,
+};
 use distributed_coloring::decomp::coloring::{color_via_decomposition, DecompColoringConfig};
 use distributed_coloring::graphs::{generators, validation, Graph};
 use distributed_coloring::mpc::coloring::{mpc_color_linear, mpc_color_sublinear};
@@ -163,6 +168,83 @@ fn clique_beats_congest_on_high_diameter() {
         "clique {} vs congest {}",
         clique.metrics.rounds,
         congest.metrics.rounds
+    );
+}
+
+/// After the `dcl_sim` runtime extraction, the charged (formula-cost) tree
+/// collectives must still cost exactly what their stepped (round-by-round)
+/// ground-truth twins cost — results, rounds, messages and bits — at the
+/// default bandwidth cap *and* at swept caps where payloads fragment
+/// (`DESIGN.md` §2.3).
+#[test]
+fn charged_tree_aggregation_costs_equal_stepped_costs() {
+    for cap_bits in [128u32, 7] {
+        for seed in 0..3 {
+            let g = generators::random_connected(30, 15, seed);
+            let values: Vec<u64> = (0..30).map(|v| (v * v + seed as usize) as u64).collect();
+
+            let mut stepped_net = Network::new(&g, cap_bits);
+            let stepped_tree = build_bfs_tree(&mut stepped_net, 0);
+            let stepped_base = stepped_net.metrics();
+            let a = convergecast_stepped(&mut stepped_net, &stepped_tree, &values, |x, y| x + y);
+            let stepped_cost = stepped_net.metrics();
+
+            let mut charged_net = Network::new(&g, cap_bits);
+            let charged_tree = build_bfs_tree(&mut charged_net, 0);
+            let charged_base = charged_net.metrics();
+            let b = convergecast_charged(&mut charged_net, &charged_tree, &values, |x, y| x + y);
+            let charged_cost = charged_net.metrics();
+
+            assert_eq!(a, b, "cap {cap_bits} seed {seed}: aggregate diverged");
+            assert_eq!(stepped_base, charged_base);
+            assert_eq!(
+                stepped_cost, charged_cost,
+                "cap {cap_bits} seed {seed}: charged convergecast costs diverged from stepped"
+            );
+
+            let a = broadcast_stepped(&mut stepped_net, &stepped_tree, 99_999u32);
+            let b = broadcast_charged(&mut charged_net, &charged_tree, 99_999u32);
+            assert_eq!(a, b);
+            assert_eq!(
+                stepped_net.metrics(),
+                charged_net.metrics(),
+                "cap {cap_bits} seed {seed}: charged broadcast costs diverged from stepped"
+            );
+        }
+    }
+}
+
+/// Pins the default-cap formula of `DESIGN.md` §2.2 across the facade:
+/// `2 · max(64, ⌈log₂ n⌉, ⌈log₂ C⌉)` bits.
+#[test]
+fn default_bandwidth_cap_formula_matches_design() {
+    use distributed_coloring::BandwidthCap;
+    assert_eq!(BandwidthCap::default_for(8, 8).bits(), 128);
+    assert_eq!(BandwidthCap::default_for(1 << 20, 1 << 40).bits(), 128);
+    assert_eq!(BandwidthCap::default_for(8, u64::MAX).bits(), 128);
+    let g = generators::path(4);
+    assert_eq!(Network::with_default_cap(&g, 100).cap_bits(), 128);
+}
+
+/// The deprecated one-release `with_backend` config constructors (the
+/// migration shims for the removed `backend` fields) build the same config
+/// as the `ExecConfig` spelling.
+#[test]
+#[allow(deprecated)]
+fn deprecated_config_shims_select_the_backend() {
+    use distributed_coloring::{Backend, ExecConfig};
+    let exec = ExecConfig::with_backend(Backend::Parallel(2));
+    assert_eq!(
+        CongestColoringConfig::with_backend(Backend::Parallel(2)).exec,
+        exec
+    );
+    assert_eq!(
+        DecompColoringConfig::with_backend(Backend::Parallel(2)).exec,
+        exec
+    );
+    assert_eq!(
+        CliqueColoringConfig::with_backend(Backend::Parallel(2)).exec,
+        exec
     );
 }
 

@@ -36,7 +36,7 @@ fn scale_round_backend_equivalence_on_power_law() {
     let sender = |v: usize| -> Vec<(usize, u64)> {
         g.neighbors(v)
             .iter()
-            .filter(|&&u| (u ^ v) % 4 == 0)
+            .filter(|&&u| (u ^ v).is_multiple_of(4))
             .map(|&u| (u, (v ^ u) as u64))
             .collect()
     };
@@ -58,7 +58,7 @@ fn scale_coloring_completes_on_100k_expander() {
     let par = color_degree_plus_one(
         &g,
         &CongestColoringConfig {
-            backend: Backend::Parallel(0),
+            exec: distributed_coloring::sim::ExecConfig::with_backend(Backend::Parallel(0)),
             ..Default::default()
         },
     );

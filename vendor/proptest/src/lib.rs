@@ -517,6 +517,7 @@ macro_rules! proptest {
                     let values = ( $( $crate::Strategy::generate(&($strat), &mut rng), )+ );
                     let rendered = format!("{:#?}", values);
                     let ( $($arg,)+ ) = values;
+                    #[allow(clippy::redundant_closure_call)]
                     let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
                         (move || {
                             $body

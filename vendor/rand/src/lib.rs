@@ -109,7 +109,7 @@ impl_sample_uniform_float!(f32, f64);
 fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
     debug_assert!(bound > 0);
     if bound <= u64::MAX as u128 {
-        ((rng.next_u64() as u128 * bound) >> 64) as u128
+        (rng.next_u64() as u128 * bound) >> 64
     } else {
         // Only reachable for ranges wider than 2^64, which the workspace
         // never requests; fall back to modulo of a 128-bit draw.
