@@ -85,10 +85,43 @@ fn bench_coloring_scale(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_delta_scale(c: &mut Criterion) {
+    // The Δ-coloring scenario on the same bounded-degree scale instance:
+    // Theorem 1.1 phase plus the Kempe overflow elimination.
+    let g = generators::expander(10_000, 8, 1);
+    let mut group = c.benchmark_group("delta_scale");
+    group.sample_size(10);
+    for (label, backend) in [
+        ("sequential", Backend::Sequential),
+        ("parallel", Backend::Parallel(0)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("expander_10k_d8", label),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    black_box(
+                        dcl_delta::delta_color(
+                            &g,
+                            &dcl_delta::DeltaColoringConfig {
+                                exec: dcl_sim::ExecConfig::with_backend(backend),
+                                ..Default::default()
+                            },
+                        )
+                        .expect("expander is not a Brooks obstruction"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_generators,
     bench_round_execution,
-    bench_coloring_scale
+    bench_coloring_scale,
+    bench_delta_scale
 );
 criterion_main!(benches);

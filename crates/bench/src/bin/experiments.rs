@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E11). Run with:
+//! Prints every experiment table (E1–E13). Run with:
 //!
 //! ```text
 //! cargo run -p dcl-bench --bin experiments --release

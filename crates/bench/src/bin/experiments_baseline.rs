@@ -1,4 +1,4 @@
-//! Records the experiment tables (E1–E12) to a machine-readable committed
+//! Records the experiment tables (E1–E13) to a machine-readable committed
 //! baseline, `BENCH_experiments.json`, with the same machine-profile header
 //! as `BENCH_scale.json` — so a future profile (e.g. a multi-core runner)
 //! can be diffed row by row against the committed one.
@@ -69,6 +69,7 @@ fn main() {
         dcl_bench::e10_ablation,
         dcl_bench::e11_mpc_tools,
         dcl_bench::e12_bandwidth_sweep,
+        dcl_bench::e13_delta_coloring,
     ];
     let mut tables: Vec<(Table, f64)> = Vec::with_capacity(runs.len());
     for run in runs {

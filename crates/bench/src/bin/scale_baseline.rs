@@ -1,9 +1,10 @@
 //! Produces the committed scale baseline `BENCH_scale.json`: generator
-//! throughput at 10⁵–10⁶ nodes, sequential-vs-parallel round execution, and
-//! the full Theorem 1.1 coloring on scale instances, with the machine
-//! profile needed to interpret the numbers (on a single-core runner the
-//! parallel backend can only tie the sequential one; the baseline records
-//! whatever was measured).
+//! throughput at 10⁵–10⁶ nodes, sequential-vs-parallel round execution, the
+//! full Theorem 1.1 coloring on scale instances, and the `dcl_delta`
+//! Δ-coloring on the 10⁴-node expander (the `delta_scale` criterion group),
+//! with the machine profile needed to interpret the numbers (on a
+//! single-core runner the parallel backend can only tie the sequential one;
+//! the baseline records whatever was measured).
 //!
 //! ```text
 //! cargo run -p dcl_bench --bin scale_baseline --release -- [out.json] [--quick]
@@ -74,6 +75,34 @@ fn time_coloring(workload: String, g: &Graph, threads: usize) -> PairRow {
     }
 }
 
+/// Times the `dcl_delta` Δ-coloring on both backends (the committed row for
+/// the `delta_scale` group of `benches/bench_scale.rs`).
+fn time_delta(workload: String, g: &Graph, threads: usize) -> PairRow {
+    use dcl_delta::{delta_color, DeltaColoringConfig};
+    let t = Instant::now();
+    let seq = delta_color(g, &DeltaColoringConfig::default()).expect("no Brooks obstruction");
+    let sequential_ms = ms(t);
+    let t = Instant::now();
+    let par = delta_color(
+        g,
+        &DeltaColoringConfig {
+            exec: dcl_sim::ExecConfig::with_backend(Backend::Parallel(threads)),
+            ..Default::default()
+        },
+    )
+    .expect("no Brooks obstruction");
+    let parallel_ms = ms(t);
+    assert_eq!(validation::check_proper(g, &seq.colors), None);
+    assert!(seq.colors.iter().all(|&c| c < g.max_degree() as u64));
+    PairRow {
+        workload,
+        sequential_ms,
+        parallel_ms,
+        congest_rounds: seq.metrics.rounds,
+        identical: seq == par,
+    }
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_scale.json");
     let mut quick = false;
@@ -141,6 +170,9 @@ fn main() {
     let ex = generators::expander(100_000, 8, 1);
     colorings.push(time_coloring("expander(100000, 8)".into(), &ex, threads));
     eprintln!("expander coloring done");
+    let dg = generators::expander(10_000, 8, 1);
+    colorings.push(time_delta("delta: expander(10000, 8)".into(), &dg, threads));
+    eprintln!("delta coloring done");
     if !quick {
         let pl = generators::power_law(100_000, 2.5, 4.0, 7);
         colorings.push(time_coloring(

@@ -1,6 +1,6 @@
 //! Experiment harness: workloads, table printing and the experiment
-//! implementations (E1–E12 of `DESIGN.md` §4, including the E12 bandwidth
-//! sweep enabled by `dcl_sim::ExecConfig`).
+//! implementations (E1–E13 of `DESIGN.md` §4, including the E12/E13
+//! bandwidth sweeps enabled by `dcl_sim::ExecConfig`).
 //!
 //! The paper is a theory paper without an empirical section, so every
 //! quantitative claim (potential invariants, progress guarantees, round
@@ -636,6 +636,62 @@ pub fn e12_bandwidth_sweep() -> Table {
     t
 }
 
+/// E13 — Δ-coloring under bandwidth limits (the Halldórsson–Maus regime,
+/// `dcl_delta`): rounds/messages/bits of the full pipeline — obstruction
+/// detection, Theorem 1.1 phase, Kempe overflow elimination — as a function
+/// of the cap, on the same instance as the E12 sweep. One Δ-regular and one
+/// expander workload; the latter exercises the chain-flip path.
+pub fn e13_delta_coloring() -> Table {
+    use dcl_delta::{delta_color, DeltaColoringConfig};
+    use dcl_sim::{BandwidthCap, ExecConfig};
+    let mut t = Table::new(
+        "E13 (Delta-coloring, HM24): rounds and bits vs bandwidth cap (Delta colors)",
+        &[
+            "graph",
+            "cap_bits",
+            "x_log_n",
+            "rounds",
+            "messages",
+            "bits",
+            "overflow",
+            "kempe_flips",
+            "valid",
+        ],
+    );
+    for (name, g) in [
+        ("regular(96,6)", generators::random_regular(96, 6, 5)),
+        ("expander(64,4)", generators::expander(64, 4, 1)),
+    ] {
+        let delta = g.max_degree() as u64;
+        let log_n = usize::BITS - (g.n() - 1).leading_zeros();
+        for mult in [1u32, 2, 4, 8] {
+            let cap = BandwidthCap::new(mult * log_n);
+            let r = delta_color(
+                &g,
+                &DeltaColoringConfig {
+                    exec: ExecConfig::with_cap(cap),
+                    ..Default::default()
+                },
+            )
+            .expect("generator graphs are not Brooks obstructions");
+            let valid = validation::check_proper(&g, &r.colors).is_none()
+                && r.colors.iter().all(|&c| c < delta);
+            t.row(vec![
+                name.to_string(),
+                cap.bits().to_string(),
+                format!("{mult}x"),
+                r.metrics.rounds.to_string(),
+                r.metrics.messages.to_string(),
+                r.metrics.bits.to_string(),
+                r.overflow_nodes.to_string(),
+                r.kempe_flips.to_string(),
+                valid.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// E11 — Section 5 toolbox: constant-round sort/prefix/set-difference.
 pub fn e11_mpc_tools() -> Table {
     use dcl_mpc::machine::Mpc;
@@ -702,6 +758,7 @@ pub fn run_all_experiments() -> String {
         e10_ablation(),
         e11_mpc_tools(),
         e12_bandwidth_sweep(),
+        e13_delta_coloring(),
     ];
     let mut out = String::new();
     out.push_str("# Experiment report — deterministic distributed coloring reproduction\n\n");
@@ -764,6 +821,25 @@ mod tests {
             "sweep should show a bandwidth cost"
         );
         assert!(clique[0] > clique[3], "sweep should show a bandwidth cost");
+    }
+
+    #[test]
+    fn e13_delta_coloring_stays_valid_and_monotone_in_the_cap() {
+        let t = e13_delta_coloring();
+        assert_eq!(t.rows.len(), 8, "two graphs x four caps");
+        for row in &t.rows {
+            assert_eq!(row[8], "true", "Δ-coloring must stay valid at every cap");
+        }
+        for graph_rows in t.rows.chunks(4) {
+            let rounds: Vec<u64> = graph_rows.iter().map(|r| r[3].parse().unwrap()).collect();
+            for w in rounds.windows(2) {
+                assert!(w[0] >= w[1], "rounds increased with the cap: {rounds:?}");
+            }
+            assert!(
+                rounds[0] > rounds[3],
+                "sweep should show a bandwidth cost: {rounds:?}"
+            );
+        }
     }
 
     #[test]

@@ -58,21 +58,6 @@ impl Default for CliqueColoringConfig {
     }
 }
 
-impl CliqueColoringConfig {
-    /// A default config on the given round-execution backend.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `exec: ExecConfig::with_backend(backend)`"
-    )]
-    #[must_use]
-    pub fn with_backend(backend: dcl_congest::Backend) -> Self {
-        CliqueColoringConfig {
-            exec: ExecConfig::with_backend(backend),
-            ..Default::default()
-        }
-    }
-}
-
 /// Result of [`clique_color`].
 #[derive(Debug, Clone)]
 pub struct CliqueColoringResult {

@@ -13,7 +13,6 @@ use crate::linial::linial_from_ids;
 use crate::partial::{partial_coloring, PartialConfig, PartialOutcome};
 use dcl_congest::bfs::build_bfs_forest;
 use dcl_congest::network::{Metrics, Network};
-use dcl_congest::Backend;
 use dcl_graphs::Graph;
 use dcl_sim::ExecConfig;
 
@@ -30,21 +29,6 @@ pub struct CongestColoringConfig {
     /// caps fragment wide payloads and stretch rounds accordingly — the
     /// sweep axis of `dcl_bench::e12_bandwidth_sweep`).
     pub exec: ExecConfig,
-}
-
-impl CongestColoringConfig {
-    /// A default config on the given round-execution backend.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `exec: ExecConfig::with_backend(backend)`"
-    )]
-    #[must_use]
-    pub fn with_backend(backend: Backend) -> Self {
-        CongestColoringConfig {
-            exec: ExecConfig::with_backend(backend),
-            ..Default::default()
-        }
-    }
 }
 
 /// Result of the full CONGEST coloring.
@@ -72,9 +56,34 @@ pub fn color_list_instance(
     instance: &ListInstance,
     config: &CongestColoringConfig,
 ) -> ColoringResult {
+    let mut net = Network::from_exec(instance.graph(), instance.color_space(), &config.exec);
+    color_list_instance_on(&mut net, instance, config)
+}
+
+/// [`color_list_instance`] on a caller-supplied [`Network`], so scenario
+/// pipelines that run Theorem 1.1 as one phase of a longer algorithm (e.g.
+/// the `dcl_delta` Δ-coloring) accumulate every round on a single simulator.
+/// The network's graph must be the instance graph; `config.exec` is ignored
+/// (the network already carries its backend and cap). The returned
+/// [`ColoringResult::metrics`] are the network's cumulative counters, which
+/// include whatever the caller already charged.
+///
+/// # Panics
+///
+/// Panics if the iteration cap is exceeded (progress bug) or if the
+/// network's graph differs from the instance graph.
+pub fn color_list_instance_on(
+    net: &mut Network<'_>,
+    instance: &ListInstance,
+    config: &CongestColoringConfig,
+) -> ColoringResult {
     let g = instance.graph();
     let n = g.n();
-    let mut net = Network::from_exec(g, instance.color_space(), &config.exec);
+    assert_eq!(
+        net.graph(),
+        g,
+        "network graph must match the instance graph"
+    );
     if n == 0 {
         return ColoringResult {
             colors: Vec::new(),
@@ -84,8 +93,8 @@ pub fn color_list_instance(
             outcomes: Vec::new(),
         };
     }
-    let forest = build_bfs_forest(&mut net);
-    let lin = linial_from_ids(&mut net);
+    let forest = build_bfs_forest(net);
+    let lin = linial_from_ids(net);
 
     let cap = config
         .max_iterations
@@ -103,7 +112,7 @@ pub fn color_list_instance(
             "iteration cap {cap} exceeded with {remaining} nodes uncolored — progress bug"
         );
         let outcome = partial_coloring(
-            &mut net,
+            net,
             &forest,
             &residual,
             &active,

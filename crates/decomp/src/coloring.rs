@@ -33,21 +33,6 @@ pub struct DecompColoringConfig {
     pub exec: dcl_sim::ExecConfig,
 }
 
-impl DecompColoringConfig {
-    /// A default config on the given round-execution backend.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `exec: dcl_sim::ExecConfig::with_backend(backend)`"
-    )]
-    #[must_use]
-    pub fn with_backend(backend: dcl_congest::Backend) -> Self {
-        DecompColoringConfig {
-            exec: dcl_sim::ExecConfig::with_backend(backend),
-            ..Default::default()
-        }
-    }
-}
-
 /// Result of the decomposition-based coloring.
 #[derive(Debug, Clone)]
 pub struct DecompColoringResult {

@@ -1,0 +1,434 @@
+//! The Δ-coloring driver: obstruction detection → Theorem 1.1 partial
+//! coloring → Kempe-chain overflow elimination, all on one metered
+//! [`Network`].
+
+use crate::kempe::{brooks_color_component, flip_chain, probe_chain};
+use crate::obstruction::{detect_clique_obstruction, two_color_bipartite, DeltaError};
+use dcl_coloring::congest_coloring::{color_list_instance_on, CongestColoringConfig};
+use dcl_coloring::instance::ListInstance;
+use dcl_coloring::partial::PartialConfig;
+use dcl_congest::network::{Metrics, Network};
+use dcl_graphs::{metrics, Graph, NodeId};
+use dcl_sim::{bit_len, ExecConfig};
+
+/// Configuration of the Δ-coloring pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaColoringConfig {
+    /// Strategy and accuracy of the Theorem 1.1 partial-coloring phase.
+    pub partial: PartialConfig,
+    /// Iteration cap forwarded to the Theorem 1.1 phase (`None` = its
+    /// default `6·⌈log₂ n⌉ + 10` safety net).
+    pub max_iterations: Option<usize>,
+    /// Simulator execution: round backend (results are bit-identical across
+    /// backends) and bandwidth cap (`None` = the model default; swept caps
+    /// fragment wide payloads — the axis of `dcl_bench::e13_delta_coloring`).
+    pub exec: ExecConfig,
+}
+
+/// Result of a successful Δ-coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaColoringResult {
+    /// The proper coloring with colors `< palette`.
+    pub colors: Vec<u64>,
+    /// Number of colors available: `Δ` (2 on the `Δ = 2` bipartite path).
+    pub palette: u64,
+    /// Cumulative simulator cost of the whole pipeline (detection, partial
+    /// coloring, recoloring).
+    pub metrics: Metrics,
+    /// Lemma 2.1 iterations of the Theorem 1.1 phase.
+    pub phase1_iterations: usize,
+    /// Nodes holding the overflow color Δ after the Theorem 1.1 phase.
+    pub overflow_nodes: usize,
+    /// Overflow nodes fixed by a free color in their neighborhood.
+    pub greedy_recolored: usize,
+    /// Kempe-chain probes performed (successful or not).
+    pub kempe_probes: usize,
+    /// Kempe chains flipped.
+    pub kempe_flips: usize,
+    /// Components finished by the collect-at-leader Lovász–Brooks solver.
+    pub collect_fallbacks: usize,
+}
+
+/// Colors `graph` with exactly `Δ = max_degree` colors (Brooks' bound),
+/// deterministically, under the CONGEST bandwidth cap of `config.exec`.
+///
+/// # Errors
+///
+/// Returns the typed [`DeltaError`] when the input is a Brooks obstruction:
+/// a `K_{Δ+1}` component (which for `Δ ∈ {0, 1}` means any non-empty input)
+/// or, for `Δ = 2`, an odd-cycle component.
+///
+/// # Panics
+///
+/// Panics only on internal progress bugs (the Theorem 1.1 iteration cap) —
+/// never on obstruction inputs.
+pub fn delta_color(
+    graph: &Graph,
+    config: &DeltaColoringConfig,
+) -> Result<DeltaColoringResult, DeltaError> {
+    let n = graph.n();
+    let delta = graph.max_degree();
+    let mut net = Network::from_exec(graph, delta as u64 + 2, &config.exec);
+    if n == 0 {
+        return Ok(DeltaColoringResult {
+            colors: Vec::new(),
+            palette: 0,
+            metrics: net.metrics(),
+            phase1_iterations: 0,
+            overflow_nodes: 0,
+            greedy_recolored: 0,
+            kempe_probes: 0,
+            kempe_flips: 0,
+            collect_fallbacks: 0,
+        });
+    }
+
+    // Phase 0: Brooks obstructions. Δ ∈ {0, 1} always contain K_{Δ+1}
+    // components (isolated vertices / lone edges), so only Δ = 2 needs the
+    // separate bipartite path below.
+    detect_clique_obstruction(&mut net)?;
+    if delta == 2 {
+        let colors = two_color_bipartite(&mut net)?;
+        return Ok(DeltaColoringResult {
+            colors,
+            palette: 2,
+            metrics: net.metrics(),
+            phase1_iterations: 0,
+            overflow_nodes: 0,
+            greedy_recolored: 0,
+            kempe_probes: 0,
+            kempe_flips: 0,
+            collect_fallbacks: 0,
+        });
+    }
+    debug_assert!(delta >= 3, "smaller degrees ended in phase 0");
+
+    // Phase 1: the paper's (degree+1)-list coloring with lists {0..deg(v)}.
+    // Only full-degree nodes can receive the overflow color Δ, and —
+    // properness — they form an independent set.
+    let instance = ListInstance::degree_plus_one(graph.clone());
+    let phase1 = color_list_instance_on(
+        &mut net,
+        &instance,
+        &CongestColoringConfig {
+            partial: config.partial,
+            max_iterations: config.max_iterations,
+            exec: config.exec,
+        },
+    );
+    let mut colors = phase1.colors;
+    let delta_color_value = delta as u64;
+
+    // Phase 2: eliminate the overflow color. Every node already knows its
+    // neighbors' colors (each was announced on the wire when assigned during
+    // phase 1); the per-node fixes below are charged as the floods an actual
+    // deployment would run, one overflow node at a time.
+    let overflow: Vec<NodeId> = (0..n).filter(|&v| colors[v] == delta_color_value).collect();
+    let color_bits = bit_len(delta_color_value);
+    let mut greedy_recolored = 0;
+    let mut kempe_probes = 0;
+    let mut kempe_flips = 0;
+    let mut collect_fallbacks = 0;
+    let mut visited = vec![false; n];
+
+    for &v in &overflow {
+        if colors[v] != delta_color_value {
+            continue; // already fixed by a component fallback
+        }
+        // Free color in the neighborhood?
+        let mut used = vec![false; delta];
+        for &u in graph.neighbors(v) {
+            if colors[u] < delta_color_value {
+                used[colors[u] as usize] = true;
+            }
+        }
+        if let Some(free) = (0..delta).find(|&c| !used[c]) {
+            colors[v] = free as u64;
+            greedy_recolored += 1;
+            charge_announce(&mut net, graph.degree(v) as u64, color_bits);
+            continue;
+        }
+        // deg(v) = Δ and each color 0..Δ−1 appears on exactly one neighbor.
+        let mut owner = vec![usize::MAX; delta];
+        for &u in graph.neighbors(v) {
+            owner[colors[u] as usize] = u;
+        }
+        let mut fixed = false;
+        'pairs: for a in 0..delta as u64 {
+            for b in (a + 1)..delta as u64 {
+                let chain = probe_chain(
+                    graph,
+                    &colors,
+                    a,
+                    b,
+                    owner[a as usize],
+                    owner[b as usize],
+                    &mut visited,
+                );
+                kempe_probes += 1;
+                // The probe flood runs along the chain whether it succeeds
+                // or not: depth+1 rounds of one small token per chain edge
+                // (two directions), then the verdict travels back to v.
+                let f = net.charge_payload_traffic(2 * chain.edges.max(1), color_bits + 1);
+                net.charge_rounds(u64::from(chain.depth + 1) * u64::from(f));
+                if !chain.reached_target {
+                    // Flip frees color `a` at v: one round in which the
+                    // chain announces its swapped colors, plus v's own
+                    // announcement.
+                    let total_deg: u64 = chain.nodes.iter().map(|&w| graph.degree(w) as u64).sum();
+                    flip_chain(&mut colors, a, b, &chain);
+                    colors[v] = a;
+                    kempe_flips += 1;
+                    charge_announce(&mut net, total_deg + graph.degree(v) as u64, color_bits);
+                    fixed = true;
+                    break 'pairs;
+                }
+            }
+        }
+        if fixed {
+            continue;
+        }
+        // Every pair of chains connects: hand the component to its leader
+        // (converge-cast the edges, solve with Lovász–Brooks, broadcast the
+        // colors back), exactly like the clique driver's collect finish.
+        let comp = component_of(graph, v);
+        charge_component_collect(&mut net, graph, &comp, color_bits);
+        for (w, c) in brooks_color_component(graph, &comp, delta)? {
+            colors[w] = c;
+        }
+        collect_fallbacks += 1;
+    }
+
+    debug_assert!(colors.iter().all(|&c| c < delta_color_value));
+    Ok(DeltaColoringResult {
+        colors,
+        palette: delta_color_value,
+        metrics: net.metrics(),
+        phase1_iterations: phase1.iterations,
+        overflow_nodes: overflow.len(),
+        greedy_recolored,
+        kempe_probes,
+        kempe_flips,
+        collect_fallbacks,
+    })
+}
+
+/// Charges one announcement round: `messages` color payloads, the round
+/// stretched by fragmentation under swept caps.
+fn charge_announce(net: &mut Network<'_>, messages: u64, color_bits: u32) {
+    let f = net.charge_payload_traffic(messages, color_bits);
+    net.charge_rounds(u64::from(f));
+}
+
+/// The connected component containing `v`, in ascending node order.
+fn component_of(graph: &Graph, v: NodeId) -> Vec<NodeId> {
+    let dist = metrics::bfs(graph, v);
+    (0..graph.n()).filter(|&u| dist[u] != u32::MAX).collect()
+}
+
+/// Charges the collect-at-leader fallback for one component: a pipelined
+/// converge-cast of the component's edge list to the leader (each edge
+/// record travels the BFS depth of its shallower endpoint; `h + W` rounds
+/// for `W` total fragments at the root, like the charged tree collectives of
+/// `dcl_congest::tree`), then a broadcast of one color per node back down.
+fn charge_component_collect(
+    net: &mut Network<'_>,
+    graph: &Graph,
+    comp: &[NodeId],
+    color_bits: u32,
+) {
+    let n = graph.n();
+    let root = comp[0];
+    let depth = metrics::bfs(graph, root);
+    let height = comp.iter().map(|&w| depth[w]).max().unwrap_or(0);
+    let edge_bits = 2 * bit_len(n as u64);
+    let mut up_hops = 0u64;
+    let mut records = 0u64;
+    for &w in comp {
+        for &u in graph.neighbors(w) {
+            if w < u {
+                records += 1;
+                up_hops += u64::from(depth[w].min(depth[u]));
+            }
+        }
+    }
+    // Upward edge records (hop-by-hop messages) and downward colors.
+    let f_up = net.charge_payload_traffic(up_hops.max(records), edge_bits);
+    net.charge_rounds(u64::from(height) + (records * u64::from(f_up)).saturating_sub(1) + 1);
+    let down_hops: u64 = comp.iter().map(|&w| u64::from(depth[w])).sum();
+    let f_down = net.charge_payload_traffic(down_hops.max(comp.len() as u64), color_bits);
+    net.charge_rounds(
+        u64::from(height) + (comp.len() as u64 * u64::from(f_down)).saturating_sub(1) + 1,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::{generators, validation, Graph};
+
+    fn assert_delta_colored(g: &Graph, result: &DeltaColoringResult) {
+        assert_eq!(validation::check_proper(g, &result.colors), None);
+        let delta = g.max_degree() as u64;
+        assert!(
+            result.colors.iter().all(|&c| c < delta.max(result.palette)),
+            "a color reached the palette bound"
+        );
+        assert_eq!(result.palette, delta.max(if g.n() == 0 { 0 } else { 2 }));
+    }
+
+    #[test]
+    fn colors_generator_graphs_with_delta_colors() {
+        for (name, g) in [
+            ("gnp", generators::gnp(60, 0.12, 3)),
+            ("power_law", generators::power_law(80, 2.5, 5.0, 11)),
+            ("expander", generators::expander(64, 4, 2)),
+            ("regular", generators::random_regular(48, 5, 7)),
+            ("grid", generators::grid(6, 8)),
+            ("hypercube", generators::hypercube(4)),
+        ] {
+            assert!(g.max_degree() >= 3, "{name}: generator produced Δ < 3");
+            let result = delta_color(&g, &DeltaColoringConfig::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_delta_colored(&g, &result);
+        }
+    }
+
+    #[test]
+    fn overflow_bookkeeping_is_consistent() {
+        let g = generators::random_regular(64, 6, 1);
+        let r = delta_color(&g, &DeltaColoringConfig::default()).unwrap();
+        if r.collect_fallbacks == 0 {
+            assert_eq!(
+                r.overflow_nodes,
+                r.greedy_recolored + r.kempe_flips,
+                "without fallbacks, every overflow node is fixed greedily or by a flip"
+            );
+        }
+        assert!(r.kempe_probes >= r.kempe_flips);
+    }
+
+    #[test]
+    fn kempe_flips_fire_on_expanders() {
+        // Pinned seed on which greedy recoloring alone is not enough, so the
+        // chain-flip path stays exercised end to end.
+        let g = generators::expander(64, 4, 1);
+        let r = delta_color(&g, &DeltaColoringConfig::default()).unwrap();
+        assert!(r.kempe_flips > 0, "expected at least one Kempe flip");
+        assert_delta_colored(&g, &r);
+    }
+
+    #[test]
+    fn rejects_cliques_and_odd_cycles_with_typed_errors() {
+        for k in [1usize, 2, 4, 5] {
+            let g = generators::complete(k);
+            assert_eq!(
+                delta_color(&g, &DeltaColoringConfig::default()),
+                Err(DeltaError::CliqueObstruction {
+                    witness: 0,
+                    size: k
+                }),
+                "K_{k}"
+            );
+        }
+        let g = generators::ring(9);
+        assert_eq!(
+            delta_color(&g, &DeltaColoringConfig::default()),
+            Err(DeltaError::OddCycle {
+                witness: 0,
+                length: 9
+            })
+        );
+    }
+
+    #[test]
+    fn two_colors_bipartite_delta_two_graphs() {
+        for g in [generators::ring(10), generators::path(7)] {
+            let r = delta_color(&g, &DeltaColoringConfig::default()).unwrap();
+            assert_eq!(r.palette, 2);
+            assert_eq!(validation::check_proper(&g, &r.colors), None);
+        }
+    }
+
+    #[test]
+    fn swept_caps_cost_more_rounds_and_same_colors() {
+        let g = generators::random_regular(48, 5, 9);
+        let log_n = bit_len(g.n() as u64 - 1);
+        let default_run = delta_color(&g, &DeltaColoringConfig::default()).unwrap();
+        let tight = delta_color(
+            &g,
+            &DeltaColoringConfig {
+                exec: ExecConfig::with_cap(dcl_sim::BandwidthCap::new(log_n)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            default_run.colors, tight.colors,
+            "cap must not change the result"
+        );
+        assert!(
+            tight.metrics.rounds > default_run.metrics.rounds,
+            "fragmentation at cap {log_n} must stretch rounds ({} vs {})",
+            tight.metrics.rounds,
+            default_run.metrics.rounds
+        );
+        assert_eq!(validation::check_proper(&g, &tight.colors), None);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let g = generators::gnp(50, 0.15, 21);
+        let a = delta_color(&g, &DeltaColoringConfig::default()).unwrap();
+        let b = delta_color(&g, &DeltaColoringConfig::default()).unwrap();
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let r = delta_color(&Graph::empty(0), &DeltaColoringConfig::default()).unwrap();
+        assert!(r.colors.is_empty());
+        assert_eq!(r.palette, 0);
+    }
+
+    #[test]
+    fn edgeless_graphs_are_brooks_obstructions() {
+        // Δ = 0: every isolated vertex is K_1 = K_{Δ+1}.
+        assert_eq!(
+            delta_color(&Graph::empty(3), &DeltaColoringConfig::default()),
+            Err(DeltaError::CliqueObstruction {
+                witness: 0,
+                size: 1
+            })
+        );
+    }
+
+    #[test]
+    fn disconnected_graphs_color_every_component() {
+        // A K_4 component is fine when the graph's Δ is 4 (K_5 would be the
+        // obstruction).
+        let g = Graph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (4, 8),
+                (5, 6),
+                (7, 8),
+                (8, 9),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.max_degree(), 4);
+        let r = delta_color(&g, &DeltaColoringConfig::default()).unwrap();
+        assert_delta_colored(&g, &r);
+    }
+}

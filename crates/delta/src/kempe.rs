@@ -1,0 +1,508 @@
+//! Kempe-chain machinery and the Lovász–Brooks component solver.
+//!
+//! The recoloring phase of [`crate::coloring::delta_color`] eliminates the
+//! overflow color Δ by flipping *Kempe chains*: for colors `a ≠ b`, the
+//! connected component of a node in the subgraph induced by the two color
+//! classes. Swapping `a ↔ b` on an entire chain preserves properness, and
+//! when the chain starting at `v`'s `a`-colored neighbor does not reach its
+//! `b`-colored neighbor, the swap frees color `a` at `v`.
+//!
+//! When every chain probe fails (all `Θ(Δ²)` pairs connect), the component
+//! is solved locally at its leader with the constructive proof of Brooks'
+//! theorem (Lovász 1975): a sub-Δ-degree root orders the component by
+//! reverse BFS for a greedy pass; Δ-regular components either split at an
+//! articulation point or contain a vertex `a` with two non-adjacent
+//! neighbors `b, c` whose removal keeps the component connected — coloring
+//! `b` and `c` alike leaves a free color at `a`.
+
+use crate::obstruction::DeltaError;
+use dcl_graphs::{Graph, NodeId};
+
+/// Outcome of one Kempe-chain probe: the chain's nodes (BFS discovery
+/// order), its BFS depth from the start node, its internal edge count, and
+/// whether it reached the probe target.
+#[derive(Debug)]
+pub struct ChainProbe {
+    /// Chain nodes in BFS discovery order (deterministic: sorted adjacency).
+    pub nodes: Vec<NodeId>,
+    /// Maximum BFS depth from the start node — the rounds a distributed
+    /// flood along the chain needs.
+    pub depth: u32,
+    /// Number of edges inside the chain (each flood token crosses one).
+    pub edges: u64,
+    /// Whether `target` lies on the chain (flip would not free the color).
+    pub reached_target: bool,
+}
+
+/// Explores the `{a, b}`-Kempe chain containing `start` by BFS over the
+/// bichromatic subgraph. `visited` is caller-provided scratch of length `n`,
+/// false on entry; it is cleaned up (only the touched entries) before
+/// returning, so repeated probes are `O(chain)` each.
+pub fn probe_chain(
+    g: &Graph,
+    colors: &[u64],
+    a: u64,
+    b: u64,
+    start: NodeId,
+    target: NodeId,
+    visited: &mut [bool],
+) -> ChainProbe {
+    debug_assert!(colors[start] == a || colors[start] == b);
+    let mut nodes = vec![start];
+    let mut depth_of = vec![0u32];
+    visited[start] = true;
+    let mut head = 0;
+    let mut depth = 0;
+    let mut edge_endpoints = 0u64;
+    while head < nodes.len() {
+        let w = nodes[head];
+        let d = depth_of[head];
+        head += 1;
+        for &u in g.neighbors(w) {
+            if colors[u] == a || colors[u] == b {
+                edge_endpoints += 1;
+                if !visited[u] {
+                    visited[u] = true;
+                    nodes.push(u);
+                    depth_of.push(d + 1);
+                    depth = depth.max(d + 1);
+                }
+            }
+        }
+    }
+    let reached_target = visited[target];
+    for &w in &nodes {
+        visited[w] = false;
+    }
+    ChainProbe {
+        nodes,
+        depth,
+        edges: edge_endpoints / 2,
+        reached_target,
+    }
+}
+
+/// Swaps colors `a ↔ b` on every chain node. The chain is a maximal
+/// bichromatic component, so the swap keeps the global coloring proper.
+pub fn flip_chain(colors: &mut [u64], a: u64, b: u64, chain: &ChainProbe) {
+    for &w in &chain.nodes {
+        colors[w] = a + b - colors[w];
+    }
+}
+
+/// Colors one connected component with exactly `delta ≥ 3` colors using the
+/// constructive Lovász proof of Brooks' theorem; `comp` must list the whole
+/// component. Returns `(node, color)` assignments with colors `< delta`.
+///
+/// # Errors
+///
+/// Returns the typed obstruction if the component is `K_{delta+1}` (or, for
+/// the defensive `delta = 2` case, an odd cycle).
+///
+/// # Panics
+///
+/// Panics if `comp` is not a full connected component of `g` (internal
+/// invariant of the fallback path).
+pub fn brooks_color_component(
+    g: &Graph,
+    comp: &[NodeId],
+    delta: usize,
+) -> Result<Vec<(NodeId, u64)>, DeltaError> {
+    let k = comp.len();
+    debug_assert!(k > 0);
+    // Local index mapping and local adjacency.
+    let mut local = vec![usize::MAX; g.n()];
+    for (i, &v) in comp.iter().enumerate() {
+        local[v] = i;
+    }
+    let adj: Vec<Vec<usize>> = comp
+        .iter()
+        .map(|&v| {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| {
+                    assert!(local[u] != usize::MAX, "comp must be a full component");
+                    local[u]
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut col: Vec<Option<u64>> = vec![None; k];
+    if k == 1 {
+        if delta == 0 {
+            return Err(DeltaError::CliqueObstruction {
+                witness: comp[0],
+                size: 1,
+            });
+        }
+        return Ok(vec![(comp[0], 0)]);
+    }
+
+    if let Some(root) = (0..k).find(|&i| adj[i].len() < delta) {
+        // Non-regular component: reverse-BFS greedy from a sub-degree root.
+        let allowed = vec![true; k];
+        greedy_fill(&adj, &allowed, root, delta, &mut col);
+    } else if delta == 2 {
+        // Defensive: a 2-regular component is a cycle.
+        if k % 2 == 1 {
+            return Err(DeltaError::OddCycle {
+                witness: comp[0],
+                length: k,
+            });
+        }
+        let order = bfs_order(&adj, &vec![true; k], 0);
+        for &(i, d) in &order {
+            col[i] = Some(u64::from(d % 2));
+        }
+    } else if k == delta + 1 {
+        // Δ-regular on Δ+1 nodes: the complete graph.
+        return Err(DeltaError::CliqueObstruction {
+            witness: comp[0],
+            size: k,
+        });
+    } else if let Some(x) = articulation_point(&adj) {
+        // Δ-regular with a cut vertex: x has degree < Δ inside each side, so
+        // each side colors greedily with x as the root; the sides' palettes
+        // are then permuted to agree on x's color.
+        color_around_cut_vertex(&adj, x, delta, &mut col);
+    } else {
+        // 2-connected, Δ-regular, not complete, Δ ≥ 3: Lovász's lemma
+        // guarantees a vertex `a` with non-adjacent neighbors `b, c` such
+        // that the component minus {b, c} stays connected.
+        let (a, b, c) = find_lovasz_triple(&adj, k)
+            .expect("2-connected non-complete Δ-regular component must contain a Lovász triple");
+        col[b] = Some(0);
+        col[c] = Some(0);
+        let mut allowed = vec![true; k];
+        allowed[b] = false;
+        allowed[c] = false;
+        greedy_fill(&adj, &allowed, a, delta, &mut col);
+    }
+
+    Ok(comp
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, col[i].expect("every component node colored")))
+        .collect())
+}
+
+/// BFS over `allowed` nodes from `root`; returns `(node, depth)` in
+/// discovery order (deterministic: sorted adjacency).
+fn bfs_order(adj: &[Vec<usize>], allowed: &[bool], root: usize) -> Vec<(usize, u32)> {
+    let mut order = vec![(root, 0u32)];
+    let mut seen = vec![false; adj.len()];
+    seen[root] = true;
+    let mut head = 0;
+    while head < order.len() {
+        let (w, d) = order[head];
+        head += 1;
+        for &u in &adj[w] {
+            if allowed[u] && !seen[u] {
+                seen[u] = true;
+                order.push((u, d + 1));
+            }
+        }
+    }
+    order
+}
+
+/// Colors the `allowed` nodes greedily in *reverse* BFS discovery order from
+/// `root`: every non-root node still has its (closer-to-root) BFS parent
+/// uncolored when its turn comes, so at most `deg − 1 ≤ delta − 1` of its
+/// neighbors are colored and a color `< delta` is free; the root goes last
+/// and needs its own degree-or-precoloring slack (arranged by the caller).
+fn greedy_fill(
+    adj: &[Vec<usize>],
+    allowed: &[bool],
+    root: usize,
+    delta: usize,
+    col: &mut [Option<u64>],
+) {
+    let order = bfs_order(adj, allowed, root);
+    debug_assert_eq!(
+        order.len(),
+        allowed.iter().filter(|&&x| x).count(),
+        "BFS must reach every allowed node (component connectivity)"
+    );
+    let mut used = vec![u64::MAX; delta]; // stamp array: used[c] = stamping node
+    for &(w, _) in order.iter().rev() {
+        for &u in &adj[w] {
+            if let Some(c) = col[u] {
+                used[c as usize] = w as u64;
+            }
+        }
+        let free = (0..delta as u64)
+            .find(|&c| used[c as usize] != w as u64)
+            .expect("greedy order guarantees a free color below delta");
+        col[w] = Some(free);
+    }
+}
+
+/// First articulation point of a connected graph (iterative Tarjan lowlink),
+/// or `None` if 2-connected.
+fn articulation_point(adj: &[Vec<usize>]) -> Option<usize> {
+    let k = adj.len();
+    let mut disc = vec![usize::MAX; k];
+    let mut low = vec![usize::MAX; k];
+    let mut parent = vec![usize::MAX; k];
+    let mut cut = vec![false; k];
+    let mut timer = 1usize;
+    let mut root_children = 0usize;
+    // Explicit DFS stack of (node, next child index to examine).
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    disc[0] = 0;
+    low[0] = 0;
+    while !stack.is_empty() {
+        let (v, ci) = *stack.last().unwrap();
+        if ci < adj[v].len() {
+            stack.last_mut().unwrap().1 += 1;
+            let u = adj[v][ci];
+            if disc[u] == usize::MAX {
+                parent[u] = v;
+                disc[u] = timer;
+                low[u] = timer;
+                timer += 1;
+                if v == 0 {
+                    root_children += 1;
+                }
+                stack.push((u, 0));
+            } else if u != parent[v] {
+                low[v] = low[v].min(disc[u]);
+            }
+        } else {
+            stack.pop();
+            if let Some(&(p, _)) = stack.last() {
+                low[p] = low[p].min(low[v]);
+                if p != 0 && low[v] >= disc[p] {
+                    cut[p] = true;
+                }
+            }
+        }
+    }
+    if root_children > 1 {
+        cut[0] = true;
+    }
+    (0..k).find(|&v| cut[v])
+}
+
+/// Colors a Δ-regular component around a cut vertex `x`: each component of
+/// `comp − x`, together with `x`, is colored by reverse-BFS greedy rooted at
+/// `x` (whose degree inside each side is `< Δ` because its edges split
+/// across sides); the sides then permute two colors each so that `x` agrees.
+fn color_around_cut_vertex(adj: &[Vec<usize>], x: usize, delta: usize, col: &mut [Option<u64>]) {
+    let k = adj.len();
+    // Partition comp − x into components via BFS.
+    let mut side = vec![usize::MAX; k];
+    let mut sides = 0usize;
+    for start in 0..k {
+        if start == x || side[start] != usize::MAX {
+            continue;
+        }
+        let mut queue = vec![start];
+        side[start] = sides;
+        let mut head = 0;
+        while head < queue.len() {
+            let w = queue[head];
+            head += 1;
+            for &u in &adj[w] {
+                if u != x && side[u] == usize::MAX {
+                    side[u] = sides;
+                    queue.push(u);
+                }
+            }
+        }
+        sides += 1;
+    }
+    debug_assert!(sides >= 2, "x must be a cut vertex");
+    let mut x_color: Option<u64> = None;
+    for s in 0..sides {
+        let allowed: Vec<bool> = (0..k).map(|i| i == x || side[i] == s).collect();
+        let mut side_col: Vec<Option<u64>> = vec![None; k];
+        greedy_fill(adj, &allowed, x, delta, &mut side_col);
+        let got = side_col[x].expect("x colored in its side");
+        let target = *x_color.get_or_insert(got);
+        for i in 0..k {
+            if side[i] == s {
+                let c = side_col[i].expect("side node colored");
+                // Swap `got` and `target` so x's color matches side 0.
+                col[i] = Some(if c == got {
+                    target
+                } else if c == target {
+                    got
+                } else {
+                    c
+                });
+            }
+        }
+    }
+    col[x] = x_color;
+}
+
+/// Finds a Lovász triple `(a, b, c)`: `b, c ∈ N(a)`, `b` and `c`
+/// non-adjacent, and the graph minus `{b, c}` connected. Exists in every
+/// 2-connected non-complete Δ-regular graph with Δ ≥ 3.
+fn find_lovasz_triple(adj: &[Vec<usize>], k: usize) -> Option<(usize, usize, usize)> {
+    let adjacent = |u: usize, v: usize| adj[u].binary_search(&v).is_ok();
+    for a in 0..k {
+        for (bi, &b) in adj[a].iter().enumerate() {
+            for &c in &adj[a][bi + 1..] {
+                if adjacent(b, c) {
+                    continue;
+                }
+                // Connectivity of comp − {b, c}: BFS from a must reach the
+                // remaining k − 2 nodes.
+                let mut allowed = vec![true; k];
+                allowed[b] = false;
+                allowed[c] = false;
+                if bfs_order(adj, &allowed, a).len() == k - 2 {
+                    return Some((a, b, c));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::{generators, validation};
+
+    fn check_component_coloring(g: &Graph, delta: usize) {
+        let comp: Vec<NodeId> = (0..g.n()).collect();
+        let assignments = brooks_color_component(g, &comp, delta).unwrap();
+        let mut colors = vec![0u64; g.n()];
+        for (v, c) in assignments {
+            assert!(c < delta as u64, "color {c} out of palette {delta}");
+            colors[v] = c;
+        }
+        assert_eq!(validation::check_proper(g, &colors), None);
+    }
+
+    #[test]
+    fn probe_and_flip_preserve_properness() {
+        // Path 0-1-2-3 colored 0,1,0,1: the {0,1}-chain from node 1 spans
+        // everything; the {0,2}-chain from node 0 is just node 0.
+        let g = generators::path(4);
+        let mut colors = vec![0u64, 1, 0, 1];
+        let mut visited = vec![false; 4];
+        let chain = probe_chain(&g, &colors, 0, 1, 1, 3, &mut visited);
+        assert!(chain.reached_target);
+        assert_eq!(chain.nodes.len(), 4);
+        assert_eq!(chain.edges, 3);
+        assert!(visited.iter().all(|&x| !x), "scratch must be cleaned");
+        let chain = probe_chain(&g, &colors, 0, 2, 0, 2, &mut visited);
+        assert!(!chain.reached_target);
+        assert_eq!(chain.nodes, vec![0]);
+        flip_chain(&mut colors, 0, 2, &chain);
+        assert_eq!(colors, vec![2, 1, 0, 1]);
+        assert_eq!(validation::check_proper(&g, &colors), None);
+    }
+
+    #[test]
+    fn non_regular_components_color_greedily() {
+        for seed in 0..5 {
+            let g = generators::random_connected(40, 25, seed);
+            let delta = g.max_degree();
+            if (0..g.n()).all(|v| g.degree(v) == delta) {
+                continue; // regular by chance; other tests cover it
+            }
+            check_component_coloring(&g, delta);
+        }
+    }
+
+    #[test]
+    fn regular_two_connected_components_use_the_lovasz_triple() {
+        // Hypercubes are Δ-regular, 2-connected, far from complete.
+        for d in [3u32, 4] {
+            let g = generators::hypercube(d);
+            check_component_coloring(&g, d as usize);
+        }
+        // Complete bipartite K_{3,3}: 3-regular, 2-connected, triangle-free.
+        check_component_coloring(&generators::complete_bipartite(3, 3), 3);
+    }
+
+    #[test]
+    fn regular_component_with_cut_vertex_splits() {
+        // Two copies of K_5 minus an edge, the cut vertex 0 wired to the two
+        // degree-3 nodes of each copy: a 4-regular graph whose only
+        // articulation point is 0 — exercises the cut-vertex branch.
+        let mut edges = Vec::new();
+        for base in [1usize, 6] {
+            for u in base..base + 5 {
+                for v in (u + 1)..base + 5 {
+                    if (u, v) != (base, base + 1) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            edges.push((0, base));
+            edges.push((0, base + 1));
+        }
+        let g = Graph::from_edges(11, &edges).unwrap();
+        assert!(
+            (0..11).all(|v| g.degree(v) == 4),
+            "construction is 4-regular"
+        );
+        assert_eq!(articulation_point(&adjacency(&g)), Some(0));
+        check_component_coloring(&g, 4);
+    }
+
+    fn adjacency(g: &Graph) -> Vec<Vec<usize>> {
+        (0..g.n()).map(|v| g.neighbors(v).to_vec()).collect()
+    }
+
+    #[test]
+    fn petersen_graph_colors_with_three_colors() {
+        // The Petersen graph: 3-regular, 2-connected, girth 5.
+        let outer: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let spokes: Vec<(usize, usize)> = (0..5).map(|i| (i, i + 5)).collect();
+        let inner: Vec<(usize, usize)> = (0..5).map(|i| (i + 5, (i + 2) % 5 + 5)).collect();
+        let edges: Vec<(usize, usize)> = outer.into_iter().chain(spokes).chain(inner).collect();
+        let g = Graph::from_edges(10, &edges).unwrap();
+        assert!((0..10).all(|v| g.degree(v) == 3));
+        check_component_coloring(&g, 3);
+    }
+
+    #[test]
+    fn complete_components_report_the_obstruction() {
+        let g = generators::complete(5);
+        let comp: Vec<NodeId> = (0..5).collect();
+        assert_eq!(
+            brooks_color_component(&g, &comp, 4),
+            Err(DeltaError::CliqueObstruction {
+                witness: 0,
+                size: 5
+            })
+        );
+    }
+
+    #[test]
+    fn defensive_cycle_branch() {
+        let even = generators::ring(8);
+        check_component_coloring(&even, 2);
+        let odd = generators::ring(9);
+        let comp: Vec<NodeId> = (0..9).collect();
+        assert_eq!(
+            brooks_color_component(&odd, &comp, 2),
+            Err(DeltaError::OddCycle {
+                witness: 0,
+                length: 9
+            })
+        );
+    }
+
+    #[test]
+    fn articulation_point_on_two_connected_graphs_is_none() {
+        assert_eq!(articulation_point(&adjacency(&generators::ring(7))), None);
+        assert_eq!(
+            articulation_point(&adjacency(&generators::hypercube(3))),
+            None
+        );
+        assert_eq!(
+            articulation_point(&adjacency(&generators::path(5))),
+            Some(1)
+        );
+    }
+}

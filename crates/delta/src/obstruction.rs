@@ -1,0 +1,281 @@
+//! Brooks-obstruction detection: the inputs a Δ-coloring must refuse.
+//!
+//! Brooks' theorem: a graph with maximum degree Δ admits a proper Δ-coloring
+//! unless some connected component is the complete graph `K_{Δ+1}`, or
+//! `Δ = 2` and some component is an odd cycle. Both conditions are detected
+//! *distributedly* (real metered rounds on the shared runtime) and reported
+//! as the typed [`DeltaError`] — model violations panic, impossible inputs
+//! do not.
+//!
+//! The `K_{Δ+1}` check is local: a component equals `K_{Δ+1}` iff some node
+//! `v` has `deg(v) = Δ`, every neighbor has degree Δ, and `N(v)` is pairwise
+//! adjacent (then `{v} ∪ N(v)` is a Δ-regular clique with no edges leaving
+//! it). Two rounds suffice — degrees, then adjacency lists (which fragment
+//! honestly under swept caps). The odd-cycle check for `Δ = 2` 2-colors by
+//! BFS-depth parity and verifies in one round: a monochromatic edge exists
+//! iff a component is non-bipartite, which for Δ = 2 means an odd cycle.
+
+use dcl_congest::bfs::build_bfs_forest;
+use dcl_congest::network::Network;
+use dcl_graphs::NodeId;
+use std::fmt;
+
+/// A Brooks obstruction: the input admits no Δ-coloring, by theorem rather
+/// than by algorithmic failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A connected component is the complete graph on `Δ + 1` nodes (for
+    /// `Δ = 0` an isolated vertex, for `Δ = 1` a lone edge).
+    CliqueObstruction {
+        /// Smallest node of a witnessing clique.
+        witness: NodeId,
+        /// Clique size `Δ + 1`.
+        size: usize,
+    },
+    /// `Δ = 2` and a connected component is an odd cycle.
+    OddCycle {
+        /// Smallest node on a witnessing odd cycle.
+        witness: NodeId,
+        /// Length of that cycle.
+        length: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::CliqueObstruction { witness, size } => write!(
+                f,
+                "component of node {witness} is the complete graph K_{size}: \
+                 no Δ-coloring exists (Brooks)"
+            ),
+            DeltaError::OddCycle { witness, length } => write!(
+                f,
+                "component of node {witness} is an odd cycle of length {length}: \
+                 no 2-coloring exists (Brooks, Δ = 2)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Distributed `K_{Δ+1}` detection in two metered rounds.
+///
+/// Round 1: every node announces its degree. Round 2: every node whose
+/// closed neighborhood could still be Δ-regular (own and all neighbor
+/// degrees equal Δ) announces its sorted adjacency list — `O(Δ log n)` bits,
+/// fragmented under small caps. A node then flags itself iff its neighbors
+/// all announced and are pairwise adjacent. The abort-on-flag decision is
+/// central harness control flow, like the termination checks of the
+/// Theorem 1.1 driver loop.
+///
+/// # Errors
+///
+/// Returns [`DeltaError::CliqueObstruction`] (smallest flagged node as the
+/// witness) when a component is `K_{Δ+1}`.
+pub fn detect_clique_obstruction(net: &mut Network<'_>) -> Result<(), DeltaError> {
+    let g = net.graph();
+    let n = g.n();
+    let delta = g.max_degree();
+
+    // Round 1: degrees.
+    let deg_inboxes = net.fragmented_broadcast_round(|v| Some(g.degree(v) as u64));
+    let candidate: Vec<bool> = (0..n)
+        .map(|v| g.degree(v) == delta && deg_inboxes[v].iter().all(|&(_, d)| d == delta as u64))
+        .collect();
+
+    // Round 2: candidates ship their adjacency lists.
+    let adj_inboxes = net.fragmented_broadcast_round(|v| {
+        if candidate[v] {
+            Some(
+                g.neighbors(v)
+                    .iter()
+                    .map(|&u| u as u64)
+                    .collect::<Vec<u64>>(),
+            )
+        } else {
+            None
+        }
+    });
+
+    for v in 0..n {
+        if !candidate[v] {
+            continue;
+        }
+        // All neighbors must themselves be candidates (they announced), and
+        // every pair of neighbors must be adjacent.
+        let nbrs = g.neighbors(v);
+        if adj_inboxes[v].len() != nbrs.len() {
+            continue;
+        }
+        let clique = nbrs.iter().enumerate().all(|(i, &u)| {
+            // Inboxes arrive in sender order = sorted neighbor order.
+            let (sender, list) = &adj_inboxes[v][i];
+            debug_assert_eq!(*sender, u);
+            nbrs.iter()
+                .filter(|&&w| w != u)
+                .all(|&w| list.binary_search(&(w as u64)).is_ok())
+        });
+        if clique {
+            return Err(DeltaError::CliqueObstruction {
+                witness: v.min(*nbrs.first().unwrap_or(&v)),
+                size: delta + 1,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// 2-colors a `Δ = 2` graph (paths, even cycles, isolated nodes) or reports
+/// the odd cycle that makes it impossible.
+///
+/// Builds the BFS forest (real rounds), colors by depth parity, and spends
+/// one verification round in which every node announces its parity color; a
+/// monochromatic edge identifies a non-bipartite — for Δ = 2, odd-cycle —
+/// component.
+///
+/// # Errors
+///
+/// Returns [`DeltaError::OddCycle`] with the smallest node of the offending
+/// component and the cycle length (= component size).
+pub fn two_color_bipartite(net: &mut Network<'_>) -> Result<Vec<u64>, DeltaError> {
+    let g = net.graph();
+    let n = g.n();
+    let forest = build_bfs_forest(net);
+    let colors: Vec<u64> = (0..n)
+        .map(|v| u64::from(forest.tree_of(v).depth[v] % 2))
+        .collect();
+    // Verification round: everyone announces its parity color.
+    let inboxes = net.fragmented_broadcast_round(|v| Some(colors[v]));
+    for v in 0..n {
+        if inboxes[v].iter().any(|&(_, c)| c == colors[v]) {
+            let comp = forest.component[v];
+            let members: Vec<NodeId> = (0..n).filter(|&u| forest.component[u] == comp).collect();
+            return Err(DeltaError::OddCycle {
+                witness: members[0],
+                length: members.len(),
+            });
+        }
+    }
+    Ok(colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::{generators, Graph};
+
+    fn net_for(g: &Graph) -> Network<'_> {
+        Network::with_default_cap(g, (g.max_degree() as u64 + 1).max(2))
+    }
+
+    #[test]
+    fn complete_graphs_are_flagged_with_their_size() {
+        for k in [1usize, 2, 3, 4, 6] {
+            let g = generators::complete(k);
+            let mut net = net_for(&g);
+            assert_eq!(
+                detect_clique_obstruction(&mut net),
+                Err(DeltaError::CliqueObstruction {
+                    witness: 0,
+                    size: k
+                }),
+                "K_{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_component_inside_a_larger_graph_is_flagged() {
+        // K_4 component next to a path: Δ = 3, the K_4 is K_{Δ+1}.
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+            ],
+        )
+        .unwrap();
+        let mut net = net_for(&g);
+        assert_eq!(
+            detect_clique_obstruction(&mut net),
+            Err(DeltaError::CliqueObstruction {
+                witness: 0,
+                size: 4
+            })
+        );
+    }
+
+    #[test]
+    fn near_cliques_pass() {
+        // K_5 minus one edge: Δ = 4, no K_5 component.
+        let mut edges = Vec::new();
+        for u in 0..5usize {
+            for v in (u + 1)..5 {
+                if (u, v) != (3, 4) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(5, &edges).unwrap();
+        let mut net = net_for(&g);
+        assert_eq!(detect_clique_obstruction(&mut net), Ok(()));
+        // A K_4 inside a Δ = 4 graph is not K_{Δ+1} either.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)])
+            .unwrap();
+        let mut net = net_for(&g);
+        assert_eq!(detect_clique_obstruction(&mut net), Ok(()));
+    }
+
+    #[test]
+    fn detection_costs_two_rounds() {
+        let g = generators::random_regular(30, 4, 3);
+        let mut net = net_for(&g);
+        assert_eq!(detect_clique_obstruction(&mut net), Ok(()));
+        assert_eq!(net.metrics().rounds, 2);
+    }
+
+    #[test]
+    fn two_coloring_handles_paths_and_even_cycles() {
+        for g in [generators::path(9), generators::ring(12)] {
+            let mut net = net_for(&g);
+            let colors = two_color_bipartite(&mut net).unwrap();
+            assert!(dcl_graphs::validation::check_proper(&g, &colors).is_none());
+            assert!(colors.iter().all(|&c| c < 2));
+        }
+    }
+
+    #[test]
+    fn odd_cycles_are_rejected_with_length() {
+        let g = generators::ring(13);
+        let mut net = net_for(&g);
+        assert_eq!(
+            two_color_bipartite(&mut net),
+            Err(DeltaError::OddCycle {
+                witness: 0,
+                length: 13
+            })
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_obstruction() {
+        let e = DeltaError::CliqueObstruction {
+            witness: 3,
+            size: 5,
+        };
+        assert!(e.to_string().contains("K_5"));
+        let e = DeltaError::OddCycle {
+            witness: 0,
+            length: 7,
+        };
+        assert!(e.to_string().contains("length 7"));
+    }
+}

@@ -166,7 +166,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
             break;
         }
     }
-    Graph::from_sorted_edges(n, &edges)
+    Graph::from_sorted_edges_unchecked(n, &edges)
 }
 
 /// Number of unordered pairs `{u, v}` with `u < v < n`.
@@ -411,7 +411,7 @@ pub fn power_law(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Graph {
             v += 1;
         }
     }
-    Graph::from_sorted_edges(n, &edges)
+    Graph::from_sorted_edges_unchecked(n, &edges)
 }
 
 /// Bounded-degree expander-style graph: the union of `d` seeded random
@@ -434,7 +434,7 @@ pub fn expander(n: usize, d: usize, seed: u64) -> Graph {
     }
     edges.sort_unstable();
     edges.dedup();
-    Graph::from_sorted_edges(n, &edges)
+    Graph::from_sorted_edges_unchecked(n, &edges)
 }
 
 #[cfg(test)]

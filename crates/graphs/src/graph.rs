@@ -19,6 +19,12 @@ pub enum GraphError {
     SelfLoop(NodeId),
     /// The same undirected edge was inserted twice.
     DuplicateEdge(NodeId, NodeId),
+    /// A [`Graph::from_sorted_edges`] input violated the sorted-orientation
+    /// contract (an edge with `u > v`, or a pair out of lexicographic order).
+    UnsortedEdges {
+        /// The edge at which the contract was first violated.
+        edge: (NodeId, NodeId),
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -32,6 +38,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop(v) => write!(f, "self loop at node {v}"),
             GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::UnsortedEdges { edge: (u, v) } => {
+                write!(
+                    f,
+                    "edge ({u}, {v}) violates the sorted-orientation contract (u < v, strictly increasing)"
+                )
+            }
         }
     }
 }
@@ -93,25 +105,61 @@ impl Graph {
     /// with no sorting pass, the construction path used by the scale-tier
     /// generators (`gnp`, `power_law`, `expander` at 10⁴–10⁶ nodes).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an endpoint is out of range, an edge has `u >= v`, or the
-    /// list is not strictly increasing (which also catches duplicates).
-    /// Callers that cannot guarantee the precondition should use
-    /// [`Graph::from_edges`].
-    pub fn from_sorted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+    /// Returns [`GraphError::DuplicateEdge`] if the same edge appears twice,
+    /// [`GraphError::NodeOutOfRange`] / [`GraphError::SelfLoop`] on invalid
+    /// endpoints, and [`GraphError::UnsortedEdges`] if the list violates the
+    /// `u < v`, strictly-increasing contract. Callers with an unsorted edge
+    /// list should use [`Graph::from_edges`]; generators that construct a
+    /// valid stream by design use the panicking fast path
+    /// [`Graph::from_sorted_edges_unchecked`].
+    pub fn from_sorted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
         let mut deg = vec![0usize; n];
         let mut prev: Option<(NodeId, NodeId)> = None;
         for &(u, v) in edges {
-            assert!(u < v, "edge ({u}, {v}) must satisfy u < v");
-            assert!(v < n, "edge endpoint {v} out of range for {n} nodes");
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            if u > v {
+                return Err(GraphError::UnsortedEdges { edge: (u, v) });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
             if let Some(p) = prev {
-                assert!(p < (u, v), "edge list must be strictly increasing");
+                if p == (u, v) {
+                    return Err(GraphError::DuplicateEdge(u, v));
+                }
+                if p > (u, v) {
+                    return Err(GraphError::UnsortedEdges { edge: (u, v) });
+                }
             }
             prev = Some((u, v));
             deg[u] += 1;
             deg[v] += 1;
         }
+        Ok(Graph::csr_from_sorted(n, edges, deg))
+    }
+
+    /// [`Graph::from_sorted_edges`] for callers whose edge stream is valid by
+    /// construction (the hot generators): same validation, but contract
+    /// violations panic instead of allocating a [`GraphError`], so the happy
+    /// path stays a single `O(n + m)` pass with no `Result` plumbing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any input [`Graph::from_sorted_edges`] would reject
+    /// (duplicate edges, `u >= v`, out-of-range endpoints, out-of-order
+    /// pairs).
+    pub fn from_sorted_edges_unchecked(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        Graph::from_sorted_edges(n, edges)
+            .unwrap_or_else(|e| panic!("invalid sorted edge list: {e}"))
+    }
+
+    /// Shared CSR assembly for a validated strictly-sorted edge list with
+    /// per-node degrees already counted.
+    fn csr_from_sorted(n: usize, edges: &[(NodeId, NodeId)], deg: Vec<usize>) -> Self {
         let mut offsets = vec![0usize; n + 1];
         for v in 0..n {
             offsets[v + 1] = offsets[v] + deg[v];
@@ -291,12 +339,24 @@ impl GraphBuilder {
     ///
     /// Panics if the same edge was inserted twice (programming error: callers
     /// that cannot rule out duplicates should check with
-    /// [`GraphBuilder::has_edge`] or use [`Graph::from_edges`], which
-    /// deduplicates by erroring).
-    pub fn build(mut self) -> Graph {
+    /// [`GraphBuilder::has_edge`], use [`GraphBuilder::try_build`] to get the
+    /// typed [`GraphError::DuplicateEdge`], or use [`Graph::from_edges`],
+    /// which deduplicates by erroring).
+    pub fn build(self) -> Graph {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Finalizes the graph, reporting a duplicate insertion as a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateEdge`] if the same undirected edge was
+    /// inserted twice.
+    pub fn try_build(mut self) -> Result<Graph, GraphError> {
         self.edges.sort_unstable();
         if let Some(w) = self.edges.windows(2).find(|w| w[0] == w[1]) {
-            panic!("duplicate edge {{{}, {}}}", w[0].0, w[0].1);
+            return Err(GraphError::DuplicateEdge(w[0].0, w[0].1));
         }
         let mut deg = vec![0usize; self.n];
         for &(u, v) in &self.edges {
@@ -320,7 +380,7 @@ impl GraphBuilder {
         for v in 0..self.n {
             adj[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Graph { offsets, adj }
+        Ok(Graph { offsets, adj })
     }
 }
 
@@ -339,24 +399,47 @@ mod tests {
     #[test]
     fn from_sorted_edges_matches_from_edges() {
         let edges = [(0, 3), (0, 4), (1, 3), (2, 4), (3, 4)];
-        let fast = Graph::from_sorted_edges(5, &edges);
+        let fast = Graph::from_sorted_edges(5, &edges).unwrap();
         let slow = Graph::from_edges(5, &edges).unwrap();
         assert_eq!(fast, slow);
+        assert_eq!(fast, Graph::from_sorted_edges_unchecked(5, &edges));
         for v in 0..5 {
             assert!(fast.neighbors(v).windows(2).all(|w| w[0] < w[1]));
         }
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn from_sorted_edges_rejects_duplicates() {
-        let _ = Graph::from_sorted_edges(3, &[(0, 1), (0, 1)]);
+    fn from_sorted_edges_rejects_duplicates_with_typed_error() {
+        assert_eq!(
+            Graph::from_sorted_edges(3, &[(0, 1), (0, 1)]),
+            Err(GraphError::DuplicateEdge(0, 1))
+        );
     }
 
     #[test]
-    #[should_panic(expected = "u < v")]
-    fn from_sorted_edges_rejects_unoriented_edges() {
-        let _ = Graph::from_sorted_edges(3, &[(1, 0)]);
+    fn from_sorted_edges_rejects_contract_violations_with_typed_errors() {
+        assert_eq!(
+            Graph::from_sorted_edges(3, &[(1, 0)]),
+            Err(GraphError::UnsortedEdges { edge: (1, 0) })
+        );
+        assert_eq!(
+            Graph::from_sorted_edges(3, &[(0, 2), (0, 1)]),
+            Err(GraphError::UnsortedEdges { edge: (0, 1) })
+        );
+        assert_eq!(
+            Graph::from_sorted_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        );
+        assert_eq!(
+            Graph::from_sorted_edges(3, &[(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn from_sorted_edges_unchecked_panics_on_duplicates() {
+        let _ = Graph::from_sorted_edges_unchecked(3, &[(0, 1), (0, 1)]);
     }
 
     #[test]
@@ -382,6 +465,17 @@ mod tests {
         b.add_edge(0, 1).unwrap();
         b.add_edge(1, 0).unwrap();
         let _ = b.build();
+    }
+
+    #[test]
+    fn try_build_reports_duplicates_as_typed_errors() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        assert_eq!(b.try_build(), Err(GraphError::DuplicateEdge(0, 1)));
+        let mut ok = GraphBuilder::new(3);
+        ok.add_edge(0, 1).unwrap();
+        assert_eq!(ok.try_build().unwrap().m(), 1);
     }
 
     #[test]

@@ -316,31 +316,6 @@ pub fn mpc_color_linear_with(
     }
 }
 
-/// Deprecated alias of [`mpc_color_linear_with`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `mpc_color_linear_with(instance, &ExecConfig::with_backend(backend))`"
-)]
-pub fn mpc_color_linear_with_backend(
-    instance: &ListInstance,
-    backend: dcl_par::Backend,
-) -> MpcColoringResult {
-    mpc_color_linear_with(instance, &dcl_sim::ExecConfig::with_backend(backend))
-}
-
-/// Deprecated alias of [`mpc_color_sublinear_with`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `mpc_color_sublinear_with(instance, alpha, &ExecConfig::with_backend(backend))`"
-)]
-pub fn mpc_color_sublinear_with_backend(
-    instance: &ListInstance,
-    alpha: f64,
-    backend: dcl_par::Backend,
-) -> MpcColoringResult {
-    mpc_color_sublinear_with(instance, alpha, &dcl_sim::ExecConfig::with_backend(backend))
-}
-
 /// Theorem 1.5: `(degree+1)`-list coloring with sublinear memory
 /// (`S = Θ(n^α)`), in `O(log Δ · log C + log n)`-shaped rounds, finishing
 /// with Lemma 4.2.

@@ -29,6 +29,4 @@ pub use coloring::{
     mpc_color_linear, mpc_color_linear_with, mpc_color_sublinear, mpc_color_sublinear_with,
     MpcColoringResult,
 };
-#[allow(deprecated)]
-pub use coloring::{mpc_color_linear_with_backend, mpc_color_sublinear_with_backend};
 pub use machine::{Mpc, MpcMetrics};

@@ -1,7 +1,6 @@
 //! Parallel vs sequential backend equivalence for the MPC simulator and the
 //! Theorem 1.4/1.5 colorings, via the shared `dcl_sim::test_util` helpers
-//! (this file only contributes the MPC runners). One case also pins the
-//! deprecated `*_with_backend` shims to the new entry points.
+//! (this file only contributes the MPC runners).
 
 use dcl_coloring::instance::ListInstance;
 use dcl_graphs::{generators, validation};
@@ -56,22 +55,4 @@ proptest! {
             .map_err(TestCaseError::Fail)?;
         assert_eq_sides("metrics", seq.metrics(), par.metrics()).map_err(TestCaseError::Fail)?;
     }
-}
-
-/// The deprecated one-release shims forward to the new `ExecConfig` entry
-/// points unchanged.
-#[test]
-#[allow(deprecated)]
-fn deprecated_backend_shims_forward_to_exec_config() {
-    use dcl_mpc::{mpc_color_linear_with_backend, mpc_color_sublinear_with_backend};
-    let g = generators::gnp(14, 0.3, 9);
-    let inst = ListInstance::degree_plus_one(g);
-    let old = mpc_color_linear_with_backend(&inst, Backend::Sequential);
-    let new = mpc_color_linear_with(&inst, &ExecConfig::default());
-    assert_eq!(old.colors, new.colors);
-    assert_eq!(old.metrics, new.metrics);
-    let old = mpc_color_sublinear_with_backend(&inst, 0.6, Backend::Sequential);
-    let new = mpc_color_sublinear_with(&inst, 0.6, &ExecConfig::default());
-    assert_eq!(old.colors, new.colors);
-    assert_eq!(old.metrics, new.metrics);
 }

@@ -78,6 +78,44 @@ impl Backend {
     }
 }
 
+/// A job panic caught by the pool, carrying the *original* panic payload and
+/// the index of the failing job (the lowest-indexed one when several jobs of
+/// a batch panicked). Returned by [`Pool::try_run`]; [`Pool::run`] resumes it
+/// via [`JobPanic::resume`], so callers that just propagate see the exact
+/// payload the job raised — never a synthesized replacement message.
+pub struct JobPanic {
+    /// Index of the (lowest-indexed) panicking job.
+    pub job: usize,
+    /// The payload the job panicked with, untouched.
+    pub payload: Box<dyn Any + Send + 'static>,
+}
+
+impl JobPanic {
+    /// Re-raises the original payload on the calling thread.
+    pub fn resume(self) -> ! {
+        resume_unwind(self.payload)
+    }
+
+    /// The payload as a `&str` when the job panicked with a string message
+    /// (`panic!("…")` produces `String`, string-literal panics produce
+    /// `&'static str`); `None` for custom [`std::panic::panic_any`] payloads.
+    pub fn message(&self) -> Option<&str> {
+        self.payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| self.payload.downcast_ref::<&'static str>().copied())
+    }
+}
+
+impl std::fmt::Debug for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPanic")
+            .field("job", &self.job)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
 /// An erased `&dyn Fn(usize)` with the lifetime transmuted away so it can sit
 /// in the shared state while a batch runs. Soundness: [`Pool::run`] blocks
 /// until every worker has finished the batch *before* returning, so the
@@ -175,17 +213,31 @@ impl Pool {
     }
 
     /// Runs `f(i)` for every `i in 0..jobs`, returning when all jobs have
-    /// finished. Panics inside jobs are re-raised on the caller (the
-    /// lowest-indexed panicking job wins).
+    /// finished. Panics inside jobs are re-raised on the caller with their
+    /// original payload (the lowest-indexed panicking job wins); callers that
+    /// want the failure as a value use [`Pool::try_run`].
     pub fn run<F: Fn(usize) + Sync>(&self, jobs: usize, f: &F) {
+        if let Err(panic) = self.try_run(jobs, f) {
+            panic.resume();
+        }
+    }
+
+    /// [`Pool::run`], but a job panic comes back as a typed [`JobPanic`]
+    /// (original payload + failing job index) instead of unwinding the
+    /// caller. On the parallel path the whole batch still drains before the
+    /// lowest-indexed failure is reported, so worker state is always clean
+    /// for the next batch.
+    pub fn try_run<F: Fn(usize) + Sync>(&self, jobs: usize, f: &F) -> Result<(), JobPanic> {
         if jobs == 0 {
-            return;
+            return Ok(());
         }
         if self.threads == 1 || jobs == 1 {
             for i in 0..jobs {
-                f(i);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    return Err(JobPanic { job: i, payload });
+                }
             }
-            return;
+            return Ok(());
         }
         let task: &(dyn Fn(usize) + Sync) = f;
         // SAFETY: see `TaskPtr` — we block below until the batch fully
@@ -215,8 +267,10 @@ impl Pool {
         drop(st);
         if !panics.is_empty() {
             panics.sort_by_key(|(i, _)| *i);
-            resume_unwind(panics.swap_remove(0).1);
+            let (job, payload) = panics.swap_remove(0);
+            return Err(JobPanic { job, payload });
         }
+        Ok(())
     }
 
     /// Splits `0..items` into contiguous chunks (boundaries depend only on
@@ -410,6 +464,40 @@ mod tests {
         // The pool survives a panicking batch.
         let ok = pool.map_chunks(10, |r| r.len());
         assert_eq!(ok.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn try_run_returns_the_original_payload_and_job_index() {
+        // Non-string payloads must survive untouched on both execution
+        // paths: the pooled batch and the single-thread inline loop.
+        #[derive(Debug, PartialEq)]
+        struct Custom(u64);
+        for threads in [1usize, 4] {
+            let pool = Pool::new(threads);
+            let err = pool
+                .try_run(50, &|i| {
+                    if i >= 23 {
+                        std::panic::panic_any(Custom(i as u64));
+                    }
+                })
+                .expect_err("jobs 23.. panic");
+            assert_eq!(err.job, 23, "threads {threads}");
+            assert_eq!(err.payload.downcast_ref::<Custom>(), Some(&Custom(23)));
+            assert!(err.message().is_none());
+            pool.try_run(10, &|_| {})
+                .expect("clean batch after failure");
+        }
+    }
+
+    #[test]
+    fn job_panic_exposes_string_messages() {
+        let pool = Pool::new(2);
+        let err = pool
+            .try_run(8, &|i| assert!(i != 5, "job {i} rejected"))
+            .expect_err("job 5 panics");
+        assert_eq!(err.job, 5);
+        assert_eq!(err.message(), Some("job 5 rejected"));
+        assert!(format!("{err:?}").contains("job 5 rejected"));
     }
 
     #[test]

@@ -73,6 +73,16 @@ impl<T: Wire> Wire for Option<T> {
     }
 }
 
+/// Variable-length payloads (e.g. an adjacency list shipped during the
+/// `dcl_delta` obstruction detection) are charged a length prefix of
+/// `bit_len(len)` bits plus the sum of their elements' widths. Lists wider
+/// than the cap rely on the `fragmented_*` round variants.
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_bits(&self) -> u32 {
+        bit_len(self.len() as u64) + self.iter().map(Wire::wire_bits).sum::<u32>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +108,12 @@ mod tests {
     #[test]
     fn float_is_one_word() {
         assert_eq!(1.5f64.wire_bits(), 64);
+    }
+
+    #[test]
+    fn vec_is_length_prefixed_sum() {
+        assert_eq!(Vec::<u32>::new().wire_bits(), 1);
+        assert_eq!(vec![3u32, 4u32].wire_bits(), 2 + 2 + 3);
+        assert_eq!(vec![0u8; 5].wire_bits(), 3 + 5);
     }
 }

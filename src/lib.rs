@@ -19,6 +19,9 @@
 //!   clustering) and the `poly log n` coloring of Corollary 1.2.
 //! - [`clique`] — CONGESTED CLIQUE simulator and Theorem 1.3.
 //! - [`mpc`] — MPC simulator, Section 5 toolbox and Theorems 1.4/1.5.
+//! - [`delta`] — the Δ-coloring scenario (Halldórsson–Maus 2024 regime):
+//!   Brooks-bound coloring with typed obstruction errors, built on the same
+//!   runtime and swept by the same bandwidth caps.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@ pub use dcl_clique as clique;
 pub use dcl_coloring as coloring;
 pub use dcl_congest as congest;
 pub use dcl_decomp as decomp;
+pub use dcl_delta as delta;
 pub use dcl_derand as derand;
 pub use dcl_graphs as graphs;
 pub use dcl_mpc as mpc;

@@ -226,26 +226,40 @@ fn default_bandwidth_cap_formula_matches_design() {
     assert_eq!(Network::with_default_cap(&g, 100).cap_bits(), 128);
 }
 
-/// The deprecated one-release `with_backend` config constructors (the
-/// migration shims for the removed `backend` fields) build the same config
-/// as the `ExecConfig` spelling.
+/// The Δ-coloring scenario, run on the same instances as the Δ+1 models:
+/// every non-obstruction instance with Δ ≥ 3 must come back proper with one
+/// color fewer than the Theorem 1.1 palette bound.
 #[test]
-#[allow(deprecated)]
-fn deprecated_config_shims_select_the_backend() {
-    use distributed_coloring::{Backend, ExecConfig};
-    let exec = ExecConfig::with_backend(Backend::Parallel(2));
-    assert_eq!(
-        CongestColoringConfig::with_backend(Backend::Parallel(2)).exec,
-        exec
-    );
-    assert_eq!(
-        DecompColoringConfig::with_backend(Backend::Parallel(2)).exec,
-        exec
-    );
-    assert_eq!(
-        CliqueColoringConfig::with_backend(Backend::Parallel(2)).exec,
-        exec
-    );
+fn delta_scenario_saves_a_color_on_shared_instances() {
+    use distributed_coloring::delta::{delta_color, DeltaColoringConfig};
+    let mut checked = 0;
+    for (name, g) in instances() {
+        if g.max_degree() < 3 {
+            continue; // Δ ≤ 2 instances are covered by dcl_delta's own tests
+        }
+        let delta = g.max_degree() as u64;
+        let result = delta_color(&g, &DeltaColoringConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: unexpected obstruction: {e}"));
+        assert_eq!(
+            validation::check_proper(&g, &result.colors),
+            None,
+            "{name}/delta"
+        );
+        assert!(
+            result.colors.iter().all(|&c| c < delta),
+            "{name}/delta palette must stay below Δ = {delta}"
+        );
+        let congest = color_list_instance(
+            &ListInstance::degree_plus_one(g.clone()),
+            &CongestColoringConfig::default(),
+        );
+        assert!(
+            congest.colors.iter().all(|&c| c <= delta),
+            "{name}: Theorem 1.1 must stay within its Δ+1 palette"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "most shared instances have Δ ≥ 3");
 }
 
 #[test]

@@ -9,6 +9,7 @@ use distributed_coloring::coloring::congest_coloring::{
 use distributed_coloring::coloring::ListInstance;
 use distributed_coloring::congest::network::Network;
 use distributed_coloring::decomp::rg::{decompose, RgConfig};
+use distributed_coloring::delta::{delta_color, DeltaColoringConfig, DeltaError};
 use distributed_coloring::derand::seed::PartialSeed;
 use distributed_coloring::derand::slice::SliceFamily;
 use distributed_coloring::graphs::{generators, metrics, validation};
@@ -72,6 +73,20 @@ fn clique_reexport_colors_the_clique_model() {
     let inst = ListInstance::degree_plus_one(g);
     let result = clique_color(&inst, &CliqueColoringConfig::default());
     assert!(validation::check_proper(inst.graph(), &result.colors).is_none());
+}
+
+#[test]
+fn delta_reexport_colors_with_delta_colors_and_types_obstructions() {
+    let g = generators::random_regular(40, 5, 3);
+    let delta = g.max_degree() as u64;
+    let result = delta_color(&g, &DeltaColoringConfig::default()).unwrap();
+    assert!(validation::check_proper(&g, &result.colors).is_none());
+    assert!(result.colors.iter().all(|&c| c < delta));
+    let k4 = generators::complete(4);
+    assert!(matches!(
+        delta_color(&k4, &DeltaColoringConfig::default()),
+        Err(DeltaError::CliqueObstruction { size: 4, .. })
+    ));
 }
 
 #[test]
