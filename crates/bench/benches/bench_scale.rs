@@ -73,10 +73,8 @@ fn bench_coloring_scale(c: &mut Criterion) {
                 b.iter(|| {
                     black_box(color_degree_plus_one(
                         &g,
-                        &CongestColoringConfig {
-                            exec: dcl_sim::ExecConfig::with_backend(backend),
-                            ..Default::default()
-                        },
+                        &CongestColoringConfig::default()
+                            .with_exec(dcl_sim::ExecConfig::default().with_backend(backend)),
                     ))
                 })
             },
@@ -103,10 +101,8 @@ fn bench_delta_scale(c: &mut Criterion) {
                     black_box(
                         dcl_delta::delta_color(
                             &g,
-                            &dcl_delta::DeltaColoringConfig {
-                                exec: dcl_sim::ExecConfig::with_backend(backend),
-                                ..Default::default()
-                            },
+                            &dcl_delta::DeltaColoringConfig::default()
+                                .with_exec(dcl_sim::ExecConfig::default().with_backend(backend)),
                         )
                         .expect("expander is not a Brooks obstruction"),
                     )

@@ -47,9 +47,6 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| String::from("BENCH_bench.json"));
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let started = Instant::now();
     let mut rows: Vec<BenchRow> = Vec::new();
 
@@ -214,9 +211,8 @@ fn main() {
     let _ = writeln!(j, "  \"schema\": \"bench_bench/v1\",");
     let _ = writeln!(
         j,
-        "  \"machine\": {{ \"hardware_threads\": {threads}, \"os\": \"{}\", \"arch\": \"{}\" }},",
-        std::env::consts::OS,
-        std::env::consts::ARCH
+        "  \"machine\": {},",
+        dcl_runner::MachineProfile::current().json_object()
     );
     let _ = writeln!(
         j,

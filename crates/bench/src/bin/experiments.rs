@@ -1,9 +1,34 @@
-//! Prints every experiment table (E1–E13). Run with:
+//! Prints every registered experiment table (E1–E13). Run with:
 //!
 //! ```text
 //! cargo run -p dcl-bench --bin experiments --release
 //! ```
+//!
+//! Optional arguments select experiments by registry id:
+//!
+//! ```text
+//! cargo run -p dcl-bench --bin experiments --release -- E12 E13
+//! ```
 
 fn main() {
-    print!("{}", dcl_bench::run_all_experiments());
+    let wanted: Vec<String> = std::env::args().skip(1).collect();
+    if wanted.is_empty() {
+        print!("{}", dcl_bench::run_all_experiments());
+        return;
+    }
+    let defs = dcl_bench::experiment_defs();
+    let unknown: Vec<&String> = wanted
+        .iter()
+        .filter(|w| !defs.iter().any(|d| d.id == w.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        let known: Vec<&str> = defs.iter().map(|d| d.id).collect();
+        eprintln!("unknown experiment id(s) {unknown:?}; known ids: {known:?}");
+        std::process::exit(2);
+    }
+    for def in defs {
+        if wanted.iter().any(|w| w == def.id) {
+            println!("{}", (def.run)().render());
+        }
+    }
 }

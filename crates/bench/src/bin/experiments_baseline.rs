@@ -7,98 +7,34 @@
 //! cargo run -p dcl_bench --bin experiments_baseline --release -- [out.json]
 //! ```
 //!
-//! The experiments are deterministic (fixed seeds, derandomized
-//! algorithms), so everything except the wall-clock header is reproducible
-//! bit for bit on any machine.
+//! The experiment list comes from [`dcl_bench::experiment_defs`] (the
+//! runner-backed registry) and the JSON from
+//! [`dcl_runner::baseline_json`], so this bin is pure plumbing. The
+//! experiments are deterministic (fixed seeds, derandomized algorithms), so
+//! everything except the wall-clock header is reproducible bit for bit on
+//! any machine; `tests/experiments_schema.rs` pins the rows against the
+//! committed file.
 
-use dcl_bench::Table;
-use std::fmt::Write as _;
+use dcl_runner::{baseline_json, MachineProfile, Table};
 use std::time::Instant;
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn table_json(out: &mut String, table: &Table, ms: f64, last: bool) {
-    // The experiment id is the leading token of the title ("E4b (Theorem...").
-    let id = table
-        .title
-        .split_whitespace()
-        .next()
-        .unwrap_or("?")
-        .trim_end_matches(':');
-    let _ = writeln!(out, "    {{");
-    let _ = writeln!(out, "      \"id\": \"{}\",", json_escape(id));
-    let _ = writeln!(out, "      \"title\": \"{}\",", json_escape(&table.title));
-    let _ = writeln!(out, "      \"ms\": {ms:.1},");
-    let cells = |row: &[String]| -> String {
-        row.iter()
-            .map(|c| format!("\"{}\"", json_escape(c)))
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
-    let _ = writeln!(out, "      \"headers\": [{}],", cells(&table.headers));
-    let _ = writeln!(out, "      \"rows\": [");
-    for (i, row) in table.rows.iter().enumerate() {
-        let comma = if i + 1 < table.rows.len() { "," } else { "" };
-        let _ = writeln!(out, "        [{}]{comma}", cells(row));
-    }
-    let _ = writeln!(out, "      ]");
-    let _ = writeln!(out, "    }}{}", if last { "" } else { "," });
-}
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| String::from("BENCH_experiments.json"));
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let started = Instant::now();
-    let runs: Vec<fn() -> Table> = vec![
-        || dcl_bench::e1_randomized_potential(300),
-        dcl_bench::e2_phase_budget,
-        dcl_bench::e3_partial_coloring,
-        dcl_bench::e4_theorem_11,
-        dcl_bench::e4b_color_space,
-        dcl_bench::e5_decomposition,
-        dcl_bench::e6_clique,
-        dcl_bench::e7_mpc_linear,
-        dcl_bench::e8_mpc_sublinear,
-        dcl_bench::e9_baselines,
-        dcl_bench::e10_ablation,
-        dcl_bench::e11_mpc_tools,
-        dcl_bench::e12_bandwidth_sweep,
-        dcl_bench::e13_delta_coloring,
-    ];
-    let mut tables: Vec<(Table, f64)> = Vec::with_capacity(runs.len());
-    for run in runs {
+    let mut tables: Vec<(Table, f64)> = Vec::new();
+    for def in dcl_bench::experiment_defs() {
         let t = Instant::now();
-        let table = run();
+        let table = (def.run)();
         tables.push((table, t.elapsed().as_secs_f64() * 1e3));
     }
-
-    let mut j = String::new();
-    let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"bench_experiments/v1\",");
-    let _ = writeln!(
-        j,
-        "  \"machine\": {{ \"hardware_threads\": {threads}, \"os\": \"{}\", \"arch\": \"{}\" }},",
-        std::env::consts::OS,
-        std::env::consts::ARCH
+    let j = baseline_json(
+        "bench_experiments/v1",
+        &MachineProfile::current(),
+        started.elapsed().as_secs_f64() * 1e3,
+        &tables,
     );
-    let _ = writeln!(
-        j,
-        "  \"total_ms\": {:.1},",
-        started.elapsed().as_secs_f64() * 1e3
-    );
-    let _ = writeln!(j, "  \"experiments\": [");
-    let count = tables.len();
-    for (i, (table, ms)) in tables.iter().enumerate() {
-        table_json(&mut j, table, *ms, i + 1 == count);
-    }
-    let _ = writeln!(j, "  ]");
-    let _ = writeln!(j, "}}");
     std::fs::write(&out_path, &j).expect("write experiments baseline json");
     println!("{j}");
     eprintln!("wrote {out_path}");

@@ -59,10 +59,8 @@ fn time_coloring(workload: String, g: &Graph, threads: usize) -> PairRow {
     let t = Instant::now();
     let par = color_degree_plus_one(
         g,
-        &CongestColoringConfig {
-            exec: dcl_sim::ExecConfig::with_backend(Backend::Parallel(threads)),
-            ..Default::default()
-        },
+        &CongestColoringConfig::default()
+            .with_exec(dcl_sim::ExecConfig::default().with_backend(Backend::Parallel(threads))),
     );
     let parallel_ms = ms(t);
     assert_eq!(validation::check_proper(g, &seq.colors), None);
@@ -85,10 +83,8 @@ fn time_delta(workload: String, g: &Graph, threads: usize) -> PairRow {
     let t = Instant::now();
     let par = delta_color(
         g,
-        &DeltaColoringConfig {
-            exec: dcl_sim::ExecConfig::with_backend(Backend::Parallel(threads)),
-            ..Default::default()
-        },
+        &DeltaColoringConfig::default()
+            .with_exec(dcl_sim::ExecConfig::default().with_backend(Backend::Parallel(threads))),
     )
     .expect("no Brooks obstruction");
     let parallel_ms = ms(t);
@@ -189,9 +185,8 @@ fn main() {
     let _ = writeln!(j, "  \"schema\": \"bench_scale/v1\",");
     let _ = writeln!(
         j,
-        "  \"machine\": {{ \"hardware_threads\": {threads}, \"os\": \"{}\", \"arch\": \"{}\" }},",
-        std::env::consts::OS,
-        std::env::consts::ARCH
+        "  \"machine\": {},",
+        dcl_runner::MachineProfile::current().json_object()
     );
     let _ = writeln!(j, "  \"generators\": [");
     for (i, r) in gens.iter().enumerate() {

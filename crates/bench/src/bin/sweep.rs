@@ -1,41 +1,53 @@
 //! CSV sweeps for plotting the round-complexity scalings (finer-grained
 //! than the `experiments` tables). Each series prints `series,x,rounds`
-//! rows to stdout.
+//! rows to stdout; the series are declarative [`Runner`] programs over the
+//! CONGEST scenario.
 //!
 //! ```text
 //! cargo run -p dcl-bench --bin sweep --release > sweeps.csv
 //! ```
 
-use dcl_coloring::congest_coloring::{color_list_instance, CongestColoringConfig};
-use dcl_coloring::instance::ListInstance;
-use dcl_graphs::generators;
+use dcl_coloring::scenario::CongestScenario;
+use dcl_runner::{GraphSpec, Runner};
+
+/// Prints one CSV series: `x` values paired with the sweep's cells.
+fn print_series(series: &str, xs: &[usize], graphs: Vec<GraphSpec>) {
+    let sweep = Runner::new(&CongestScenario::default())
+        .graphs(graphs)
+        .run();
+    assert_eq!(xs.len(), sweep.cells.len());
+    for (x, cell) in xs.iter().zip(&sweep.cells) {
+        let r = cell.report();
+        println!(
+            "{series},{x},{},{}",
+            r.metrics.rounds,
+            r.extra("iterations").expect("congest publishes iterations")
+        );
+    }
+}
 
 fn main() {
     println!("series,x,rounds,iterations");
     // Rounds vs n at fixed degree (D grows slowly).
-    for n in [24usize, 32, 48, 64, 96, 128, 192, 256] {
-        let g = generators::random_regular(n, 6, 5);
-        let inst = ListInstance::degree_plus_one(g);
-        let r = color_list_instance(&inst, &CongestColoringConfig::default());
-        println!("rounds_vs_n,{n},{},{}", r.metrics.rounds, r.iterations);
-    }
+    let ns = [24usize, 32, 48, 64, 96, 128, 192, 256];
+    print_series(
+        "rounds_vs_n",
+        &ns,
+        ns.iter().map(|&n| GraphSpec::regular(n, 6, 5)).collect(),
+    );
     // Rounds vs Δ at fixed n.
-    for d in [2usize, 3, 4, 6, 8, 12, 16, 24] {
-        let g = generators::random_regular(96, d, 5);
-        let inst = ListInstance::degree_plus_one(g);
-        let r = color_list_instance(&inst, &CongestColoringConfig::default());
-        println!("rounds_vs_delta,{d},{},{}", r.metrics.rounds, r.iterations);
-    }
-    // Rounds vs D: rings of growing length (n = D·2, Δ = 2 fixed).
-    for n in [16usize, 32, 64, 128, 192] {
-        let g = generators::ring(n);
-        let inst = ListInstance::degree_plus_one(g);
-        let r = color_list_instance(&inst, &CongestColoringConfig::default());
-        println!(
-            "rounds_vs_D,{},{},{}",
-            n / 2,
-            r.metrics.rounds,
-            r.iterations
-        );
-    }
+    let ds = [2usize, 3, 4, 6, 8, 12, 16, 24];
+    print_series(
+        "rounds_vs_delta",
+        &ds,
+        ds.iter().map(|&d| GraphSpec::regular(96, d, 5)).collect(),
+    );
+    // Rounds vs D: rings of growing length (D = n/2, Δ = 2 fixed).
+    let ring_ns = [16usize, 32, 64, 128, 192];
+    let diameters: Vec<usize> = ring_ns.iter().map(|&n| n / 2).collect();
+    print_series(
+        "rounds_vs_D",
+        &diameters,
+        ring_ns.iter().map(|&n| GraphSpec::ring(n)).collect(),
+    );
 }

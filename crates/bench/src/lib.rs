@@ -1,6 +1,6 @@
-//! Experiment harness: workloads, table printing and the experiment
-//! implementations (E1–E13 of `DESIGN.md` §4, including the E12/E13
-//! bandwidth sweeps enabled by `dcl_sim::ExecConfig`).
+//! Experiment harness: workloads and the experiment implementations (E1–E13
+//! of `DESIGN.md` §4, including the E12/E13 bandwidth sweeps enabled by
+//! `dcl_sim::ExecConfig`).
 //!
 //! The paper is a theory paper without an empirical section, so every
 //! quantitative claim (potential invariants, progress guarantees, round
@@ -8,9 +8,19 @@
 //! `experiments` binary prints one table per experiment; `EXPERIMENTS.md`
 //! records paper-claim vs. measured. Criterion benches in `benches/` reuse
 //! the same workloads for wall-clock tracking.
+//!
+//! The pipeline-level experiments (E4–E9, E12, E13) are declarative
+//! [`dcl_runner::Runner`] programs over the [`dcl_runner::Scenario`]
+//! adapters; the lemma-level experiments (E1–E3, E4b, E10, E11) probe
+//! algorithm internals below the scenario surface and keep calling those
+//! entry points directly. [`Table`] (and the baseline JSON it serializes
+//! to) lives in `dcl_runner::table` and is re-exported here; row content is
+//! bit-identical to the pre-runner harness, pinned against the committed
+//! `BENCH_experiments.json` by `tests/experiments_schema.rs`.
 
 #![forbid(unsafe_code)]
 
+use dcl_clique::scenario::CliqueScenario;
 use dcl_coloring::baselines;
 use dcl_coloring::congest_coloring::{color_list_instance, CongestColoringConfig};
 use dcl_coloring::derand_step::accuracy_bits;
@@ -18,68 +28,18 @@ use dcl_coloring::instance::ListInstance;
 use dcl_coloring::linial::linial_from_ids;
 use dcl_coloring::partial::{partial_coloring, ConflictResolution, PartialConfig};
 use dcl_coloring::prefix::{randomized_one_bit_step, PrefixState};
+use dcl_coloring::scenario::CongestScenario;
 use dcl_congest::bfs::build_bfs_forest;
 use dcl_congest::network::Network;
+use dcl_decomp::scenario::DecompScenario;
+use dcl_delta::scenario::DeltaScenario;
 use dcl_graphs::{generators, metrics, validation, Graph};
+use dcl_mpc::scenario::{MpcLinearScenario, MpcSublinearScenario};
+use dcl_runner::{CapSpec, GraphSpec, Runner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// A printable experiment table.
-#[derive(Debug, Clone)]
-pub struct Table {
-    /// Experiment id and title.
-    pub title: String,
-    /// Column headers.
-    pub headers: Vec<String>,
-    /// Rows of formatted cells.
-    pub rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates an empty table.
-    pub fn new(title: &str, headers: &[&str]) -> Self {
-        Table {
-            title: title.to_string(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Renders the table as aligned plain text.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        out.push_str(&format!("## {}\n", self.title));
-        let fmt_row = |cells: &[String]| -> String {
-            cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        out.push_str(&fmt_row(&self.headers));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row));
-            out.push('\n');
-        }
-        out
-    }
-}
+pub use dcl_runner::Table;
 
 /// Standard experiment instance: G(n,p) with (Δ+1) lists.
 pub fn gnp_instance(n: usize, p: f64, seed: u64) -> ListInstance {
@@ -93,6 +53,20 @@ pub fn regular_instance(n: usize, d: usize, seed: u64) -> ListInstance {
 
 fn f(x: f64) -> String {
     format!("{x:.3}")
+}
+
+fn diameter_str(g: &Graph) -> String {
+    metrics::diameter(g)
+        .map(|x| x.to_string())
+        .unwrap_or_else(|| "-".into())
+}
+
+/// Looks up a required extra of a report, panicking with the key on absence
+/// (the scenario adapters publish fixed extra sets, so a miss is a bug).
+fn extra(report: &dcl_runner::Report, key: &str) -> u64 {
+    report
+        .extra(key)
+        .unwrap_or_else(|| panic!("scenario '{}' has no extra '{key}'", report.scenario))
 }
 
 /// E1 — Lemma 2.2: the randomized one-bit extension does not increase the
@@ -241,7 +215,8 @@ pub fn e3_partial_coloring() -> Table {
 }
 
 /// E4 — Theorem 1.1: full coloring; scaling in n, Δ, D; `O(log n)`
-/// iterations.
+/// iterations. Three declarative `Runner` sweeps (one per series) over the
+/// CONGEST scenario.
 pub fn e4_theorem_11() -> Table {
     let mut t = Table::new(
         "E4 (Theorem 1.1): CONGEST (degree+1)-list coloring -- scaling",
@@ -249,40 +224,45 @@ pub fn e4_theorem_11() -> Table {
             "series", "graph", "n", "Delta", "D", "rounds", "iters", "proper",
         ],
     );
-    let mut push = |series: &str, name: String, g: Graph| {
-        let inst = ListInstance::degree_plus_one(g.clone());
-        let r = color_list_instance(&inst, &CongestColoringConfig::default());
-        let ok = validation::check_proper(&g, &r.colors).is_none();
-        t.row(vec![
-            series.to_string(),
-            name,
-            g.n().to_string(),
-            g.max_degree().to_string(),
-            metrics::diameter(&g)
-                .map(|x| x.to_string())
-                .unwrap_or_else(|| "-".into()),
-            r.metrics.rounds.to_string(),
-            r.iterations.to_string(),
-            ok.to_string(),
-        ]);
+    let congest = CongestScenario::default();
+    let mut push_series = |series: &str, graphs: Vec<GraphSpec>| {
+        let sweep = Runner::new(&congest).graphs(graphs).run();
+        for (spec, cell) in sweep.iter() {
+            let r = cell.report();
+            t.row(vec![
+                series.to_string(),
+                spec.label.clone(),
+                spec.graph.n().to_string(),
+                spec.graph.max_degree().to_string(),
+                diameter_str(&spec.graph),
+                r.metrics.rounds.to_string(),
+                extra(r, "iterations").to_string(),
+                r.proper.to_string(),
+            ]);
+        }
     };
-    for n in [32usize, 64, 128, 256] {
-        push(
-            "n-sweep",
-            format!("regular({n},6)"),
-            generators::random_regular(n, 6, 5),
-        );
-    }
-    for d in [3usize, 6, 12, 24] {
-        push(
-            "Delta-sweep",
-            format!("regular(96,{d})"),
-            generators::random_regular(96, d, 5),
-        );
-    }
-    push("D-sweep", "ring(128)".into(), generators::ring(128));
-    push("D-sweep", "grid(8x16)".into(), generators::grid(8, 16));
-    push("D-sweep", "hypercube(7)".into(), generators::hypercube(7));
+    push_series(
+        "n-sweep",
+        [32usize, 64, 128, 256]
+            .into_iter()
+            .map(|n| GraphSpec::regular(n, 6, 5))
+            .collect(),
+    );
+    push_series(
+        "Delta-sweep",
+        [3usize, 6, 12, 24]
+            .into_iter()
+            .map(|d| GraphSpec::regular(96, d, 5))
+            .collect(),
+    );
+    push_series(
+        "D-sweep",
+        vec![
+            GraphSpec::ring(128),
+            GraphSpec::grid(8, 16),
+            GraphSpec::hypercube(7),
+        ],
+    );
     t
 }
 
@@ -315,9 +295,10 @@ pub fn e4b_color_space() -> Table {
 }
 
 /// E5 — Theorem 3.1 + Corollary 1.2: decomposition quality and the
-/// decomposition-based coloring on large-diameter graphs.
+/// decomposition-based coloring on large-diameter graphs. Two parallel
+/// `Runner` sweeps (decomposition scenario + Theorem 1.1 reference) over
+/// the same graph specs, zipped per cell.
 pub fn e5_decomposition() -> Table {
-    use dcl_decomp::coloring::{color_via_decomposition, DecompColoringConfig};
     let mut t = Table::new(
         "E5 (Thm 3.1 + Cor 1.2): decomposition (alpha,beta,kappa) and rounds vs Theorem 1.1",
         &[
@@ -332,38 +313,46 @@ pub fn e5_decomposition() -> Table {
             "thm11_rounds",
         ],
     );
-    for (name, g) in [
-        ("chain(12x8)", generators::cluster_chain(12, 8, 0.5, 2)),
-        ("chain(24x8)", generators::cluster_chain(24, 8, 0.5, 2)),
-        ("gnp(96,0.07)", generators::gnp(96, 0.07, 2)),
-        ("ring(128)", generators::ring(128)),
-    ] {
-        let inst = ListInstance::degree_plus_one(g.clone());
-        let dec = color_via_decomposition(&inst, &DecompColoringConfig::default());
-        let stats = dec.decomposition.validate(&g).expect("valid decomposition");
-        let direct = color_list_instance(&inst, &CongestColoringConfig::default());
-        assert_eq!(validation::check_proper(&g, &dec.colors), None);
+    let graphs = || {
+        vec![
+            GraphSpec::cluster_chain(12, 8, 0.5, 2),
+            GraphSpec::cluster_chain(24, 8, 0.5, 2),
+            GraphSpec::gnp(96, 0.07, 2),
+            GraphSpec::ring(128),
+        ]
+    };
+    let decomp = Runner::new(&DecompScenario::default())
+        .graphs(graphs())
+        .run();
+    let congest = Runner::new(&CongestScenario::default())
+        .graphs(graphs())
+        .run();
+    for ((spec, dec_cell), ref_cell) in decomp.iter().zip(&congest.cells) {
+        let dec = dec_cell.report();
+        assert!(
+            dec.proper,
+            "{}: decomposition coloring must be proper",
+            spec.label
+        );
         t.row(vec![
-            name.to_string(),
-            g.n().to_string(),
-            metrics::diameter(&g)
-                .map(|x| x.to_string())
-                .unwrap_or_else(|| "-".into()),
-            stats.colors.to_string(),
-            stats.max_tree_diameter.to_string(),
-            stats.congestion.to_string(),
-            dec.decomposition_rounds.to_string(),
-            dec.coloring_rounds.to_string(),
-            direct.metrics.rounds.to_string(),
+            spec.label.clone(),
+            spec.graph.n().to_string(),
+            diameter_str(&spec.graph),
+            extra(dec, "alpha").to_string(),
+            extra(dec, "beta").to_string(),
+            extra(dec, "kappa").to_string(),
+            extra(dec, "decomposition_rounds").to_string(),
+            extra(dec, "coloring_rounds").to_string(),
+            ref_cell.report().metrics.rounds.to_string(),
         ]);
     }
     t
 }
 
 /// E6 — Theorem 1.3: clique rounds are diameter-free and far below CONGEST
-/// on high-diameter graphs.
+/// on high-diameter graphs. Clique and CONGEST `Runner` sweeps over the
+/// same graph specs, zipped per cell.
 pub fn e6_clique() -> Table {
-    use dcl_clique::coloring::{clique_color, CliqueColoringConfig};
     let mut t = Table::new(
         "E6 (Theorem 1.3): CONGESTED CLIQUE vs CONGEST rounds",
         &[
@@ -377,36 +366,41 @@ pub fn e6_clique() -> Table {
             "congest_rounds",
         ],
     );
-    for (name, g) in [
-        ("ring(48)", generators::ring(48)),
-        ("ring(96)", generators::ring(96)),
-        ("gnp(48,0.15)", generators::gnp(48, 0.15, 4)),
-        ("gnp(96,0.08)", generators::gnp(96, 0.08, 4)),
-        ("regular(96,8)", generators::random_regular(96, 8, 4)),
-    ] {
-        let inst = ListInstance::degree_plus_one(g.clone());
-        let cl = clique_color(&inst, &CliqueColoringConfig::default());
-        assert_eq!(validation::check_proper(&g, &cl.colors), None);
-        let congest = color_list_instance(&inst, &CongestColoringConfig::default());
+    let graphs = || {
+        vec![
+            GraphSpec::ring(48),
+            GraphSpec::ring(96),
+            GraphSpec::gnp(48, 0.15, 4),
+            GraphSpec::gnp(96, 0.08, 4),
+            GraphSpec::regular(96, 8, 4),
+        ]
+    };
+    let clique = Runner::new(&CliqueScenario::default())
+        .graphs(graphs())
+        .run();
+    let congest = Runner::new(&CongestScenario::default())
+        .graphs(graphs())
+        .run();
+    for ((spec, cl_cell), ref_cell) in clique.iter().zip(&congest.cells) {
+        let cl = cl_cell.report();
+        assert!(cl.proper, "{}: clique coloring must be proper", spec.label);
         t.row(vec![
-            name.to_string(),
-            g.n().to_string(),
-            g.max_degree().to_string(),
-            metrics::diameter(&g)
-                .map(|x| x.to_string())
-                .unwrap_or_else(|| "-".into()),
+            spec.label.clone(),
+            spec.graph.n().to_string(),
+            spec.graph.max_degree().to_string(),
+            diameter_str(&spec.graph),
             cl.metrics.rounds.to_string(),
-            cl.iterations.to_string(),
-            cl.collected_nodes.to_string(),
-            congest.metrics.rounds.to_string(),
+            extra(cl, "iterations").to_string(),
+            extra(cl, "collected_nodes").to_string(),
+            ref_cell.report().metrics.rounds.to_string(),
         ]);
     }
     t
 }
 
 /// E7 — Theorem 1.4: MPC linear memory — rounds vs Δ, memory compliance.
+/// One `Runner` sweep of the linear-memory scenario over the Δ series.
 pub fn e7_mpc_linear() -> Table {
-    use dcl_mpc::coloring::mpc_color_linear;
     let mut t = Table::new(
         "E7 (Theorem 1.4): MPC linear memory -- rounds and memory",
         &[
@@ -420,28 +414,34 @@ pub fn e7_mpc_linear() -> Table {
             "max_storage",
         ],
     );
-    for d in [3usize, 6, 12] {
-        let g = generators::random_regular(64, d, 6);
-        let inst = ListInstance::degree_plus_one(g.clone());
-        let r = mpc_color_linear(&inst);
-        assert_eq!(validation::check_proper(&g, &r.colors), None);
+    let sweep = Runner::new(&MpcLinearScenario)
+        .graphs(
+            [3usize, 6, 12]
+                .into_iter()
+                .map(|d| GraphSpec::regular(64, d, 6)),
+        )
+        .run();
+    for (spec, cell) in sweep.iter() {
+        let r = cell.report();
+        assert!(r.proper, "{}: MPC coloring must be proper", spec.label);
         t.row(vec![
-            format!("regular(64,{d})"),
-            g.n().to_string(),
-            g.max_degree().to_string(),
+            spec.label.clone(),
+            spec.graph.n().to_string(),
+            spec.graph.max_degree().to_string(),
             r.metrics.rounds.to_string(),
-            r.iterations.to_string(),
-            r.machines.to_string(),
-            r.memory_words.to_string(),
-            r.metrics.max_storage_words.to_string(),
+            extra(r, "iterations").to_string(),
+            extra(r, "machines").to_string(),
+            extra(r, "memory_words").to_string(),
+            extra(r, "max_storage_words").to_string(),
         ]);
     }
     t
 }
 
-/// E8 — Theorem 1.5 + Lemma 4.2: MPC sublinear memory — α sweep.
+/// E8 — Theorem 1.5 + Lemma 4.2: MPC sublinear memory — α sweep. One
+/// single-cell `Runner` per α (the memory exponent is a scenario parameter,
+/// not a sweep axis).
 pub fn e8_mpc_sublinear() -> Table {
-    use dcl_mpc::coloring::mpc_color_sublinear;
     let mut t = Table::new(
         "E8 (Theorem 1.5 + Lemma 4.2): MPC sublinear memory -- alpha sweep",
         &[
@@ -455,26 +455,32 @@ pub fn e8_mpc_sublinear() -> Table {
             "max_storage",
         ],
     );
-    let g = generators::gnp(64, 0.1, 8);
     for alpha in [0.4f64, 0.5, 0.6, 0.8] {
-        let inst = ListInstance::degree_plus_one(g.clone());
-        let r = mpc_color_sublinear(&inst, alpha);
-        assert_eq!(validation::check_proper(&g, &r.colors), None);
+        let scenario = MpcSublinearScenario::new(alpha);
+        let sweep = Runner::new(&scenario)
+            .graph(GraphSpec::gnp(64, 0.1, 8))
+            .run();
+        let (spec, cell) = sweep.iter().next().expect("one cell");
+        let r = cell.report();
+        assert!(r.proper, "alpha {alpha}: MPC coloring must be proper");
         t.row(vec![
-            "gnp(64,0.1)".to_string(),
+            spec.label.clone(),
             format!("{alpha:.1}"),
             r.metrics.rounds.to_string(),
-            r.iterations.to_string(),
-            r.finisher_iterations.to_string(),
-            r.machines.to_string(),
-            r.memory_words.to_string(),
-            r.metrics.max_storage_words.to_string(),
+            extra(r, "iterations").to_string(),
+            extra(r, "finisher_iterations").to_string(),
+            extra(r, "machines").to_string(),
+            extra(r, "memory_words").to_string(),
+            extra(r, "max_storage_words").to_string(),
         ]);
     }
     t
 }
 
-/// E9 — deterministic (ours) vs randomized (Johansson) baseline.
+/// E9 — deterministic (ours) vs randomized (Johansson) baseline. The
+/// deterministic side is a `Runner` sweep; the randomized/greedy baselines
+/// are not scenarios (they are comparison oracles) and run directly on the
+/// per-cell graphs.
 pub fn e9_baselines() -> Table {
     let mut t = Table::new(
         "E9: deterministic Theorem 1.1 vs randomized trial coloring [Joh99]",
@@ -488,22 +494,29 @@ pub fn e9_baselines() -> Table {
             "greedy_colors",
         ],
     );
-    for (name, g) in [
-        ("gnp(96,0.08)", generators::gnp(96, 0.08, 11)),
-        ("regular(128,6)", generators::random_regular(128, 6, 11)),
-        ("grid(8x12)", generators::grid(8, 12)),
-    ] {
-        let inst = ListInstance::degree_plus_one(g.clone());
-        let det = color_list_instance(&inst, &CongestColoringConfig::default());
+    let sweep = Runner::new(&CongestScenario::default())
+        .graphs([
+            GraphSpec::gnp(96, 0.08, 11),
+            GraphSpec::regular(128, 6, 11),
+            GraphSpec::grid(8, 12),
+        ])
+        .run();
+    for (spec, cell) in sweep.iter() {
+        let det = cell.report();
+        assert!(
+            det.proper,
+            "{}: Theorem 1.1 coloring must be proper",
+            spec.label
+        );
+        let inst = ListInstance::degree_plus_one(spec.graph.clone());
         let rand = baselines::johansson(&inst, 99);
         let greedy = baselines::greedy(&inst);
-        assert_eq!(validation::check_proper(&g, &det.colors), None);
-        assert_eq!(validation::check_proper(&g, &rand.colors), None);
+        assert_eq!(validation::check_proper(&spec.graph, &rand.colors), None);
         t.row(vec![
-            name.to_string(),
-            g.n().to_string(),
+            spec.label.clone(),
+            spec.graph.n().to_string(),
             det.metrics.rounds.to_string(),
-            det.iterations.to_string(),
+            extra(det, "iterations").to_string(),
             rand.metrics.rounds.to_string(),
             rand.iterations.to_string(),
             validation::count_colors(&greedy).to_string(),
@@ -585,8 +598,6 @@ pub fn e10_ablation() -> Table {
 /// essentially flat because fragmentation moves the same payload in more,
 /// smaller messages.
 pub fn e12_bandwidth_sweep() -> Table {
-    use dcl_clique::coloring::{clique_color, CliqueColoringConfig};
-    use dcl_sim::{BandwidthCap, ExecConfig};
     let mut t = Table::new(
         "E12 (Thms 1.1+1.3): rounds and bits vs bandwidth cap (n=96, Delta=6)",
         &[
@@ -600,37 +611,27 @@ pub fn e12_bandwidth_sweep() -> Table {
             "proper",
         ],
     );
-    let g = generators::random_regular(96, 6, 5);
-    let inst = ListInstance::degree_plus_one(g.clone());
-    let log_n = usize::BITS - (g.n() - 1).leading_zeros(); // ⌈log₂ n⌉ = 7
-    for mult in [1u32, 2, 4, 8] {
-        let cap = BandwidthCap::new(mult * log_n);
-        let exec = ExecConfig::with_cap(cap);
-        let congest = color_list_instance(
-            &inst,
-            &CongestColoringConfig {
-                exec,
-                ..Default::default()
-            },
-        );
-        let clique = clique_color(
-            &inst,
-            &CliqueColoringConfig {
-                exec,
-                ..Default::default()
-            },
-        );
-        let proper = validation::check_proper(&g, &congest.colors).is_none()
-            && validation::check_proper(&g, &clique.colors).is_none();
+    // ⌈log₂ 96⌉ = 7 — CapSpec::LogN resolves to {7, 14, 28, 56} bits.
+    let congest = Runner::new(&CongestScenario::default())
+        .graph(GraphSpec::regular(96, 6, 5))
+        .caps(CapSpec::log_n_sweep())
+        .run();
+    let clique = Runner::new(&CliqueScenario::default())
+        .graph(GraphSpec::regular(96, 6, 5))
+        .caps(CapSpec::log_n_sweep())
+        .run();
+    for (congest_cell, clique_cell) in congest.cells.iter().zip(&clique.cells) {
+        let co = congest_cell.report();
+        let cl = clique_cell.report();
         t.row(vec![
-            cap.bits().to_string(),
-            format!("{mult}x"),
-            congest.metrics.rounds.to_string(),
-            congest.metrics.messages.to_string(),
-            congest.metrics.bits.to_string(),
-            clique.metrics.rounds.to_string(),
-            clique.metrics.bits.to_string(),
-            proper.to_string(),
+            congest_cell.cap_bits.expect("swept cap").to_string(),
+            congest_cell.cap.to_string(),
+            co.metrics.rounds.to_string(),
+            co.metrics.messages.to_string(),
+            co.metrics.bits.to_string(),
+            cl.metrics.rounds.to_string(),
+            cl.metrics.bits.to_string(),
+            (co.proper && cl.proper).to_string(),
         ]);
     }
     t
@@ -642,8 +643,6 @@ pub fn e12_bandwidth_sweep() -> Table {
 /// of the cap, on the same instance as the E12 sweep. One Δ-regular and one
 /// expander workload; the latter exercises the chain-flip path.
 pub fn e13_delta_coloring() -> Table {
-    use dcl_delta::{delta_color, DeltaColoringConfig};
-    use dcl_sim::{BandwidthCap, ExecConfig};
     let mut t = Table::new(
         "E13 (Delta-coloring, HM24): rounds and bits vs bandwidth cap (Delta colors)",
         &[
@@ -658,36 +657,25 @@ pub fn e13_delta_coloring() -> Table {
             "valid",
         ],
     );
-    for (name, g) in [
-        ("regular(96,6)", generators::random_regular(96, 6, 5)),
-        ("expander(64,4)", generators::expander(64, 4, 1)),
-    ] {
-        let delta = g.max_degree() as u64;
-        let log_n = usize::BITS - (g.n() - 1).leading_zeros();
-        for mult in [1u32, 2, 4, 8] {
-            let cap = BandwidthCap::new(mult * log_n);
-            let r = delta_color(
-                &g,
-                &DeltaColoringConfig {
-                    exec: ExecConfig::with_cap(cap),
-                    ..Default::default()
-                },
-            )
-            .expect("generator graphs are not Brooks obstructions");
-            let valid = validation::check_proper(&g, &r.colors).is_none()
-                && r.colors.iter().all(|&c| c < delta);
-            t.row(vec![
-                name.to_string(),
-                cap.bits().to_string(),
-                format!("{mult}x"),
-                r.metrics.rounds.to_string(),
-                r.metrics.messages.to_string(),
-                r.metrics.bits.to_string(),
-                r.overflow_nodes.to_string(),
-                r.kempe_flips.to_string(),
-                valid.to_string(),
-            ]);
-        }
+    let sweep = Runner::new(&DeltaScenario::default())
+        .graphs([GraphSpec::regular(96, 6, 5), GraphSpec::expander(64, 4, 1)])
+        .caps(CapSpec::log_n_sweep())
+        .run();
+    for (spec, cell) in sweep.iter() {
+        // Generator graphs are not Brooks obstructions; cell.report()
+        // panics with the cell coordinates if one ever were.
+        let r = cell.report();
+        t.row(vec![
+            spec.label.clone(),
+            cell.cap_bits.expect("swept cap").to_string(),
+            cell.cap.to_string(),
+            r.metrics.rounds.to_string(),
+            r.metrics.messages.to_string(),
+            r.metrics.bits.to_string(),
+            extra(r, "overflow_nodes").to_string(),
+            extra(r, "kempe_flips").to_string(),
+            r.valid().to_string(),
+        ]);
     }
     t
 }
@@ -742,28 +730,86 @@ pub fn e11_mpc_tools() -> Table {
     t
 }
 
-/// Runs every experiment and returns the rendered report.
+/// One registered experiment: the id every tool addresses it by (matching
+/// the `"id"` field of `BENCH_experiments.json`) and its table function.
+pub struct ExperimentDef {
+    /// Stable experiment id (`"E1"` … `"E13"`, with `"E4b"`).
+    pub id: &'static str,
+    /// Runs the experiment and returns its table.
+    pub run: fn() -> Table,
+}
+
+/// The registry of all experiments, in report order. The `experiments` and
+/// `experiments_baseline` bins and `run_all_experiments` all iterate this
+/// one list, so registering a new experiment (e.g. for a new scenario) is a
+/// single entry here.
+pub fn experiment_defs() -> Vec<ExperimentDef> {
+    vec![
+        ExperimentDef {
+            id: "E1",
+            run: || e1_randomized_potential(300),
+        },
+        ExperimentDef {
+            id: "E2",
+            run: e2_phase_budget,
+        },
+        ExperimentDef {
+            id: "E3",
+            run: e3_partial_coloring,
+        },
+        ExperimentDef {
+            id: "E4",
+            run: e4_theorem_11,
+        },
+        ExperimentDef {
+            id: "E4b",
+            run: e4b_color_space,
+        },
+        ExperimentDef {
+            id: "E5",
+            run: e5_decomposition,
+        },
+        ExperimentDef {
+            id: "E6",
+            run: e6_clique,
+        },
+        ExperimentDef {
+            id: "E7",
+            run: e7_mpc_linear,
+        },
+        ExperimentDef {
+            id: "E8",
+            run: e8_mpc_sublinear,
+        },
+        ExperimentDef {
+            id: "E9",
+            run: e9_baselines,
+        },
+        ExperimentDef {
+            id: "E10",
+            run: e10_ablation,
+        },
+        ExperimentDef {
+            id: "E11",
+            run: e11_mpc_tools,
+        },
+        ExperimentDef {
+            id: "E12",
+            run: e12_bandwidth_sweep,
+        },
+        ExperimentDef {
+            id: "E13",
+            run: e13_delta_coloring,
+        },
+    ]
+}
+
+/// Runs every registered experiment and returns the rendered report.
 pub fn run_all_experiments() -> String {
-    let tables = vec![
-        e1_randomized_potential(300),
-        e2_phase_budget(),
-        e3_partial_coloring(),
-        e4_theorem_11(),
-        e4b_color_space(),
-        e5_decomposition(),
-        e6_clique(),
-        e7_mpc_linear(),
-        e8_mpc_sublinear(),
-        e9_baselines(),
-        e10_ablation(),
-        e11_mpc_tools(),
-        e12_bandwidth_sweep(),
-        e13_delta_coloring(),
-    ];
     let mut out = String::new();
     out.push_str("# Experiment report — deterministic distributed coloring reproduction\n\n");
-    for table in tables {
-        out.push_str(&table.render());
+    for def in experiment_defs() {
+        out.push_str(&(def.run)().render());
         out.push('\n');
     }
     out
@@ -774,12 +820,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new("demo", &["a", "bb"]);
-        t.row(vec!["1".into(), "2".into()]);
-        let s = t.render();
-        assert!(s.contains("## demo"));
-        assert!(s.contains('1'));
+    fn registry_ids_are_stable_and_match_their_titles() {
+        let defs = experiment_defs();
+        let ids: Vec<&str> = defs.iter().map(|d| d.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "E1", "E2", "E3", "E4", "E4b", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+                "E13"
+            ]
+        );
+        // The baseline JSON derives each id from the table title's leading
+        // token; spot-check that the registry agrees on a cheap experiment.
+        let e11 = defs.iter().find(|d| d.id == "E11").unwrap();
+        let title = (e11.run)().title;
+        assert_eq!(title.split_whitespace().next(), Some("E11"));
     }
 
     #[test]

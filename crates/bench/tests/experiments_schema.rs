@@ -1,0 +1,169 @@
+//! Pins the committed `BENCH_experiments.json` against the runner-backed
+//! harness: the JSON schema (machine-profile header + per-experiment rows)
+//! must stay exactly what PR 4 committed.
+//!
+//! Two layers:
+//!
+//! - (debug + release) the committed file parses, carries the
+//!   `bench_experiments/v1` schema with the machine-profile header, and
+//!   lists exactly the registered experiment ids with rectangular rows;
+//! - (release only — the full table set takes minutes unoptimized) every
+//!   table produced by [`dcl_bench::experiment_defs`] matches the committed
+//!   titles, headers and rows bit for bit, so a drift in any pipeline or in
+//!   the `Runner` sweep harness fails CI before it reaches the baseline.
+
+use std::path::PathBuf;
+
+/// One experiment entry of the committed baseline.
+#[derive(Debug, PartialEq)]
+struct CommittedTable {
+    id: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+fn committed_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_experiments.json")
+}
+
+/// Splits a JSON array-of-strings line (`["a", "b"],`) into its cells. The
+/// emitter escapes only `\` and `"`, so unescaping those is lossless.
+fn parse_string_array(line: &str) -> Vec<String> {
+    let start = line.find('[').expect("array open bracket");
+    let end = line.rfind(']').expect("array close bracket");
+    let body = &line[start + 1..end];
+    let mut cells = Vec::new();
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue; // separators and whitespace between cells
+        }
+        let mut cell = String::new();
+        loop {
+            match chars.next().expect("unterminated string") {
+                '\\' => cell.push(chars.next().expect("dangling escape")),
+                '"' => break,
+                other => cell.push(other),
+            }
+        }
+        cells.push(cell);
+    }
+    cells
+}
+
+/// Extracts the string value of a `"key": "value",` line.
+fn parse_string_field(line: &str, key: &str) -> String {
+    let rest = line
+        .split_once(&format!("\"{key}\": \""))
+        .unwrap_or_else(|| panic!("line {line:?} has no string field {key:?}"))
+        .1;
+    let mut value = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next().expect("unterminated value") {
+            '\\' => value.push(chars.next().expect("dangling escape")),
+            '"' => break,
+            other => value.push(other),
+        }
+    }
+    value
+}
+
+/// Parses the committed baseline (the exact layout
+/// `dcl_runner::baseline_json` emits — this test owns both sides).
+fn parse_committed() -> (String, String, Vec<CommittedTable>) {
+    let text = std::fs::read_to_string(committed_path()).expect("committed baseline exists");
+    let mut schema = String::new();
+    let mut machine = String::new();
+    let mut tables: Vec<CommittedTable> = Vec::new();
+    let mut in_rows = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("\"schema\":") {
+            schema = parse_string_field(line, "schema");
+        } else if trimmed.starts_with("\"machine\":") {
+            machine = trimmed.trim_end_matches(',').to_string();
+        } else if trimmed.starts_with("\"id\":") {
+            in_rows = false;
+            tables.push(CommittedTable {
+                id: parse_string_field(line, "id"),
+                title: String::new(),
+                headers: Vec::new(),
+                rows: Vec::new(),
+            });
+        } else if trimmed.starts_with("\"title\":") {
+            tables.last_mut().unwrap().title = parse_string_field(line, "title");
+        } else if trimmed.starts_with("\"headers\":") {
+            tables.last_mut().unwrap().headers = parse_string_array(line);
+        } else if trimmed.starts_with("\"rows\":") {
+            in_rows = true;
+        } else if in_rows && trimmed.starts_with('[') {
+            let t = tables.last_mut().unwrap();
+            t.rows.push(parse_string_array(line));
+        } else if in_rows && trimmed.starts_with(']') {
+            in_rows = false;
+        }
+    }
+    (schema, machine, tables)
+}
+
+#[test]
+fn committed_baseline_has_the_pr4_schema() {
+    let (schema, machine, tables) = parse_committed();
+    assert_eq!(schema, "bench_experiments/v1");
+    for key in ["\"hardware_threads\":", "\"os\":", "\"arch\":"] {
+        assert!(
+            machine.contains(key),
+            "machine profile misses {key}: {machine}"
+        );
+    }
+    let ids: Vec<&str> = tables.iter().map(|t| t.id.as_str()).collect();
+    let expected: Vec<&str> = dcl_bench::experiment_defs().iter().map(|d| d.id).collect();
+    assert_eq!(
+        ids, expected,
+        "committed experiment ids drifted from the registry"
+    );
+    for table in &tables {
+        assert!(
+            table.title.starts_with(&table.id),
+            "{}: id must lead the title {:?}",
+            table.id,
+            table.title
+        );
+        assert!(!table.headers.is_empty(), "{}: empty headers", table.id);
+        assert!(!table.rows.is_empty(), "{}: empty rows", table.id);
+        for row in &table.rows {
+            assert_eq!(
+                row.len(),
+                table.headers.len(),
+                "{}: ragged row {row:?}",
+                table.id
+            );
+        }
+    }
+}
+
+/// Release-only: rerun every experiment through the runner-backed registry
+/// and compare bit for bit with the committed rows.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full experiment set; run with cargo test --release"
+)]
+fn regenerated_tables_match_the_committed_rows_bit_for_bit() {
+    let (_, _, committed) = parse_committed();
+    let defs = dcl_bench::experiment_defs();
+    assert_eq!(committed.len(), defs.len());
+    for (expected, def) in committed.iter().zip(&defs) {
+        let table = (def.run)();
+        assert_eq!(expected.id, def.id);
+        assert_eq!(expected.title, table.title, "{}: title drifted", def.id);
+        assert_eq!(
+            expected.headers, table.headers,
+            "{}: headers drifted",
+            def.id
+        );
+        assert_eq!(expected.rows, table.rows, "{}: rows drifted", def.id);
+    }
+}

@@ -33,7 +33,11 @@ use dcl_derand::slice::{coin_threshold, BitForm, SliceFamily};
 use dcl_sim::{ExecConfig, Wire};
 
 /// Configuration of the clique coloring.
+///
+/// `#[non_exhaustive]`: build it with [`Default`] plus the `with_*` setters
+/// so future knobs are not semver breaks.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct CliqueColoringConfig {
     /// Cap on the seed-segment length `λ` (the effective value is
     /// `min(λ_cap, ⌈log₂ n⌉)`; candidates per segment = `2^λ`).
@@ -55,6 +59,36 @@ impl Default for CliqueColoringConfig {
             max_iterations: 200,
             exec: ExecConfig::default(),
         }
+    }
+}
+
+impl CliqueColoringConfig {
+    /// Sets the seed-segment length cap `λ` (builder style).
+    #[must_use]
+    pub fn with_segment_bits(mut self, segment_bits: u32) -> Self {
+        self.segment_bits = segment_bits;
+        self
+    }
+
+    /// Sets the batch-width cap (builder style).
+    #[must_use]
+    pub fn with_max_batch_width(mut self, max_batch_width: u32) -> Self {
+        self.max_batch_width = max_batch_width;
+        self
+    }
+
+    /// Sets the iteration safety cap (builder style).
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the simulator execution knob (builder style).
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
     }
 }
 

@@ -19,6 +19,8 @@
 
 pub mod coloring;
 pub mod network;
+pub mod scenario;
 
 pub use coloring::{clique_color, CliqueColoringConfig, CliqueColoringResult};
 pub use network::CliqueNetwork;
+pub use scenario::CliqueScenario;

@@ -24,10 +24,8 @@ proptest! {
         let seq = assert_backend_equivalent(3, |backend| {
             let r = clique_color(
                 &inst,
-                &CliqueColoringConfig {
-                    exec: ExecConfig::with_backend(backend),
-                    ..Default::default()
-                },
+                &CliqueColoringConfig::default()
+                    .with_exec(ExecConfig::default().with_backend(backend)),
             );
             (r.colors, r.metrics, r.iterations, r.collected_nodes)
         })

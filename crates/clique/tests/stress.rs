@@ -19,20 +19,8 @@ fn batching_engages_on_medium_instances() {
 fn segment_length_config_changes_rounds_not_result() {
     let g = generators::gnp(40, 0.15, 3);
     let inst = ListInstance::degree_plus_one(g.clone());
-    let short = clique_color(
-        &inst,
-        &CliqueColoringConfig {
-            segment_bits: 2,
-            ..CliqueColoringConfig::default()
-        },
-    );
-    let long = clique_color(
-        &inst,
-        &CliqueColoringConfig {
-            segment_bits: 6,
-            ..CliqueColoringConfig::default()
-        },
-    );
+    let short = clique_color(&inst, &CliqueColoringConfig::default().with_segment_bits(2));
+    let long = clique_color(&inst, &CliqueColoringConfig::default().with_segment_bits(6));
     assert_eq!(validation::check_proper(&g, &short.colors), None);
     assert_eq!(validation::check_proper(&g, &long.colors), None);
     // Longer segments = fewer derandomization rounds.
@@ -45,10 +33,7 @@ fn max_batch_width_one_still_completes() {
     let inst = ListInstance::degree_plus_one(g.clone());
     let r = clique_color(
         &inst,
-        &CliqueColoringConfig {
-            max_batch_width: 1,
-            ..CliqueColoringConfig::default()
-        },
+        &CliqueColoringConfig::default().with_max_batch_width(1),
     );
     assert_eq!(validation::check_proper(&g, &r.colors), None);
 }

@@ -14,7 +14,7 @@
 //! - converge-cast (aggregation) and broadcast over trees ([`tree`]), in both
 //!   a literal round-by-round implementation and an equivalent *charged*
 //!   implementation used on hot paths (identical results and identical round
-//!   costs; see `DESIGN.md` §2.3).
+//!   costs; see `DESIGN.md` §2.4).
 //!
 //! Round execution can be switched between a sequential and a multi-threaded
 //! backend via [`Backend`] (see `DESIGN.md` §5): results are bit-identical,

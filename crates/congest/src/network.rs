@@ -417,10 +417,9 @@ mod tests {
         let net = Network::from_exec(&g, 100, &ExecConfig::default());
         assert_eq!(net.cap_bits(), 128);
         assert_eq!(net.backend(), Backend::Sequential);
-        let exec = ExecConfig {
-            backend: Backend::Parallel(2),
-            cap: Some(BandwidthCap::new(9)),
-        };
+        let exec = ExecConfig::default()
+            .with_backend(Backend::Parallel(2))
+            .with_cap(BandwidthCap::new(9));
         let net = Network::from_exec(&g, 100, &exec);
         assert_eq!(net.cap_bits(), 9);
         assert_eq!(net.backend(), Backend::Parallel(2));

@@ -17,7 +17,11 @@ use dcl_graphs::Graph;
 use dcl_sim::ExecConfig;
 
 /// Configuration of the Theorem 1.1 driver.
+///
+/// `#[non_exhaustive]`: build it with [`Default`] plus the `with_*` setters
+/// so future knobs are not semver breaks.
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct CongestColoringConfig {
     /// Strategy and accuracy of each partial-coloring invocation.
     pub partial: PartialConfig,
@@ -29,6 +33,29 @@ pub struct CongestColoringConfig {
     /// caps fragment wide payloads and stretch rounds accordingly — the
     /// sweep axis of `dcl_bench::e12_bandwidth_sweep`).
     pub exec: ExecConfig,
+}
+
+impl CongestColoringConfig {
+    /// Sets the partial-coloring strategy (builder style).
+    #[must_use]
+    pub fn with_partial(mut self, partial: PartialConfig) -> Self {
+        self.partial = partial;
+        self
+    }
+
+    /// Sets the iteration safety cap (builder style).
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: Option<usize>) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the simulator execution knob (builder style).
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
 }
 
 /// Result of the full CONGEST coloring.
@@ -268,14 +295,10 @@ mod tests {
     #[test]
     fn avoid_mis_variant_also_completes() {
         let g = generators::gnp(32, 0.2, 4);
-        let config = CongestColoringConfig {
-            partial: PartialConfig {
-                resolution: ConflictResolution::AvoidMis,
-                extra_accuracy_bits: 0,
-            },
-            max_iterations: None,
-            exec: ExecConfig::default(),
-        };
+        let config = CongestColoringConfig::default().with_partial(PartialConfig {
+            resolution: ConflictResolution::AvoidMis,
+            extra_accuracy_bits: 0,
+        });
         let result = color_degree_plus_one(&g, &config);
         assert_eq!(validation::check_proper(&g, &result.colors), None);
     }

@@ -47,6 +47,8 @@ pub mod mis;
 pub mod partial;
 pub mod potential;
 pub mod prefix;
+pub mod scenario;
 
 pub use congest_coloring::{color_degree_plus_one, color_list_instance, CongestColoringConfig};
 pub use instance::ListInstance;
+pub use scenario::CongestScenario;

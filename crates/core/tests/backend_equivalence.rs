@@ -20,10 +20,8 @@ fn assert_equivalent(g: &Graph, threads: usize) -> Result<(), TestCaseError> {
     let seq = assert_backend_equivalent(threads, |backend| {
         let r = color_degree_plus_one(
             g,
-            &CongestColoringConfig {
-                exec: ExecConfig::with_backend(backend),
-                ..Default::default()
-            },
+            &CongestColoringConfig::default()
+                .with_exec(ExecConfig::default().with_backend(backend)),
         );
         (r.colors, r.metrics, r.iterations)
     })

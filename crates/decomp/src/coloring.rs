@@ -9,7 +9,7 @@
 //! BFS tree. Same-color clusters are non-adjacent, so their conflict graphs
 //! do not interact; edges shared by up to `κ` same-color trees are pipelined,
 //! which multiplies the round cost of the class by at most `κ` — we charge
-//! exactly that (`DESIGN.md` §2.4).
+//! exactly that (`DESIGN.md` §2.5).
 
 use crate::decomposition::NetworkDecomposition;
 use crate::rg::{decompose_traced, RgConfig, RgTrace};
@@ -22,7 +22,11 @@ use dcl_graphs::NodeId;
 use std::collections::HashMap;
 
 /// Configuration of the Corollary 1.2 driver.
+///
+/// `#[non_exhaustive]`: build it with [`Default`] plus the `with_*` setters
+/// so future knobs are not semver breaks.
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct DecompColoringConfig {
     /// Decomposition construction parameters.
     pub rg: RgConfig,
@@ -31,6 +35,29 @@ pub struct DecompColoringConfig {
     /// Simulator execution: round backend (results are bit-identical across
     /// backends) and bandwidth cap (`None` = the model default).
     pub exec: dcl_sim::ExecConfig,
+}
+
+impl DecompColoringConfig {
+    /// Sets the decomposition construction parameters (builder style).
+    #[must_use]
+    pub fn with_rg(mut self, rg: RgConfig) -> Self {
+        self.rg = rg;
+        self
+    }
+
+    /// Sets the partial-coloring strategy (builder style).
+    #[must_use]
+    pub fn with_partial(mut self, partial: PartialConfig) -> Self {
+        self.partial = partial;
+        self
+    }
+
+    /// Sets the simulator execution knob (builder style).
+    #[must_use]
+    pub fn with_exec(mut self, exec: dcl_sim::ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
 }
 
 /// Result of the decomposition-based coloring.

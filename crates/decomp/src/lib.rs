@@ -8,7 +8,7 @@
 //!   outer iterations, each running one bit-competition pass that clusters at
 //!   least half of the remaining vertices into non-adjacent clusters of weak
 //!   diameter `O(log³ n)` with per-edge tree congestion `O(log n)`
-//!   (Theorem 3.1 flavor; see `DESIGN.md` §2.4 for the cost model);
+//!   (Theorem 3.1 flavor; see `DESIGN.md` §2.5 for the cost model);
 //! - [`coloring`] — Corollary 1.2: iterate through the decomposition's color
 //!   classes and run the Theorem 1.1 machinery on all clusters of one color
 //!   in parallel, aggregating over the cluster trees.
@@ -36,5 +36,7 @@
 pub mod coloring;
 pub mod decomposition;
 pub mod rg;
+pub mod scenario;
 
 pub use decomposition::{Cluster, DecompStats, NetworkDecomposition};
+pub use scenario::DecompScenario;

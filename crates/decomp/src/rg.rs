@@ -24,7 +24,7 @@
 //!   (they drop out of the run and are retried in the next run); vertices
 //!   that left a cluster stay on its join-tree as Steiner relays.
 //!
-//! A standard argument (see `DESIGN.md` §2.4) shows: deaths per phase are at
+//! A standard argument (see `DESIGN.md` §2.5) shows: deaths per phase are at
 //! most `n/(2b)` (each cluster stops at most once, killing fewer than
 //! `|C|/(2b)` vertices), so at least half of the run's vertices survive all
 //! `b` phases; at quiescence no living blue vertex has a living in-group red

@@ -12,7 +12,11 @@ use dcl_graphs::{metrics, Graph, NodeId};
 use dcl_sim::{bit_len, ExecConfig};
 
 /// Configuration of the Δ-coloring pipeline.
+///
+/// `#[non_exhaustive]`: build it with [`Default`] plus the `with_*` setters
+/// so future knobs are not semver breaks.
 #[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct DeltaColoringConfig {
     /// Strategy and accuracy of the Theorem 1.1 partial-coloring phase.
     pub partial: PartialConfig,
@@ -23,6 +27,29 @@ pub struct DeltaColoringConfig {
     /// backends) and bandwidth cap (`None` = the model default; swept caps
     /// fragment wide payloads — the axis of `dcl_bench::e13_delta_coloring`).
     pub exec: ExecConfig,
+}
+
+impl DeltaColoringConfig {
+    /// Sets the Theorem 1.1 partial-coloring strategy (builder style).
+    #[must_use]
+    pub fn with_partial(mut self, partial: PartialConfig) -> Self {
+        self.partial = partial;
+        self
+    }
+
+    /// Sets the Theorem 1.1 iteration cap (builder style).
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: Option<usize>) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the simulator execution knob (builder style).
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
 }
 
 /// Result of a successful Δ-coloring.
@@ -110,11 +137,10 @@ pub fn delta_color(
     let phase1 = color_list_instance_on(
         &mut net,
         &instance,
-        &CongestColoringConfig {
-            partial: config.partial,
-            max_iterations: config.max_iterations,
-            exec: config.exec,
-        },
+        &CongestColoringConfig::default()
+            .with_partial(config.partial)
+            .with_max_iterations(config.max_iterations)
+            .with_exec(config.exec),
     );
     let mut colors = phase1.colors;
     let delta_color_value = delta as u64;
@@ -358,7 +384,7 @@ mod tests {
         let tight = delta_color(
             &g,
             &DeltaColoringConfig {
-                exec: ExecConfig::with_cap(dcl_sim::BandwidthCap::new(log_n)),
+                exec: ExecConfig::default().with_cap(dcl_sim::BandwidthCap::new(log_n)),
                 ..Default::default()
             },
         )

@@ -69,6 +69,8 @@
 pub mod coloring;
 pub mod kempe;
 pub mod obstruction;
+pub mod scenario;
 
 pub use coloring::{delta_color, DeltaColoringConfig, DeltaColoringResult};
 pub use obstruction::DeltaError;
+pub use scenario::DeltaScenario;

@@ -13,10 +13,11 @@ use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
 fn config(backend: Backend, cap: Option<BandwidthCap>) -> DeltaColoringConfig {
-    DeltaColoringConfig {
-        exec: ExecConfig { backend, cap },
-        ..Default::default()
-    }
+    DeltaColoringConfig::default().with_exec(
+        ExecConfig::default()
+            .with_backend(backend)
+            .with_cap_opt(cap),
+    )
 }
 
 fn assert_valid_delta_coloring(g: &Graph, colors: &[u64]) {

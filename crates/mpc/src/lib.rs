@@ -23,6 +23,7 @@
 pub mod coloring;
 pub mod instance;
 pub mod machine;
+pub mod scenario;
 pub mod tools;
 
 pub use coloring::{
@@ -30,3 +31,4 @@ pub use coloring::{
     MpcColoringResult,
 };
 pub use machine::{Mpc, MpcMetrics};
+pub use scenario::{MpcLinearScenario, MpcSublinearScenario};

@@ -70,6 +70,21 @@ pub struct MpcMetrics {
     pub max_storage_words: usize,
 }
 
+impl From<MpcMetrics> for SimMetrics {
+    /// The unified read-out used by the `dcl_runner` front door: `bits`
+    /// carries the word count (MPC's accounting unit). Per-message size
+    /// maxima are not tracked in this model — the storage high-water mark
+    /// plays that role — so `max_message_bits` reads 0.
+    fn from(m: MpcMetrics) -> Self {
+        SimMetrics {
+            rounds: m.rounds,
+            messages: m.messages,
+            bits: m.words,
+            max_message_bits: 0,
+        }
+    }
+}
+
 /// An MPC cluster.
 ///
 /// # Examples

@@ -1,0 +1,169 @@
+//! The Theorem 1.4/1.5 pipelines as [`dcl_runner::Scenario`]s.
+//!
+//! Thin adapters over [`mpc_color_linear_with`] and
+//! [`mpc_color_sublinear_with`] (which stay public). In the unified
+//! [`Report::metrics`](dcl_runner::Report::metrics) the `bits` field
+//! counts machine *words* — MPC's accounting unit (see
+//! [`MpcMetrics`](crate::MpcMetrics)) — and the word-budget/memory figures
+//! travel in the extras.
+
+use crate::coloring::{mpc_color_linear_with, mpc_color_sublinear_with, MpcColoringResult};
+
+use dcl_coloring::instance::ListInstance;
+use dcl_graphs::Graph;
+use dcl_runner::{Model, Report, RunError, Scenario};
+use dcl_sim::{ExecConfig, SimMetrics};
+
+fn report(name: &str, graph: &Graph, result: MpcColoringResult) -> Report {
+    let palette = graph.max_degree() as u64 + 1;
+    Report::build(
+        name,
+        Model::Mpc,
+        graph,
+        palette,
+        result.colors,
+        SimMetrics::from(result.metrics),
+    )
+    .with_extra("iterations", result.iterations as u64)
+    .with_extra("finisher_iterations", result.finisher_iterations as u64)
+    .with_extra("machines", result.machines as u64)
+    .with_extra("memory_words", result.memory_words as u64)
+    .with_extra("max_storage_words", result.metrics.max_storage_words as u64)
+}
+
+/// The linear-memory MPC coloring of Theorem 1.4 as a runnable scenario
+/// (name `"mpc-linear"`).
+///
+/// **Cap axis:** like [`mpc_color_linear_with`], the scenario ignores the
+/// `ExecConfig` bandwidth cap — in MPC the per-machine word budget `S`
+/// plays the bandwidth role — so sweeping `CapSpec` over an MPC scenario
+/// yields identical cells; only the backend knob applies.
+///
+/// # Examples
+///
+/// ```
+/// use dcl_mpc::scenario::MpcLinearScenario;
+/// use dcl_graphs::generators;
+/// use dcl_runner::Scenario;
+/// use dcl_sim::ExecConfig;
+///
+/// let g = generators::gnp(36, 0.12, 5);
+/// let report = MpcLinearScenario.run(&g, &ExecConfig::default()).unwrap();
+/// assert!(report.valid());
+/// assert!(report.extra("machines").unwrap() >= 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpcLinearScenario;
+
+impl Scenario for MpcLinearScenario {
+    fn name(&self) -> &str {
+        "mpc-linear"
+    }
+
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+
+    fn run(&self, graph: &Graph, exec: &ExecConfig) -> Result<Report, RunError> {
+        let instance = ListInstance::degree_plus_one(graph.clone());
+        Ok(report(
+            self.name(),
+            graph,
+            mpc_color_linear_with(&instance, exec),
+        ))
+    }
+}
+
+/// The sublinear-memory MPC coloring of Theorem 1.5 (memory `S = Θ(n^α)`)
+/// as a runnable scenario (name `"mpc-sublinear"`).
+///
+/// **Cap axis:** the `ExecConfig` bandwidth cap is ignored, as for
+/// [`MpcLinearScenario`] — sweep the memory exponent `alpha` instead.
+#[derive(Debug, Clone, Copy)]
+pub struct MpcSublinearScenario {
+    /// Memory exponent `α ∈ (0, 1]`.
+    pub alpha: f64,
+}
+
+impl MpcSublinearScenario {
+    /// A scenario with the given memory exponent.
+    pub fn new(alpha: f64) -> Self {
+        MpcSublinearScenario { alpha }
+    }
+}
+
+impl Default for MpcSublinearScenario {
+    /// The workspace's customary sweep midpoint `α = 0.6`.
+    fn default() -> Self {
+        MpcSublinearScenario { alpha: 0.6 }
+    }
+}
+
+impl Scenario for MpcSublinearScenario {
+    fn name(&self) -> &str {
+        "mpc-sublinear"
+    }
+
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+
+    fn run(&self, graph: &Graph, exec: &ExecConfig) -> Result<Report, RunError> {
+        let instance = ListInstance::degree_plus_one(graph.clone());
+        Ok(report(
+            self.name(),
+            graph,
+            mpc_color_sublinear_with(&instance, self.alpha, exec),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{mpc_color_linear, mpc_color_sublinear};
+    use dcl_graphs::generators;
+
+    #[test]
+    fn linear_scenario_matches_the_direct_entry_point() {
+        let g = generators::gnp(36, 0.12, 5);
+        let report = MpcLinearScenario.run(&g, &ExecConfig::default()).unwrap();
+        let direct = mpc_color_linear(&ListInstance::degree_plus_one(g.clone()));
+        assert_eq!(report.colors, direct.colors);
+        assert_eq!(report.metrics.rounds, direct.metrics.rounds);
+        assert_eq!(
+            report.metrics.bits, direct.metrics.words,
+            "bits counts words"
+        );
+        assert_eq!(
+            report.extra("max_storage_words"),
+            Some(direct.metrics.max_storage_words as u64)
+        );
+        assert!(report.valid());
+    }
+
+    #[test]
+    fn sublinear_scenario_matches_the_direct_entry_point() {
+        let g = generators::gnp(32, 0.15, 8);
+        let scenario = MpcSublinearScenario::new(0.5);
+        let report = scenario.run(&g, &ExecConfig::default()).unwrap();
+        let direct = mpc_color_sublinear(&ListInstance::degree_plus_one(g.clone()), 0.5);
+        assert_eq!(report.colors, direct.colors);
+        assert_eq!(report.metrics.rounds, direct.metrics.rounds);
+        assert_eq!(
+            report.extra("finisher_iterations"),
+            Some(direct.finisher_iterations as u64)
+        );
+        assert!(report.valid());
+    }
+
+    #[test]
+    fn scenario_metadata_is_stable() {
+        assert_eq!(MpcLinearScenario.name(), "mpc-linear");
+        assert_eq!(MpcLinearScenario.model(), Model::Mpc);
+        let sub = MpcSublinearScenario::default();
+        assert_eq!(sub.name(), "mpc-sublinear");
+        assert_eq!(sub.model(), Model::Mpc);
+        assert!((sub.alpha - 0.6).abs() < 1e-12);
+    }
+}

@@ -21,7 +21,7 @@ proptest! {
         let g = generators::gnp(n, p, seed);
         let inst = ListInstance::degree_plus_one(g.clone());
         let seq = assert_backend_equivalent(3, |backend| {
-            let r = mpc_color_linear_with(&inst, &ExecConfig::with_backend(backend));
+            let r = mpc_color_linear_with(&inst, &ExecConfig::default().with_backend(backend));
             (r.colors, r.metrics)
         })
         .map_err(TestCaseError::Fail)?;
@@ -34,7 +34,7 @@ proptest! {
         let g = generators::gnp(n, 0.25, seed);
         let inst = ListInstance::degree_plus_one(g.clone());
         assert_backend_equivalent(4, |backend| {
-            let r = mpc_color_sublinear_with(&inst, 0.6, &ExecConfig::with_backend(backend));
+            let r = mpc_color_sublinear_with(&inst, 0.6, &ExecConfig::default().with_backend(backend));
             (r.colors, r.metrics)
         })
         .map_err(TestCaseError::Fail)?;

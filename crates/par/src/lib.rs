@@ -116,6 +116,19 @@ impl std::fmt::Debug for JobPanic {
     }
 }
 
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool job {} panicked: {}",
+            self.job,
+            self.message().unwrap_or("<non-string payload>")
+        )
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
 /// An erased `&dyn Fn(usize)` with the lifetime transmuted away so it can sit
 /// in the shared state while a batch runs. Soundness: [`Pool::run`] blocks
 /// until every worker has finished the batch *before* returning, so the

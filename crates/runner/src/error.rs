@@ -1,0 +1,267 @@
+//! The [`RunError`] type: every way a scenario run can fail, as one enum
+//! behind [`std::error::Error`].
+
+use crate::scenario::{Model, Scenario};
+use dcl_graphs::{Graph, GraphError};
+use dcl_par::JobPanic;
+use dcl_sim::ExecConfig;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Unified error type of the runner front door.
+///
+/// The per-crate error types are wrapped losslessly: [`GraphError`] and
+/// [`JobPanic`] as typed variants, scenario rejections (e.g.
+/// `dcl_delta::DeltaError`) as a boxed [`std::error::Error`] that can be
+/// recovered intact via [`RunError::rejection`] or
+/// [`std::error::Error::source`]. Model-budget violations (MPC word budgets,
+/// bandwidth caps) are intentional panics in the simulators — see the panic
+/// contract in `DESIGN.md` §2.3 — and are only materialized as the
+/// [`RunError::Budget`] variant when a run goes through [`run_protected`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The input graph itself was invalid (construction error).
+    Graph(GraphError),
+    /// A backend pool job panicked (typed payload from
+    /// [`dcl_par::Pool::try_run`]).
+    Job(JobPanic),
+    /// The scenario rejected the input as unsolvable — e.g. a Brooks
+    /// obstruction for the Δ-coloring scenario. The concrete per-crate error
+    /// is preserved and downcastable via [`RunError::rejection`].
+    Rejected {
+        /// [`Scenario::name`] of the rejecting scenario.
+        scenario: String,
+        /// The original typed error, behind `std::error::Error`.
+        source: Box<dyn Error + Send + Sync + 'static>,
+    },
+    /// A model resource budget was violated (MPC send/receive/memory word
+    /// budgets, bandwidth caps). Produced by [`run_protected`] from the
+    /// simulators' intentional budget assertions.
+    Budget {
+        /// Model whose budget was violated.
+        model: Model,
+        /// The simulator's assertion message.
+        message: String,
+    },
+    /// The pipeline panicked for any other reason (progress-bug safety
+    /// nets). Produced by [`run_protected`].
+    Panic {
+        /// [`Scenario::name`] of the panicking scenario.
+        scenario: String,
+        /// The panic payload rendered as a string.
+        message: String,
+    },
+}
+
+impl RunError {
+    /// Wraps a scenario rejection, preserving the concrete error for
+    /// [`RunError::rejection`] downcasts.
+    pub fn rejected<E>(scenario: &str, source: E) -> Self
+    where
+        E: Error + Send + Sync + 'static,
+    {
+        RunError::Rejected {
+            scenario: scenario.to_string(),
+            source: Box::new(source),
+        }
+    }
+
+    /// The concrete rejection error, if this is a [`RunError::Rejected`] of
+    /// type `E` — e.g. `err.rejection::<dcl_delta::DeltaError>()`.
+    pub fn rejection<E: Error + 'static>(&self) -> Option<&E> {
+        match self {
+            RunError::Rejected { source, .. } => source.downcast_ref(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Graph(e) => write!(f, "invalid input graph: {e}"),
+            RunError::Job(p) => write!(f, "backend {p}"),
+            RunError::Rejected { scenario, source } => {
+                write!(f, "scenario '{scenario}' rejected the input: {source}")
+            }
+            RunError::Budget { model, message } => {
+                write!(f, "{model} resource budget violated: {message}")
+            }
+            RunError::Panic { scenario, message } => {
+                write!(f, "scenario '{scenario}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Graph(e) => Some(e),
+            RunError::Job(p) => Some(p),
+            RunError::Rejected { source, .. } => Some(source.as_ref()),
+            RunError::Budget { .. } | RunError::Panic { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for RunError {
+    fn from(e: GraphError) -> Self {
+        RunError::Graph(e)
+    }
+}
+
+impl From<JobPanic> for RunError {
+    fn from(p: JobPanic) -> Self {
+        RunError::Job(p)
+    }
+}
+
+/// Runs `scenario` with a panic shield: the simulators' intentional budget
+/// assertions come back as [`RunError::Budget`] and any other panic (the
+/// progress-bug safety nets) as [`RunError::Panic`], instead of unwinding
+/// through the caller. Results of non-panicking runs are identical to
+/// calling [`Scenario::run`] directly.
+pub fn run_protected(
+    scenario: &dyn Scenario,
+    graph: &Graph,
+    exec: &ExecConfig,
+) -> Result<crate::Report, RunError> {
+    match catch_unwind(AssertUnwindSafe(|| scenario.run(graph, exec))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<&'static str>()
+                        .map(|s| s.to_string())
+                })
+                .unwrap_or_else(|| String::from("<non-string panic payload>"));
+            // The budget assertions phrase themselves around the violated
+            // resource: "… exceeded its send/receive budget …" and
+            // "… exceeding its memory …" (MPC), "message of N bits exceeds
+            // <model> cap of M bits" (bandwidth caps, present-tense
+            // "exceeds"). The drivers' progress-bug safety nets say
+            // "iteration cap N *exceeded*" — past tense, no "budget" — and
+            // must stay `Panic`, not `Budget` (pinned by the tests below).
+            let budget_violation = message.contains("budget")
+                || message.contains("exceeding its memory")
+                || (message.contains("exceeds") && message.contains("cap"));
+            if budget_violation {
+                Err(RunError::Budget {
+                    model: scenario.model(),
+                    message,
+                })
+            } else {
+                Err(RunError::Panic {
+                    scenario: scenario.name().to_string(),
+                    message,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Report;
+    use dcl_graphs::generators;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct DemoRejection(&'static str);
+
+    impl fmt::Display for DemoRejection {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "demo rejection: {}", self.0)
+        }
+    }
+
+    impl Error for DemoRejection {}
+
+    struct Panicking(&'static str);
+
+    impl Scenario for Panicking {
+        fn name(&self) -> &str {
+            "panicking"
+        }
+        fn model(&self) -> Model {
+            Model::Mpc
+        }
+        fn run(&self, _: &Graph, _: &ExecConfig) -> Result<Report, RunError> {
+            panic!("{}", self.0);
+        }
+    }
+
+    #[test]
+    fn rejection_is_downcastable_losslessly() {
+        let err = RunError::rejected("demo", DemoRejection("odd cycle"));
+        assert_eq!(
+            err.rejection::<DemoRejection>(),
+            Some(&DemoRejection("odd cycle"))
+        );
+        assert!(err.rejection::<GraphError>().is_none());
+        assert!(err.to_string().contains("demo rejection: odd cycle"));
+        assert!(err.source().is_some(), "rejection keeps its source chain");
+    }
+
+    #[test]
+    fn graph_and_job_errors_wrap_with_source() {
+        let e: RunError = GraphError::SelfLoop(3).into();
+        assert!(matches!(e, RunError::Graph(GraphError::SelfLoop(3))));
+        assert!(e.to_string().contains("self loop"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn run_protected_types_budget_violations_and_panics() {
+        let g = generators::ring(4);
+        let exec = ExecConfig::default();
+        // The exact phrasings of the simulators' budget assertions.
+        for budget_message in [
+            "machine 0 exceeded its send budget of 400 words",
+            "machine 2 exceeded its receive budget of 400 words",
+            "machine 1 stores 99 words, exceeding its memory of 80",
+            "message of 200 bits exceeds CONGEST cap of 128 bits",
+        ] {
+            let budget = run_protected(&Panicking(budget_message), &g, &exec);
+            assert!(
+                matches!(
+                    budget,
+                    Err(RunError::Budget {
+                        model: Model::Mpc,
+                        ..
+                    })
+                ),
+                "{budget_message:?} must become Budget, got {budget:?}"
+            );
+        }
+        // The exact phrasings of the drivers' progress-bug safety nets must
+        // NOT be classified as budget violations.
+        for progress_message in [
+            "iteration cap 40 exceeded with 3 nodes uncolored — progress bug",
+            "iteration cap exceeded — progress bug",
+            "class 3 exceeded the iteration cap",
+            "linear MPC coloring failed to make progress",
+        ] {
+            let other = run_protected(&Panicking(progress_message), &g, &exec);
+            match other {
+                Err(RunError::Panic { scenario, message }) => {
+                    assert_eq!(scenario, "panicking");
+                    assert_eq!(message, progress_message);
+                }
+                other => panic!("{progress_message:?}: expected Panic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&RunError::rejected("x", DemoRejection("y")));
+    }
+}

@@ -1,0 +1,188 @@
+//! The [`Scenario`] trait and the unified [`Report`] every pipeline returns.
+
+use crate::error::RunError;
+use dcl_graphs::{validation, Graph};
+use dcl_sim::{ExecConfig, SimMetrics};
+use std::fmt;
+
+/// The communication model a [`Scenario`] is simulated in.
+///
+/// Marked `#[non_exhaustive]`: new models (the ROADMAP's "as many scenarios
+/// as you can imagine") must not be semver breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Model {
+    /// CONGEST: messages travel along graph edges under a bandwidth cap.
+    Congest,
+    /// CONGESTED CLIQUE: all-to-all links, one capped message per pair and
+    /// round.
+    CongestedClique,
+    /// Massively Parallel Computation: `M` machines with `S`-word memories;
+    /// the word budget plays the bandwidth role.
+    Mpc,
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Model::Congest => write!(f, "CONGEST"),
+            Model::CongestedClique => write!(f, "CONGESTED CLIQUE"),
+            Model::Mpc => write!(f, "MPC"),
+        }
+    }
+}
+
+/// A coloring pipeline that can be driven by the [`crate::Runner`].
+///
+/// Implementations live in the pipelines' home crates as thin adapters over
+/// the existing public entry points (`color_list_instance`,
+/// `color_via_decomposition`, `clique_color`, `mpc_color_*_with`,
+/// `delta_color`), so "add a scenario" is one `impl` plus one registration —
+/// see `DESIGN.md` §2.3 for the worked example.
+pub trait Scenario {
+    /// Short stable identifier (`"congest"`, `"clique"`, `"delta"`, …) used
+    /// in reports, sweep output and error messages.
+    fn name(&self) -> &str;
+
+    /// The communication model this scenario is metered in.
+    fn model(&self) -> Model;
+
+    /// Runs the pipeline on `graph` under `exec` (backend + bandwidth cap)
+    /// and returns the unified [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError`] when the scenario rejects the input (e.g. a Brooks
+    /// obstruction in the Δ-coloring scenario) or a wrapped per-crate error
+    /// surfaces. Internal progress bugs and model violations keep panicking
+    /// (the intentional-panic contract of `DESIGN.md` §2.3); use
+    /// [`crate::run_protected`] to convert those into [`RunError`] values
+    /// too.
+    fn run(&self, graph: &Graph, exec: &ExecConfig) -> Result<Report, RunError>;
+}
+
+/// The unified result of one [`Scenario`] run: the coloring, the simulator
+/// cost, and a palette-size / proper-ness summary that means the same thing
+/// in every model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// [`Scenario::name`] of the producing scenario.
+    pub scenario: String,
+    /// [`Scenario::model`] of the producing scenario.
+    pub model: Model,
+    /// The computed coloring, one color per node.
+    pub colors: Vec<u64>,
+    /// The palette size the scenario promises (`Δ+1` for the paper's list
+    /// colorings, `Δ` for the Brooks-bound scenario, 2 on its bipartite
+    /// path). Colors are valid iff `< palette`.
+    pub palette: u64,
+    /// Number of distinct colors actually used.
+    pub colors_used: usize,
+    /// Whether the coloring is proper (no monochromatic edge).
+    pub proper: bool,
+    /// Unified simulator cost counters. For MPC scenarios the `bits` field
+    /// counts machine *words* (the model's accounting unit — see
+    /// `dcl_mpc::MpcMetrics`).
+    pub metrics: SimMetrics,
+    /// Scenario-specific counters in a stable order (iterations, collected
+    /// nodes, Kempe flips, machine counts, …), for experiment tables.
+    pub extras: Vec<(&'static str, u64)>,
+}
+
+impl Report {
+    /// Builds a report from a finished run, computing the proper-ness and
+    /// palette summary against `graph`.
+    pub fn build(
+        scenario: &str,
+        model: Model,
+        graph: &Graph,
+        palette: u64,
+        colors: Vec<u64>,
+        metrics: SimMetrics,
+    ) -> Self {
+        let proper = validation::check_proper(graph, &colors).is_none();
+        let colors_used = validation::count_colors(&colors);
+        Report {
+            scenario: scenario.to_string(),
+            model,
+            colors,
+            palette,
+            colors_used,
+            proper,
+            metrics,
+            extras: Vec::new(),
+        }
+    }
+
+    /// Appends a scenario-specific counter (builder style).
+    #[must_use]
+    pub fn with_extra(mut self, key: &'static str, value: u64) -> Self {
+        self.extras.push((key, value));
+        self
+    }
+
+    /// Looks up a scenario-specific counter by key.
+    pub fn extra(&self, key: &str) -> Option<u64> {
+        self.extras.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// Whether every color is inside the promised palette (`< palette`).
+    pub fn within_palette(&self) -> bool {
+        self.colors.iter().all(|&c| c < self.palette)
+    }
+
+    /// Whether the coloring is both proper and inside the palette — the
+    /// "valid" column of the experiment tables.
+    pub fn valid(&self) -> bool {
+        self.proper && self.within_palette()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl_graphs::generators;
+
+    #[test]
+    fn report_summarizes_properness_and_palette() {
+        let g = generators::ring(4);
+        let report = Report::build(
+            "demo",
+            Model::Congest,
+            &g,
+            2,
+            vec![0, 1, 0, 1],
+            SimMetrics::default(),
+        )
+        .with_extra("iterations", 3);
+        assert!(report.proper);
+        assert!(report.within_palette());
+        assert!(report.valid());
+        assert_eq!(report.colors_used, 2);
+        assert_eq!(report.extra("iterations"), Some(3));
+        assert_eq!(report.extra("missing"), None);
+    }
+
+    #[test]
+    fn report_flags_improper_and_overflowing_colorings() {
+        let g = generators::ring(4);
+        let bad = Report::build(
+            "demo",
+            Model::Congest,
+            &g,
+            2,
+            vec![0, 0, 1, 2],
+            SimMetrics::default(),
+        );
+        assert!(!bad.proper);
+        assert!(!bad.within_palette(), "color 2 overflows palette 2");
+        assert!(!bad.valid());
+    }
+
+    #[test]
+    fn model_displays_the_paper_names() {
+        assert_eq!(Model::Congest.to_string(), "CONGEST");
+        assert_eq!(Model::CongestedClique.to_string(), "CONGESTED CLIQUE");
+        assert_eq!(Model::Mpc.to_string(), "MPC");
+    }
+}

@@ -7,10 +7,16 @@ use dcl_par::Backend;
 /// which bandwidth cap the model enforces.
 ///
 /// Every driver config (`CongestColoringConfig`, `DecompColoringConfig`,
-/// `CliqueColoringConfig`, the `mpc_color_*_with` entry points) embeds one
-/// of these instead of ad-hoc `backend`/cap fields, so a bandwidth sweep or
-/// a backend switch is the same one-liner everywhere.
+/// `CliqueColoringConfig`, `DeltaColoringConfig`, the `mpc_color_*_with`
+/// entry points) embeds one of these instead of ad-hoc `backend`/cap
+/// fields, so a bandwidth sweep or a backend switch is the same one-liner
+/// everywhere.
+///
+/// The struct is `#[non_exhaustive]`: build it with [`Default`] plus the
+/// `with_*` setters (`ExecConfig::default().with_backend(...)
+/// .with_cap(...)`), so future knobs are not semver breaks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ExecConfig {
     /// Round-execution backend (results are bit-identical across backends;
     /// only wall-clock changes).
@@ -23,22 +29,26 @@ pub struct ExecConfig {
 }
 
 impl ExecConfig {
-    /// A config selecting `backend` with the model's default cap.
+    /// Selects the round-execution backend (builder style).
     #[must_use]
-    pub fn with_backend(backend: Backend) -> Self {
-        ExecConfig {
-            backend,
-            ..Default::default()
-        }
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
-    /// A config overriding the bandwidth cap on the sequential backend.
+    /// Overrides the bandwidth cap (builder style).
     #[must_use]
-    pub fn with_cap(cap: BandwidthCap) -> Self {
-        ExecConfig {
-            cap: Some(cap),
-            ..Default::default()
-        }
+    pub fn with_cap(mut self, cap: BandwidthCap) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Sets or clears the cap override (builder style); `None` restores the
+    /// model default.
+    #[must_use]
+    pub fn with_cap_opt(mut self, cap: Option<BandwidthCap>) -> Self {
+        self.cap = cap;
+        self
     }
 
     /// The cap to use: the override if set, else `default`.
@@ -63,11 +73,28 @@ mod tests {
     #[test]
     fn builders_set_one_knob_each() {
         assert_eq!(
-            ExecConfig::with_backend(Backend::Parallel(2)).backend,
+            ExecConfig::default()
+                .with_backend(Backend::Parallel(2))
+                .backend,
             Backend::Parallel(2)
         );
-        let exec = ExecConfig::with_cap(BandwidthCap::new(16));
+        let exec = ExecConfig::default().with_cap(BandwidthCap::new(16));
         assert_eq!(exec.cap_or(BandwidthCap::new(99)).bits(), 16);
         assert_eq!(exec.backend, Backend::Sequential);
+        let cleared = exec.with_cap_opt(None);
+        assert_eq!(cleared.cap, None);
+        assert_eq!(
+            exec.with_cap_opt(Some(BandwidthCap::new(7))).cap,
+            Some(BandwidthCap::new(7))
+        );
+    }
+
+    #[test]
+    fn setters_chain_without_clobbering_each_other() {
+        let exec = ExecConfig::default()
+            .with_backend(Backend::Parallel(4))
+            .with_cap(BandwidthCap::new(32));
+        assert_eq!(exec.backend, Backend::Parallel(4));
+        assert_eq!(exec.cap, Some(BandwidthCap::new(32)));
     }
 }

@@ -1,31 +1,32 @@
-//! One problem, three models: color the same conflict graph in CONGEST,
+//! One problem, every model: color the same conflict graph in CONGEST,
 //! CONGESTED CLIQUE and MPC, and compare the round bills.
 //!
 //! The scenario: a scheduler must assign time slots to jobs whose resource
 //! conflicts form a graph (adjacent jobs cannot share a slot). Depending on
 //! the deployment, the computation runs (a) on the conflict network itself
 //! (CONGEST), (b) inside one rack with all-to-all links (CONGESTED CLIQUE),
-//! or (c) on a shared-nothing data-parallel cluster (MPC). The paper gives a
-//! deterministic algorithm for each; this example shows how their costs
-//! diverge on the same input.
+//! or (c) on a shared-nothing data-parallel cluster (MPC). The paper gives
+//! a deterministic algorithm for each; since all of them implement
+//! `runner::Scenario`, the comparison is one loop over scenario objects
+//! instead of four differently-shaped driver calls (that boilerplate now
+//! lives in git history — see `examples/unified_runner.rs` for the sweep
+//! version).
 //!
 //! ```text
 //! cargo run --example datacenter_models --release
 //! ```
 
-use distributed_coloring::clique::coloring::{clique_color, CliqueColoringConfig};
-use distributed_coloring::coloring::congest_coloring::{
-    color_list_instance, CongestColoringConfig,
+use distributed_coloring::graphs::{generators, metrics};
+use distributed_coloring::runner::Scenario;
+use distributed_coloring::scenarios::{
+    CliqueScenario, CongestScenario, MpcLinearScenario, MpcSublinearScenario,
 };
-use distributed_coloring::coloring::instance::ListInstance;
-use distributed_coloring::graphs::{generators, metrics, validation};
-use distributed_coloring::mpc::coloring::{mpc_color_linear, mpc_color_sublinear};
+use distributed_coloring::ExecConfig;
 
 fn main() {
     // Job conflict graph: a ring of dense racks — high local degree, large
     // global diameter (the regime where the models differ most).
     let graph = generators::cluster_chain(10, 9, 0.5, 3);
-    let instance = ListInstance::degree_plus_one(graph.clone());
     println!(
         "conflict graph: n = {}, m = {}, Δ = {}, D = {:?}\n",
         graph.n(),
@@ -34,46 +35,38 @@ fn main() {
         metrics::diameter(&graph)
     );
 
-    // (a) CONGEST: the jobs talk over conflict edges only.
-    let congest = color_list_instance(&instance, &CongestColoringConfig::default());
-    assert!(validation::check_proper(&graph, &congest.colors).is_none());
-    println!(
-        "CONGEST   (Thm 1.1): {:>7} rounds, {} iterations",
-        congest.metrics.rounds, congest.iterations
-    );
+    // (a) jobs talk over conflict edges; (b) one rack, all-to-all links;
+    // (c) few beefy machines; (d) many small machines.
+    let deployments: Vec<(&str, Box<dyn Scenario>)> = vec![
+        ("CONGEST   (Thm 1.1)", Box::new(CongestScenario::default())),
+        ("CLIQUE    (Thm 1.3)", Box::new(CliqueScenario::default())),
+        ("MPC-lin   (Thm 1.4)", Box::new(MpcLinearScenario)),
+        (
+            "MPC-sub   (Thm 1.5)",
+            Box::new(MpcSublinearScenario::new(0.55)),
+        ),
+    ];
 
-    // (b) CONGESTED CLIQUE: all-to-all links make the diameter irrelevant.
-    let clique = clique_color(&instance, &CliqueColoringConfig::default());
-    assert!(validation::check_proper(&graph, &clique.colors).is_none());
-    println!(
-        "CLIQUE    (Thm 1.3): {:>7} rounds, {} iterations, {} jobs finished at the leader",
-        clique.metrics.rounds, clique.iterations, clique.collected_nodes
-    );
-
-    // (c) MPC, linear memory: a few beefy machines.
-    let linear = mpc_color_linear(&instance);
-    assert!(validation::check_proper(&graph, &linear.colors).is_none());
-    println!(
-        "MPC-lin   (Thm 1.4): {:>7} rounds, {} machines x {} words",
-        linear.metrics.rounds, linear.machines, linear.memory_words
-    );
-
-    // (d) MPC, sublinear memory: many small machines.
-    let sublinear = mpc_color_sublinear(&instance, 0.55);
-    assert!(validation::check_proper(&graph, &sublinear.colors).is_none());
-    println!(
-        "MPC-sub   (Thm 1.5): {:>7} rounds, {} machines x {} words ({} finisher iterations)",
-        sublinear.metrics.rounds,
-        sublinear.machines,
-        sublinear.memory_words,
-        sublinear.finisher_iterations
-    );
+    let mut slot_counts = Vec::new();
+    for (label, scenario) in &deployments {
+        let report = scenario
+            .run(&graph, &ExecConfig::default())
+            .expect("the (Δ+1) scenarios are total");
+        assert!(report.valid());
+        let detail = match report.model {
+            distributed_coloring::runner::Model::Mpc => format!(
+                "{} machines x {} words",
+                report.extra("machines").unwrap(),
+                report.extra("memory_words").unwrap()
+            ),
+            _ => format!("{} iterations", report.extra("iterations").unwrap()),
+        };
+        println!("{label}: {:>7} rounds, {detail}", report.metrics.rounds);
+        slot_counts.push(report.colors_used.to_string());
+    }
 
     println!(
-        "\nall four schedules are proper; slot counts: {} / {} / {} / {}",
-        validation::count_colors(&congest.colors),
-        validation::count_colors(&clique.colors),
-        validation::count_colors(&linear.colors),
-        validation::count_colors(&sublinear.colors),
+        "\nall four schedules are proper; slot counts: {}",
+        slot_counts.join(" / ")
     );
 }

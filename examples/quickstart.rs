@@ -1,5 +1,6 @@
 //! Quickstart: deterministically (Δ+1)-color a random graph in the CONGEST
-//! model (Theorem 1.1) and inspect the cost counters.
+//! model (Theorem 1.1) through the unified `Scenario` front door, and
+//! inspect the unified report plus the driver-specific details.
 //!
 //! ```text
 //! cargo run --example quickstart --release
@@ -8,40 +9,50 @@
 use distributed_coloring::coloring::congest_coloring::{
     color_degree_plus_one, CongestColoringConfig,
 };
-use distributed_coloring::graphs::{generators, metrics, validation};
+use distributed_coloring::runner::Scenario;
+use distributed_coloring::scenarios::CongestScenario;
+use distributed_coloring::ExecConfig;
 
 fn main() {
     // A reproducible random graph: 200 nodes, expected degree ≈ 8.
-    let graph = generators::gnp(200, 0.04, 42);
+    let graph = distributed_coloring::graphs::generators::gnp(200, 0.04, 42);
     println!(
         "graph: n = {}, m = {}, Δ = {}, D = {:?}",
         graph.n(),
         graph.m(),
         graph.max_degree(),
-        metrics::diameter(&graph)
+        distributed_coloring::graphs::metrics::diameter(&graph)
     );
 
-    // Run the deterministic CONGEST algorithm on the canonical (Δ+1)
-    // instance (every node's list is {0, …, deg(v)}).
-    let result = color_degree_plus_one(&graph, &CongestColoringConfig::default());
+    // Run the deterministic CONGEST pipeline through the front door: every
+    // scenario takes (graph, ExecConfig) and returns the same Report shape.
+    let report = CongestScenario::default()
+        .run(&graph, &ExecConfig::default())
+        .expect("the (Δ+1) scenarios are total");
 
-    assert!(validation::check_proper(&graph, &result.colors).is_none());
+    assert!(report.valid());
     println!(
-        "colored with {} colors in {} partial-coloring iterations",
-        validation::count_colors(&result.colors),
-        result.iterations
+        "colored with {} colors (palette {}) in {} partial-coloring iterations",
+        report.colors_used,
+        report.palette,
+        report.extra("iterations").unwrap(),
     );
     println!(
         "simulated cost: {} rounds, {} messages, {} bits (max message {} bits)",
-        result.metrics.rounds,
-        result.metrics.messages,
-        result.metrics.bits,
-        result.metrics.max_message_bits
+        report.metrics.rounds,
+        report.metrics.messages,
+        report.metrics.bits,
+        report.metrics.max_message_bits
     );
     println!(
         "Linial input coloring used K = {} colors",
-        result.linial_palette
+        report.extra("linial_palette").unwrap()
     );
+
+    // The underlying entry point stays public for driver-level detail the
+    // unified report intentionally summarizes (per-iteration traces etc.).
+    let result = color_degree_plus_one(&graph, &CongestColoringConfig::default());
+    assert_eq!(result.colors, report.colors, "front door = direct call");
     for (i, outcome) in result.outcomes.iter().enumerate() {
         println!(
             "  iteration {}: {}/{} nodes colored (potential {:.1} -> {:.1})",

@@ -22,8 +22,27 @@
 //! - [`delta`] — the Δ-coloring scenario (Halldórsson–Maus 2024 regime):
 //!   Brooks-bound coloring with typed obstruction errors, built on the same
 //!   runtime and swept by the same bandwidth caps.
+//! - [`runner`] — the one front door: the [`runner::Scenario`] trait every
+//!   pipeline implements, the unified [`runner::Report`]/[`runner::RunError`]
+//!   types, and the declarative [`runner::Runner`] sweep harness. The
+//!   ready-made scenario objects are gathered in [`scenarios`].
 //!
 //! # Quickstart
+//!
+//! Every pipeline is runnable through the same front door:
+//!
+//! ```
+//! use distributed_coloring::graphs::generators;
+//! use distributed_coloring::runner::Scenario;
+//! use distributed_coloring::scenarios::CongestScenario;
+//! use distributed_coloring::ExecConfig;
+//!
+//! let g = generators::gnp(64, 0.1, 42);
+//! let report = CongestScenario::default().run(&g, &ExecConfig::default()).unwrap();
+//! assert!(report.valid(), "proper and within the (Δ+1) palette");
+//! ```
+//!
+//! The underlying entry points stay public — the same run, spelled directly:
 //!
 //! ```
 //! use distributed_coloring::graphs::generators;
@@ -46,5 +65,33 @@ pub use dcl_derand as derand;
 pub use dcl_graphs as graphs;
 pub use dcl_mpc as mpc;
 pub use dcl_par::{Backend, Pool};
+pub use dcl_runner as runner;
 pub use dcl_sim as sim;
 pub use dcl_sim::{BandwidthCap, ExecConfig};
+
+/// The five pipelines as ready-made [`runner::Scenario`] objects, gathered
+/// from their home crates.
+pub mod scenarios {
+    pub use dcl_clique::scenario::CliqueScenario;
+    pub use dcl_coloring::scenario::CongestScenario;
+    pub use dcl_decomp::scenario::DecompScenario;
+    pub use dcl_delta::scenario::DeltaScenario;
+    pub use dcl_mpc::scenario::{MpcLinearScenario, MpcSublinearScenario};
+
+    use crate::runner::Scenario;
+
+    /// Every scenario in the workspace, boxed for uniform iteration —
+    /// CONGEST (Thm 1.1), decomposition (Cor 1.2), CONGESTED CLIQUE
+    /// (Thm 1.3), MPC linear/sublinear (Thms 1.4/1.5, `α = 0.6`), and the
+    /// Δ-coloring scenario (Halldórsson–Maus 2024).
+    pub fn all() -> Vec<Box<dyn Scenario>> {
+        vec![
+            Box::new(CongestScenario::default()),
+            Box::new(DecompScenario::default()),
+            Box::new(CliqueScenario::default()),
+            Box::new(MpcLinearScenario),
+            Box::new(MpcSublinearScenario::default()),
+            Box::new(DeltaScenario::default()),
+        ]
+    }
+}

@@ -1,10 +1,10 @@
-//! Cross-model integration tests: the same instances are solved by every
-//! algorithm in the workspace (CONGEST Theorem 1.1, decomposition-based
-//! Corollary 1.2, CONGESTED CLIQUE Theorem 1.3, MPC Theorems 1.4/1.5, and
-//! the randomized baseline), and all outputs are validated against the
-//! shared reference checkers.
+//! Cross-model integration tests, driven through the unified front door:
+//! the same instances are solved by every [`Scenario`] in the workspace
+//! (CONGEST Theorem 1.1, decomposition-based Corollary 1.2, CONGESTED
+//! CLIQUE Theorem 1.3, MPC Theorems 1.4/1.5, the Δ-coloring scenario) by
+//! iterating `distributed_coloring::scenarios::all()`, and every [`Report`]
+//! is validated against the shared summary plus the reference checkers.
 
-use distributed_coloring::clique::coloring::{clique_color, CliqueColoringConfig};
 use distributed_coloring::coloring::baselines;
 use distributed_coloring::coloring::congest_coloring::{
     color_list_instance, CongestColoringConfig,
@@ -17,7 +17,9 @@ use distributed_coloring::congest::tree::{
 };
 use distributed_coloring::decomp::coloring::{color_via_decomposition, DecompColoringConfig};
 use distributed_coloring::graphs::{generators, validation, Graph};
-use distributed_coloring::mpc::coloring::{mpc_color_linear, mpc_color_sublinear};
+use distributed_coloring::runner::{Report, Scenario};
+use distributed_coloring::scenarios;
+use distributed_coloring::ExecConfig;
 
 fn instances() -> Vec<(String, Graph)> {
     vec![
@@ -38,52 +40,49 @@ fn instances() -> Vec<(String, Graph)> {
     ]
 }
 
+/// The Δ-coloring scenario rejects Brooks obstructions by design; small-Δ
+/// shared instances (the odd ring, the Δ = 2 disconnected graph with a
+/// triangle component) are covered by `dcl_delta`'s own tests.
+fn applicable(scenario: &dyn Scenario, g: &Graph) -> bool {
+    scenario.name() != "delta" || g.max_degree() >= 3
+}
+
+fn run(scenario: &dyn Scenario, name: &str, g: &Graph) -> Report {
+    scenario
+        .run(g, &ExecConfig::default())
+        .unwrap_or_else(|e| panic!("{name}/{}: {e}", scenario.name()))
+}
+
 #[test]
-fn every_model_colors_every_instance_properly() {
+fn every_scenario_colors_every_instance_properly() {
     for (name, g) in instances() {
-        let inst = ListInstance::degree_plus_one(g.clone());
-        let delta = g.max_degree() as u64;
+        let mut ran = 0;
+        for scenario in scenarios::all() {
+            if !applicable(scenario.as_ref(), &g) {
+                continue;
+            }
+            let report = run(scenario.as_ref(), &name, &g);
+            assert_eq!(report.colors.len(), g.n(), "{name}/{}", scenario.name());
+            assert!(report.proper, "{name}/{}", scenario.name());
+            assert!(
+                report.within_palette(),
+                "{name}/{}: colors must stay below the promised palette {}",
+                scenario.name(),
+                report.palette
+            );
+            // The unified summary must agree with the reference checker.
+            assert_eq!(
+                validation::check_proper(&g, &report.colors),
+                None,
+                "{name}/{}",
+                scenario.name()
+            );
+            ran += 1;
+        }
+        assert!(ran >= 5, "{name}: at least the five (Δ+1) pipelines ran");
 
-        let congest = color_list_instance(&inst, &CongestColoringConfig::default());
-        assert_eq!(
-            validation::check_proper(&g, &congest.colors),
-            None,
-            "{name}/congest"
-        );
-        assert!(
-            congest.colors.iter().all(|&c| c <= delta),
-            "{name}/congest palette"
-        );
-
-        let decomp = color_via_decomposition(&inst, &DecompColoringConfig::default());
-        assert_eq!(
-            validation::check_proper(&g, &decomp.colors),
-            None,
-            "{name}/decomp"
-        );
-
-        let clique = clique_color(&inst, &CliqueColoringConfig::default());
-        assert_eq!(
-            validation::check_proper(&g, &clique.colors),
-            None,
-            "{name}/clique"
-        );
-
-        let linear = mpc_color_linear(&inst);
-        assert_eq!(
-            validation::check_proper(&g, &linear.colors),
-            None,
-            "{name}/mpc-linear"
-        );
-
-        let sublinear = mpc_color_sublinear(&inst, 0.6);
-        assert_eq!(
-            validation::check_proper(&g, &sublinear.colors),
-            None,
-            "{name}/mpc-sublinear"
-        );
-
-        let random = baselines::johansson(&inst, 5);
+        // The randomized baseline is a comparison oracle, not a scenario.
+        let random = baselines::johansson(&ListInstance::degree_plus_one(g.clone()), 5);
         assert_eq!(
             validation::check_proper(&g, &random.colors),
             None,
@@ -92,8 +91,36 @@ fn every_model_colors_every_instance_properly() {
     }
 }
 
+/// The Δ-coloring scenario promises one color fewer than the `(Δ+1)`
+/// scenarios on every applicable instance — visible directly in the
+/// unified report palettes.
+#[test]
+fn delta_scenario_saves_a_color_on_shared_instances() {
+    let congest = scenarios::CongestScenario::default();
+    let delta = scenarios::DeltaScenario::default();
+    let mut checked = 0;
+    for (name, g) in instances() {
+        if !applicable(&delta, &g) {
+            continue;
+        }
+        let d = run(&delta, &name, &g);
+        let c = run(&congest, &name, &g);
+        assert_eq!(d.palette, g.max_degree() as u64, "{name}");
+        assert_eq!(c.palette, g.max_degree() as u64 + 1, "{name}");
+        assert!(d.valid(), "{name}/delta");
+        assert!(c.valid(), "{name}/congest");
+        checked += 1;
+    }
+    assert!(checked >= 5, "most shared instances have Δ ≥ 3");
+}
+
 #[test]
 fn all_models_respect_shared_custom_lists() {
+    // Custom list instances sit below the Scenario surface (scenarios run
+    // the canonical degree+1 instance); the underlying entry points stay
+    // public precisely for this.
+    use distributed_coloring::clique::coloring::{clique_color, CliqueColoringConfig};
+    use distributed_coloring::mpc::coloring::{mpc_color_linear, mpc_color_sublinear};
     let g = generators::gnp(30, 0.15, 9);
     // Lists with gaps, shared across all models.
     let lists: Vec<Vec<u64>> = g
@@ -132,37 +159,23 @@ fn all_models_respect_shared_custom_lists() {
 }
 
 #[test]
-fn deterministic_models_are_reproducible() {
+fn deterministic_scenarios_are_reproducible() {
     let g = generators::gnp(26, 0.2, 17);
-    let inst = ListInstance::degree_plus_one(g);
-    assert_eq!(
-        color_list_instance(&inst, &CongestColoringConfig::default()).colors,
-        color_list_instance(&inst, &CongestColoringConfig::default()).colors
-    );
-    assert_eq!(
-        color_via_decomposition(&inst, &DecompColoringConfig::default()).colors,
-        color_via_decomposition(&inst, &DecompColoringConfig::default()).colors
-    );
-    assert_eq!(
-        clique_color(&inst, &CliqueColoringConfig::default()).colors,
-        clique_color(&inst, &CliqueColoringConfig::default()).colors
-    );
-    assert_eq!(
-        mpc_color_linear(&inst).colors,
-        mpc_color_linear(&inst).colors
-    );
-    assert_eq!(
-        mpc_color_sublinear(&inst, 0.5).colors,
-        mpc_color_sublinear(&inst, 0.5).colors
-    );
+    for scenario in scenarios::all() {
+        if !applicable(scenario.as_ref(), &g) {
+            continue;
+        }
+        let a = run(scenario.as_ref(), "gnp(26,0.2)", &g);
+        let b = run(scenario.as_ref(), "gnp(26,0.2)", &g);
+        assert_eq!(a, b, "{}: report must be bit-identical", scenario.name());
+    }
 }
 
 #[test]
 fn clique_beats_congest_on_high_diameter() {
     let g = generators::ring(64);
-    let inst = ListInstance::degree_plus_one(g);
-    let congest = color_list_instance(&inst, &CongestColoringConfig::default());
-    let clique = clique_color(&inst, &CliqueColoringConfig::default());
+    let congest = run(&scenarios::CongestScenario::default(), "ring(64)", &g);
+    let clique = run(&scenarios::CliqueScenario::default(), "ring(64)", &g);
     assert!(
         clique.metrics.rounds * 4 < congest.metrics.rounds,
         "clique {} vs congest {}",
@@ -175,7 +188,7 @@ fn clique_beats_congest_on_high_diameter() {
 /// collectives must still cost exactly what their stepped (round-by-round)
 /// ground-truth twins cost — results, rounds, messages and bits — at the
 /// default bandwidth cap *and* at swept caps where payloads fragment
-/// (`DESIGN.md` §2.3).
+/// (`DESIGN.md` §2.4).
 #[test]
 fn charged_tree_aggregation_costs_equal_stepped_costs() {
     for cap_bits in [128u32, 7] {
@@ -224,42 +237,6 @@ fn default_bandwidth_cap_formula_matches_design() {
     assert_eq!(BandwidthCap::default_for(8, u64::MAX).bits(), 128);
     let g = generators::path(4);
     assert_eq!(Network::with_default_cap(&g, 100).cap_bits(), 128);
-}
-
-/// The Δ-coloring scenario, run on the same instances as the Δ+1 models:
-/// every non-obstruction instance with Δ ≥ 3 must come back proper with one
-/// color fewer than the Theorem 1.1 palette bound.
-#[test]
-fn delta_scenario_saves_a_color_on_shared_instances() {
-    use distributed_coloring::delta::{delta_color, DeltaColoringConfig};
-    let mut checked = 0;
-    for (name, g) in instances() {
-        if g.max_degree() < 3 {
-            continue; // Δ ≤ 2 instances are covered by dcl_delta's own tests
-        }
-        let delta = g.max_degree() as u64;
-        let result = delta_color(&g, &DeltaColoringConfig::default())
-            .unwrap_or_else(|e| panic!("{name}: unexpected obstruction: {e}"));
-        assert_eq!(
-            validation::check_proper(&g, &result.colors),
-            None,
-            "{name}/delta"
-        );
-        assert!(
-            result.colors.iter().all(|&c| c < delta),
-            "{name}/delta palette must stay below Δ = {delta}"
-        );
-        let congest = color_list_instance(
-            &ListInstance::degree_plus_one(g.clone()),
-            &CongestColoringConfig::default(),
-        );
-        assert!(
-            congest.colors.iter().all(|&c| c <= delta),
-            "{name}: Theorem 1.1 must stay within its Δ+1 palette"
-        );
-        checked += 1;
-    }
-    assert!(checked >= 5, "most shared instances have Δ ≥ 3");
 }
 
 #[test]

@@ -98,3 +98,63 @@ fn mpc_reexport_colors_in_both_memory_regimes() {
     let sublinear = mpc_color_sublinear(&inst, 0.6);
     assert!(validation::check_proper(inst.graph(), &sublinear.colors).is_none());
 }
+
+#[test]
+fn runner_reexport_sweeps_a_scenario() {
+    use distributed_coloring::runner::{CapSpec, GraphSpec, Runner, Scenario};
+    use distributed_coloring::scenarios::{self, CongestScenario};
+    use distributed_coloring::ExecConfig;
+
+    // The one-call path.
+    let g = generators::gnp(32, 0.15, 11);
+    let report = CongestScenario::default()
+        .run(&g, &ExecConfig::default())
+        .unwrap();
+    assert!(report.valid());
+    assert!(report.metrics.rounds > 0, "work must be metered");
+
+    // The declarative sweep path.
+    let sweep = Runner::new(&CongestScenario::default())
+        .graph(GraphSpec::ring(16))
+        .caps(CapSpec::log_n_sweep())
+        .run();
+    assert_eq!(sweep.cells.len(), 4);
+    assert!(sweep.cells.iter().all(|c| c.report().valid()));
+
+    // The registry covers all five pipelines (six scenario objects).
+    let all = scenarios::all();
+    assert_eq!(all.len(), 6);
+    let names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "congest",
+            "decomp",
+            "clique",
+            "mpc-linear",
+            "mpc-sublinear",
+            "delta"
+        ]
+    );
+}
+
+#[test]
+fn runner_reexport_types_errors_losslessly() {
+    use distributed_coloring::delta::DeltaError;
+    use distributed_coloring::runner::{RunError, Scenario};
+    use distributed_coloring::scenarios::DeltaScenario;
+    use distributed_coloring::ExecConfig;
+
+    let k4 = generators::complete(4);
+    let err = DeltaScenario::default()
+        .run(&k4, &ExecConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, RunError::Rejected { .. }));
+    assert!(matches!(
+        err.rejection::<DeltaError>(),
+        Some(DeltaError::CliqueObstruction { size: 4, .. })
+    ));
+    // RunError is a std error with a preserved source chain.
+    let std_err: &dyn std::error::Error = &err;
+    assert!(std_err.source().is_some());
+}

@@ -1,0 +1,95 @@
+//! Property test for the declarative sweep harness: a `Runner` sweep is
+//! pure plumbing, so its per-cell output must be bit-identical to calling
+//! the underlying entry point directly with the same `ExecConfig` at every
+//! (graph, cap, backend) cell.
+
+use distributed_coloring::coloring::congest_coloring::{
+    color_list_instance, CongestColoringConfig,
+};
+use distributed_coloring::coloring::instance::ListInstance;
+use distributed_coloring::delta::{delta_color, DeltaColoringConfig};
+use distributed_coloring::graphs::{generators, Graph};
+use distributed_coloring::runner::{CapSpec, GraphSpec, Runner, Sweep};
+use distributed_coloring::scenarios::{CongestScenario, DeltaScenario};
+use distributed_coloring::{Backend, ExecConfig};
+use proptest::prelude::*;
+
+/// The swept grid: both cap regimes (model default and the tightest
+/// `⌈log₂ n⌉` point) on both backends.
+fn sweep_grid(scenario: &dyn distributed_coloring::runner::Scenario, graph: &Graph) -> Sweep {
+    Runner::new(scenario)
+        .graph(GraphSpec::new("instance", graph.clone()))
+        .caps([CapSpec::ModelDefault, CapSpec::LogN(1)])
+        .backends([Backend::Sequential, Backend::Parallel(3)])
+        .run()
+}
+
+/// Rebuilds the exact `ExecConfig` the runner constructed for a cell.
+fn cell_exec(cell: &distributed_coloring::runner::Cell) -> ExecConfig {
+    let exec = ExecConfig::default().with_backend(cell.backend);
+    match cell.cap_bits {
+        Some(bits) => exec.with_cap(distributed_coloring::BandwidthCap::new(bits)),
+        None => exec,
+    }
+}
+
+proptest! {
+    /// CONGEST scenario cells ≡ `color_list_instance` at every cell.
+    #[test]
+    fn congest_sweep_cells_match_direct_calls(
+        n in 4usize..36,
+        p in 0.05f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let sweep = sweep_grid(&CongestScenario::default(), &g);
+        prop_assert_eq!(sweep.cells.len(), 4);
+        for cell in &sweep.cells {
+            let report = cell.report();
+            let direct = color_list_instance(
+                &ListInstance::degree_plus_one(g.clone()),
+                &CongestColoringConfig::default().with_exec(cell_exec(cell)),
+            );
+            prop_assert_eq!(&report.colors, &direct.colors, "cell {:?}", (cell.cap, cell.backend));
+            prop_assert_eq!(report.metrics, direct.metrics, "cell {:?}", (cell.cap, cell.backend));
+            prop_assert_eq!(report.extra("iterations"), Some(direct.iterations as u64));
+        }
+    }
+
+    /// Δ-coloring scenario cells ≡ `delta_color` at every cell (including
+    /// the typed rejection on obstruction inputs).
+    #[test]
+    fn delta_sweep_cells_match_direct_calls(
+        n in 12usize..36,
+        d in 3usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::random_regular(n, d, seed);
+        prop_assume!(g.max_degree() >= 3);
+        let sweep = sweep_grid(&DeltaScenario::default(), &g);
+        for cell in &sweep.cells {
+            let direct = delta_color(
+                &g,
+                &DeltaColoringConfig::default().with_exec(cell_exec(cell)),
+            );
+            match (&cell.outcome, direct) {
+                (Ok(report), Ok(direct)) => {
+                    prop_assert_eq!(&report.colors, &direct.colors);
+                    prop_assert_eq!(report.metrics, direct.metrics);
+                    prop_assert_eq!(report.palette, direct.palette);
+                }
+                (Err(err), Err(direct)) => {
+                    let rejection = err
+                        .rejection::<distributed_coloring::delta::DeltaError>()
+                        .expect("delta rejections preserve the typed error");
+                    prop_assert_eq!(rejection, &direct);
+                }
+                (cell_outcome, direct) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "sweep and direct outcomes disagree: {cell_outcome:?} vs {direct:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests for `run_protected`: drive the *real* simulator
+//! assertions (not hand-copied message strings) through the panic shield
+//! and check they classify as the contract of `DESIGN.md` §2.3 promises —
+//! model-budget violations become `RunError::Budget`, progress-bug safety
+//! nets become `RunError::Panic`. This pins the substring classifier in
+//! `dcl_runner::error` to the actual assertion wording in `dcl_sim` /
+//! `dcl_mpc` / the drivers: rewording an assert over there fails here.
+
+use distributed_coloring::congest::network::Network;
+use distributed_coloring::graphs::{generators, Graph};
+use distributed_coloring::mpc::Mpc;
+use distributed_coloring::runner::{run_protected, Model, Report, RunError, Scenario};
+use distributed_coloring::scenarios::CongestScenario;
+use distributed_coloring::ExecConfig;
+
+/// Sends one message far over the strict CONGEST cap — the real
+/// `SimMetrics::account` assertion fires.
+struct OversizedSend;
+
+impl Scenario for OversizedSend {
+    fn name(&self) -> &str {
+        "oversized-send"
+    }
+    fn model(&self) -> Model {
+        Model::Congest
+    }
+    fn run(&self, g: &Graph, _: &ExecConfig) -> Result<Report, RunError> {
+        // A u64 payload is 64 bits > the 8-bit cap: the strict
+        // (non-fragmented) round panics with the model's cap assertion.
+        let mut net = Network::new(g, 8);
+        let _ = net.round(|v| {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| (u, u64::MAX))
+                .collect::<Vec<_>>()
+        });
+        unreachable!("the cap assertion fires first");
+    }
+}
+
+/// Declares more resident storage than the MPC memory bound allows — the
+/// real `Mpc::assert_storage` assertion fires.
+struct MemoryOverflow;
+
+impl Scenario for MemoryOverflow {
+    fn name(&self) -> &str {
+        "memory-overflow"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn run(&self, _: &Graph, _: &ExecConfig) -> Result<Report, RunError> {
+        let mut mpc = Mpc::new(2, 10);
+        mpc.assert_storage(0, 10_000);
+        unreachable!("the storage assertion fires first");
+    }
+}
+
+/// Exceeds the per-machine send budget of a real `Mpc::round`.
+struct SendBudgetOverflow;
+
+impl Scenario for SendBudgetOverflow {
+    fn name(&self) -> &str {
+        "send-budget-overflow"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn run(&self, _: &Graph, _: &ExecConfig) -> Result<Report, RunError> {
+        let mut mpc = Mpc::new(2, 4); // budget = slack 4 × 4 words = 16
+        let _ = mpc.round(|machine| {
+            if machine == 0 {
+                (0..100u64).map(|x| (1usize, x)).collect()
+            } else {
+                Vec::new()
+            }
+        });
+        unreachable!("the send-budget assertion fires first");
+    }
+}
+
+fn ring() -> Graph {
+    generators::ring(8)
+}
+
+#[test]
+fn real_cap_violation_classifies_as_budget() {
+    let err = run_protected(&OversizedSend, &ring(), &ExecConfig::default()).unwrap_err();
+    match err {
+        RunError::Budget { model, message } => {
+            assert_eq!(model, Model::Congest);
+            assert!(message.contains("cap"), "{message}");
+        }
+        other => panic!("expected Budget, got {other:?}"),
+    }
+}
+
+#[test]
+fn real_mpc_memory_violation_classifies_as_budget() {
+    let err = run_protected(&MemoryOverflow, &ring(), &ExecConfig::default()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RunError::Budget {
+                model: Model::Mpc,
+                ..
+            }
+        ),
+        "expected Budget, got {err:?}"
+    );
+}
+
+#[test]
+fn real_mpc_send_budget_violation_classifies_as_budget() {
+    let err = run_protected(&SendBudgetOverflow, &ring(), &ExecConfig::default()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RunError::Budget {
+                model: Model::Mpc,
+                ..
+            }
+        ),
+        "expected Budget, got {err:?}"
+    );
+}
+
+/// A real driver progress-cap panic (Theorem 1.1 with an impossible
+/// iteration budget) must classify as `Panic`, not `Budget`.
+#[test]
+fn real_iteration_cap_panic_classifies_as_panic() {
+    let scenario = CongestScenario::with_config(
+        distributed_coloring::coloring::CongestColoringConfig::default()
+            .with_max_iterations(Some(0)),
+    );
+    let err = run_protected(&scenario, &ring(), &ExecConfig::default()).unwrap_err();
+    match err {
+        RunError::Panic { scenario, message } => {
+            assert_eq!(scenario, "congest");
+            assert!(message.contains("iteration cap"), "{message}");
+        }
+        other => panic!("expected Panic, got {other:?}"),
+    }
+}
+
+/// The shield is transparent for successful runs: same report as a direct
+/// call.
+#[test]
+fn run_protected_is_transparent_on_success() {
+    let g = ring();
+    let scenario = CongestScenario::default();
+    let shielded = run_protected(&scenario, &g, &ExecConfig::default()).unwrap();
+    let direct = scenario.run(&g, &ExecConfig::default()).unwrap();
+    assert_eq!(shielded, direct);
+}

@@ -57,10 +57,9 @@ fn scale_coloring_completes_on_100k_expander() {
     let g = generators::expander(SCALE_N, 8, 1);
     let par = color_degree_plus_one(
         &g,
-        &CongestColoringConfig {
-            exec: distributed_coloring::sim::ExecConfig::with_backend(Backend::Parallel(0)),
-            ..Default::default()
-        },
+        &CongestColoringConfig::default().with_exec(
+            distributed_coloring::sim::ExecConfig::default().with_backend(Backend::Parallel(0)),
+        ),
     );
     assert_eq!(validation::check_proper(&g, &par.colors), None);
     // (Δ+1)-coloring: palette ≤ 9.
