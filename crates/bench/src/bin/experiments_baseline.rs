@@ -1,4 +1,4 @@
-//! Records the experiment tables (E1–E13) to a machine-readable committed
+//! Records the experiment tables (E1–E14) to a machine-readable committed
 //! baseline, `BENCH_experiments.json`, with the same machine-profile header
 //! as `BENCH_scale.json` — so a future profile (e.g. a multi-core runner)
 //! can be diffed row by row against the committed one.

@@ -1,6 +1,6 @@
-//! Experiment harness: workloads and the experiment implementations (E1–E13
+//! Experiment harness: workloads and the experiment implementations (E1–E14
 //! of `DESIGN.md` §4, including the E12/E13 bandwidth sweeps enabled by
-//! `dcl_sim::ExecConfig`).
+//! `dcl_sim::ExecConfig` and the E14 transport-tier overhead table).
 //!
 //! The paper is a theory paper without an empirical section, so every
 //! quantitative claim (potential invariants, progress guarantees, round
@@ -680,6 +680,100 @@ pub fn e13_delta_coloring() -> Table {
     t
 }
 
+/// E14 — transport-tier overhead: the identical CONGEST conversation
+/// shipped through each transport tier (in-memory reference, channel
+/// matrix, real localhost sockets). Model observables — inboxes, rounds,
+/// messages, bits — are bit-identical per the determinism contract
+/// (`DESIGN.md` §7); what varies is the physical layer the byte tiers
+/// meter: frames, payload bytes, wire bytes (headers plus the socket
+/// tier's handshakes and end-of-round markers), and MTU-sized packets at
+/// the model cap.
+pub fn e14_transport_overhead() -> Table {
+    use dcl_sim::TransportSpec;
+
+    let mut t = Table::new(
+        "E14 (transport tier): byte overhead per tier -- identical model observables",
+        &[
+            "graph",
+            "transport",
+            "rounds",
+            "messages",
+            "model_bits",
+            "frames",
+            "payload_bytes",
+            "wire_bytes",
+            "packets",
+            "matches_local",
+        ],
+    );
+
+    /// Per-round inboxes of one scripted conversation.
+    type History = Vec<Vec<Vec<(usize, u64)>>>;
+
+    /// Three unicast rounds plus one broadcast over `spec`, returning every
+    /// inbox plus the accumulated metrics and byte-level statistics.
+    fn conversation(
+        g: &Graph,
+        spec: dcl_sim::TransportSpec,
+    ) -> (
+        History,
+        dcl_congest::Metrics,
+        Option<dcl_sim::TransportStats>,
+    ) {
+        let exec = dcl_sim::ExecConfig::default().with_transport(spec);
+        let mut net = Network::from_exec(g, 100, &exec);
+        let mut history = Vec::new();
+        for r in 0..3u64 {
+            history.push(net.round(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .filter(|&&u| !(v as u64 + u as u64 + r).is_multiple_of(3))
+                    .map(|&u| (u, (v as u64 * 131 + u as u64 + r) % 97))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        history.push(net.broadcast_round(|v| (v % 4 != 0).then_some(v as u64)));
+        (history, net.metrics(), net.transport_stats().copied())
+    }
+
+    for (label, g) in [
+        ("regular(96,6)", generators::random_regular(96, 6, 5)),
+        ("expander(64,4)", generators::expander(64, 4, 1)),
+    ] {
+        let (ref_history, ref_metrics, ref_stats) = conversation(&g, TransportSpec::Local);
+        assert!(ref_stats.is_none(), "the local tier has no byte layer");
+        for spec in TransportSpec::all() {
+            let (history, metrics, stats) = conversation(&g, spec);
+            let matches_local = history == ref_history && metrics == ref_metrics;
+            let (frames, payload_bytes, wire_bytes, packets) = match stats {
+                Some(s) => (
+                    s.frames.to_string(),
+                    s.payload_bytes.to_string(),
+                    s.wire_bytes.to_string(),
+                    s.packets.to_string(),
+                ),
+                None => {
+                    let dash = || "-".to_string();
+                    (dash(), dash(), dash(), dash())
+                }
+            };
+            t.row(vec![
+                label.to_string(),
+                spec.to_string(),
+                metrics.rounds.to_string(),
+                metrics.messages.to_string(),
+                metrics.bits.to_string(),
+                frames,
+                payload_bytes,
+                wire_bytes,
+                packets,
+                matches_local.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// E11 — Section 5 toolbox: constant-round sort/prefix/set-difference.
 pub fn e11_mpc_tools() -> Table {
     use dcl_mpc::machine::Mpc;
@@ -733,7 +827,7 @@ pub fn e11_mpc_tools() -> Table {
 /// One registered experiment: the id every tool addresses it by (matching
 /// the `"id"` field of `BENCH_experiments.json`) and its table function.
 pub struct ExperimentDef {
-    /// Stable experiment id (`"E1"` … `"E13"`, with `"E4b"`).
+    /// Stable experiment id (`"E1"` … `"E14"`, with `"E4b"`).
     pub id: &'static str,
     /// Runs the experiment and returns its table.
     pub run: fn() -> Table,
@@ -801,6 +895,10 @@ pub fn experiment_defs() -> Vec<ExperimentDef> {
             id: "E13",
             run: e13_delta_coloring,
         },
+        ExperimentDef {
+            id: "E14",
+            run: e14_transport_overhead,
+        },
     ]
 }
 
@@ -827,7 +925,7 @@ mod tests {
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E4b", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-                "E13"
+                "E13", "E14"
             ]
         );
         // The baseline JSON derives each id from the table title's leading

@@ -15,7 +15,10 @@
 
 use dcl_par::{Backend, Pool};
 use dcl_sim::wire::Wire;
-use dcl_sim::{AllPairsTopology, BandwidthCap, RoundEngine, SendPolicy, Topology};
+use dcl_sim::{
+    AllPairsTopology, BandwidthCap, RoundEngine, SendPolicy, Topology, TransportSpec,
+    TransportStats,
+};
 
 /// Cost counters of a [`CliqueNetwork`] (the shared
 /// [`dcl_sim::SimMetrics`]).
@@ -79,10 +82,12 @@ impl CliqueNetwork {
     }
 
     /// Creates a clique from an [`dcl_sim::ExecConfig`]: the config's cap
-    /// override if set, else the two-word default; the config's backend.
+    /// override if set, else the two-word default; the config's backend and
+    /// transport tier.
     pub fn from_exec(n: usize, exec: &dcl_sim::ExecConfig) -> Self {
         let mut net = CliqueNetwork::with_cap(n, exec.cap_or(BandwidthCap::two_words()));
         net.set_backend(exec.backend);
+        net.set_transport(exec.transport);
         net
     }
 
@@ -95,6 +100,26 @@ impl CliqueNetwork {
     /// The active round-execution backend.
     pub fn backend(&self) -> Backend {
         self.engine.backend()
+    }
+
+    /// Switches the transport tier carrying [`CliqueNetwork::round`].
+    /// Results are bit-identical across tiers; only the physical layer —
+    /// metered by [`CliqueNetwork::transport_stats`] — changes. Charged
+    /// collectives ([`CliqueNetwork::lenzen_route`]) deliver centrally on
+    /// every tier: they are cost-model shortcuts, not stepped rounds.
+    pub fn set_transport(&mut self, transport: TransportSpec) {
+        self.engine.set_transport(transport);
+    }
+
+    /// The active transport tier.
+    pub fn transport(&self) -> TransportSpec {
+        self.engine.transport_spec()
+    }
+
+    /// Physical-layer counters of the built transport (`None` on the
+    /// in-memory reference tier, which never serializes).
+    pub fn transport_stats(&self) -> Option<&TransportStats> {
+        self.engine.transport_stats()
     }
 
     /// The worker pool of a parallel backend (`None` under
@@ -293,6 +318,35 @@ mod tests {
         let msgs = vec![(0, 1, 1u32), (0, 1, 2u32), (0, 2, 3u32)];
         let inboxes = net.lenzen_route(msgs);
         assert_eq!(inboxes[1].len(), 2);
+    }
+
+    #[test]
+    fn byte_transports_match_the_local_reference_bit_for_bit() {
+        let sender = |v: usize| -> Vec<(usize, u64)> {
+            (0..16usize)
+                .filter(|&u| u != v && (u + v).is_multiple_of(3))
+                .map(|u| (u, (v * 100 + u) as u64))
+                .collect()
+        };
+        let mut reference = CliqueNetwork::with_default_cap(16);
+        let rounds_ref = [reference.round(sender), reference.round(sender)];
+        for transport in [TransportSpec::Channel, TransportSpec::Tcp] {
+            let exec = dcl_sim::ExecConfig::default().with_transport(transport);
+            let mut net = CliqueNetwork::from_exec(16, &exec);
+            assert_eq!(net.transport(), transport);
+            assert_eq!(rounds_ref[0], net.round(sender), "{transport}");
+            assert_eq!(rounds_ref[1], net.round(sender), "{transport}");
+            assert_eq!(reference.metrics(), net.metrics(), "{transport}");
+            // Lenzen routing is a charged collective: central delivery, no
+            // transport frames.
+            let frames_before = net.transport_stats().map_or(0, |s| s.frames);
+            let _ = net.lenzen_route(vec![(0, 1, 5u32), (3, 2, 6u32)]);
+            assert_eq!(
+                net.transport_stats().map_or(0, |s| s.frames),
+                frames_before,
+                "{transport}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! The Theorem 1.3 pipeline as a [`dcl_runner::Scenario`].
 //!
 //! Thin adapter over [`clique_color`] (which stays public).
+//!
+//! The full `ExecConfig` is honored, transport tier included: the stepped
+//! clique rounds ship through the selected tier while the Lenzen-routed
+//! collectives stay centrally delivered cost-model shortcuts on every tier
+//! (`DESIGN.md` §7), so the `Report` is bit-identical across
+//! `TransportSpec`s (pinned by `tests/transport_oracle.rs`).
 
 use crate::coloring::{clique_color, CliqueColoringConfig};
 use dcl_coloring::instance::ListInstance;

@@ -9,7 +9,10 @@
 use crate::wire::Wire;
 use dcl_graphs::{Graph, NodeId};
 use dcl_par::{Backend, Pool};
-use dcl_sim::{BandwidthCap, ExecConfig, NeighborTopology, RoundEngine, SendPolicy};
+use dcl_sim::{
+    BandwidthCap, ExecConfig, NeighborTopology, RoundEngine, SendPolicy, TransportSpec,
+    TransportStats,
+};
 
 /// Cost counters accumulated by a [`Network`] (the shared
 /// [`dcl_sim::SimMetrics`]).
@@ -86,11 +89,13 @@ impl<'g> Network<'g> {
     }
 
     /// Creates a network from an [`ExecConfig`]: the config's cap override
-    /// if set, else the default cap for `color_space`; the config's backend.
+    /// if set, else the default cap for `color_space`; the config's backend
+    /// and transport tier.
     pub fn from_exec(graph: &'g Graph, color_space: u64, exec: &ExecConfig) -> Self {
         let cap = exec.cap_or(BandwidthCap::default_for(graph.n(), color_space));
         let mut net = Network::with_cap(graph, cap);
         net.set_backend(exec.backend);
+        net.set_transport(exec.transport);
         net
     }
 
@@ -103,6 +108,33 @@ impl<'g> Network<'g> {
     /// The active round-execution backend.
     pub fn backend(&self) -> Backend {
         self.engine.backend()
+    }
+
+    /// Switches the transport tier carrying the rounds. Results (inboxes,
+    /// metrics, intentional panics) are bit-identical across tiers; only
+    /// the physical layer — metered by [`Network::transport_stats`] —
+    /// changes.
+    pub fn set_transport(&mut self, transport: TransportSpec) {
+        self.engine.set_transport(transport);
+    }
+
+    /// The active transport tier.
+    pub fn transport(&self) -> TransportSpec {
+        self.engine.transport_spec()
+    }
+
+    /// Physical-layer counters of the built transport (`None` on the
+    /// in-memory reference tier, which never serializes).
+    pub fn transport_stats(&self) -> Option<&TransportStats> {
+        self.engine.transport_stats()
+    }
+
+    /// Fault injection for tests: tears down transport endpoint `v`, so
+    /// subsequent rounds touching `v` raise a typed
+    /// [`dcl_sim::TransportError`]. No-op on the in-memory reference tier.
+    pub fn close_transport_endpoint(&mut self, v: usize) {
+        let n = self.topo.graph().n();
+        self.engine.close_transport_endpoint(n, v);
     }
 
     /// The worker pool of a parallel backend (`None` under
@@ -479,6 +511,33 @@ mod tests {
         assert_eq!(net.backend(), Backend::Parallel(2));
         net.set_backend(Backend::Sequential);
         assert_eq!(net.backend(), Backend::Sequential);
+    }
+
+    #[test]
+    fn byte_transports_match_the_local_reference_bit_for_bit() {
+        let g = generators::gnp(24, 0.3, 9);
+        let sender = |v: NodeId| -> Vec<(NodeId, u64)> {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| (u, (v * 1000 + u) as u64))
+                .collect()
+        };
+        let mut reference = Network::from_exec(&g, 25, &ExecConfig::default());
+        let rounds_ref = [reference.round(sender), reference.round(sender)];
+        let broadcast_ref = reference.broadcast_round(|v| (v % 3 == 0).then_some(v as u32));
+        for transport in [TransportSpec::Channel, TransportSpec::Tcp] {
+            let exec = ExecConfig::default().with_transport(transport);
+            let mut net = Network::from_exec(&g, 25, &exec);
+            assert_eq!(net.transport(), transport);
+            assert_eq!(rounds_ref[0], net.round(sender), "{transport}");
+            assert_eq!(rounds_ref[1], net.round(sender), "{transport}");
+            let b = net.broadcast_round(|v| (v % 3 == 0).then_some(v as u32));
+            assert_eq!(broadcast_ref, b, "{transport}");
+            assert_eq!(reference.metrics(), net.metrics(), "{transport}");
+            let stats = net.transport_stats().expect("byte tiers meter traffic");
+            assert_eq!(stats.frames, reference.metrics().messages, "{transport}");
+        }
+        assert!(reference.transport_stats().is_none());
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! scenario colors the canonical `(degree+1)` instance of the input graph
 //! under the `ExecConfig` handed in by the runner. Custom list instances
 //! keep using the underlying entry point directly.
+//!
+//! The full `ExecConfig` is honored, transport tier included: the same
+//! cell re-run on `TransportSpec::Channel` or `TransportSpec::Tcp` ships
+//! its rounds through real byte streams and still produces a bit-identical
+//! `Report` (pinned by `tests/transport_oracle.rs` at the workspace root).
 
 use crate::congest_coloring::{color_list_instance, CongestColoringConfig};
 use crate::instance::ListInstance;

@@ -4,6 +4,12 @@
 //! obstructions come back as [`dcl_runner::RunError::Rejected`] with the
 //! original [`DeltaError`](crate::DeltaError) preserved —
 //! `err.rejection::<DeltaError>()` recovers it losslessly.
+//!
+//! The full `ExecConfig` is honored, transport tier included: the same
+//! cell re-run on `TransportSpec::Channel` or `TransportSpec::Tcp` ships
+//! its rounds through real byte streams and still produces a bit-identical
+//! outcome — typed rejections included (pinned by
+//! `tests/transport_oracle.rs` at the workspace root).
 
 use crate::coloring::{delta_color, DeltaColoringConfig};
 

@@ -220,7 +220,7 @@ pub fn mpc_color_linear_with(
     let s = (4 * n).max(8 * (delta + 2)).max(64);
     let total = instance_words(instance, &vec![true; n]);
     let machines = total.div_ceil(s).max(1) + 1;
-    let mut mpc = Mpc::with_backend(machines, s, exec.backend);
+    let mut mpc = Mpc::from_exec(machines, s, exec);
 
     // Owner assignment: first-fit by node-record size.
     let mut owner = vec![0usize; n];
@@ -342,7 +342,7 @@ pub fn mpc_color_sublinear_with(
     let s = ((n.max(2) as f64).powf(alpha).ceil() as usize).max(16);
     let total = instance_words(instance, &vec![true; n]).max(1);
     let machines = total.div_ceil(s).max(2);
-    let mut mpc = Mpc::with_backend(machines, s, exec.backend);
+    let mut mpc = Mpc::from_exec(machines, s, exec);
     let tree_fanout = ((s as f64).sqrt().floor() as usize).max(2);
     let tree_depth = ((machines as f64).ln() / (tree_fanout as f64).ln())
         .ceil()

@@ -14,9 +14,16 @@
 //! thread, since receive budgets couple different senders.
 
 use dcl_par::{Backend, Pool};
-use dcl_sim::{MachineTopology, RoundEngine, SimMetrics, Topology};
+use dcl_sim::{
+    ExecConfig, MachineTopology, RoundEngine, SendPolicy, SimMetrics, Topology, TransportSpec,
+    TransportStats, Wire,
+};
 
 /// Word size of message payloads.
+///
+/// Every MPC payload is also [`Wire`] (all the impls below have blanket
+/// `Wire` coverage in `dcl_sim`), which is what lets [`Mpc::round`] ship
+/// over the byte transports of the transport tier.
 pub trait WordSized {
     /// Number of machine words the value occupies.
     fn words(&self) -> usize;
@@ -142,6 +149,16 @@ impl Mpc {
         mpc
     }
 
+    /// Creates a cluster from an [`ExecConfig`]: the config's backend and
+    /// transport tier (the cap override is ignored — MPC's bandwidth role
+    /// is played by the per-machine word budget).
+    pub fn from_exec(machines: usize, memory_words: usize, exec: &ExecConfig) -> Self {
+        let mut mpc = Mpc::new(machines, memory_words);
+        mpc.set_backend(exec.backend);
+        mpc.set_transport(exec.transport);
+        mpc
+    }
+
     /// Switches the round-execution backend. Results are bit-identical
     /// across backends; only wall-clock changes.
     pub fn set_backend(&mut self, backend: Backend) {
@@ -151,6 +168,24 @@ impl Mpc {
     /// The active round-execution backend.
     pub fn backend(&self) -> Backend {
         self.engine.backend()
+    }
+
+    /// Switches the transport tier carrying [`Mpc::round`]. Results are
+    /// bit-identical across tiers; only the physical layer — metered by
+    /// [`Mpc::transport_stats`] — changes.
+    pub fn set_transport(&mut self, transport: TransportSpec) {
+        self.engine.set_transport(transport);
+    }
+
+    /// The active transport tier.
+    pub fn transport(&self) -> TransportSpec {
+        self.engine.transport_spec()
+    }
+
+    /// Physical-layer counters of the built transport (`None` on the
+    /// in-memory reference tier, which never serializes).
+    pub fn transport_stats(&self) -> Option<&TransportStats> {
+        self.engine.transport_stats()
     }
 
     /// The worker pool of a parallel backend (`None` under
@@ -200,7 +235,7 @@ impl Mpc {
     /// inboxes are bit-identical to the sequential backend.
     pub fn round<M, F>(&mut self, sender: F) -> Inboxes<M>
     where
-        M: WordSized + Send,
+        M: WordSized + Wire + Send,
         F: Fn(usize) -> Vec<(usize, M)> + Sync,
     {
         self.metrics.rounds += 1;
@@ -222,9 +257,10 @@ impl Mpc {
             |_, _, _, _| 1,
         );
         let mut received = vec![0usize; machines];
-        let mut inboxes: Inboxes<M> = (0..machines).map(|_| Vec::new()).collect();
+        let mut validated: Vec<Vec<(usize, M)>> = Vec::with_capacity(machines);
         for (i, msgs) in outgoing.into_iter().enumerate() {
             let mut sent = 0usize;
+            let mut row = Vec::with_capacity(msgs.len());
             for (dst, w, msg) in msgs {
                 let _ = self.topo.route(i, dst);
                 sent += w;
@@ -239,10 +275,14 @@ impl Mpc {
                 );
                 self.metrics.messages += 1;
                 self.metrics.bits += w as u64;
-                inboxes[dst].push((i, msg));
+                row.push((dst, msg));
             }
+            validated.push(row);
         }
-        inboxes
+        // Word budgets are already enforced above (MPC has no per-message
+        // bit cap), so the transport ships uncapped under the strict policy.
+        self.engine
+            .ship(machines, "MPC", None, SendPolicy::Strict, validated)
     }
 
     /// Declares machine `i`'s resident storage; panics if it exceeds the
@@ -354,6 +394,43 @@ mod tests {
         mpc.assert_storage(0, 50);
         mpc.assert_storage(1, 80);
         assert_eq!(mpc.metrics().max_storage_words, 80);
+    }
+
+    #[test]
+    fn byte_transports_match_the_local_reference_bit_for_bit() {
+        let sender = |i: usize| -> Vec<(usize, (u64, u64))> {
+            (0..12usize)
+                .filter(|&d| d != i && (d + i).is_multiple_of(4))
+                .map(|d| (d, ((i * 100 + d) as u64, i as u64)))
+                .collect()
+        };
+        let mut reference = Mpc::new(12, 50);
+        let rounds_ref = [reference.round(sender), reference.round(sender)];
+        for transport in [TransportSpec::Channel, TransportSpec::Tcp] {
+            let exec = ExecConfig::default().with_transport(transport);
+            let mut mpc = Mpc::from_exec(12, 50, &exec);
+            assert_eq!(mpc.transport(), transport);
+            assert_eq!(rounds_ref[0], mpc.round(sender), "{transport}");
+            assert_eq!(rounds_ref[1], mpc.round(sender), "{transport}");
+            assert_eq!(reference.metrics(), mpc.metrics(), "{transport}");
+            let stats = mpc.transport_stats().expect("byte tiers meter traffic");
+            assert_eq!(stats.frames, reference.metrics().messages, "{transport}");
+        }
+        assert!(reference.transport_stats().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "send budget")]
+    fn send_budget_fires_before_the_transport_ships() {
+        let exec = ExecConfig::default().with_transport(TransportSpec::Channel);
+        let mut mpc = Mpc::from_exec(2, 2, &exec);
+        let _ = mpc.round(|i| {
+            if i == 0 {
+                (0..9).map(|_| (1usize, 1u64)).collect()
+            } else {
+                vec![]
+            }
+        });
     }
 
     #[test]

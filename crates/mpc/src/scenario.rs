@@ -6,6 +6,12 @@
 //! counts machine *words* — MPC's accounting unit (see
 //! [`MpcMetrics`](crate::MpcMetrics)) — and the word-budget/memory figures
 //! travel in the extras.
+//!
+//! The full `ExecConfig` is honored, transport tier included: machine
+//! rounds ship through the selected tier uncapped — the word budgets are
+//! enforced in the machine-order replay loop *before* the ship
+//! (`DESIGN.md` §7) — so the `Report` is bit-identical across
+//! `TransportSpec`s (pinned by `tests/transport_oracle.rs`).
 
 use crate::coloring::{mpc_color_linear_with, mpc_color_sublinear_with, MpcColoringResult};
 

@@ -12,6 +12,7 @@
 //! - [`ranks`] — Corollary 5.2 (rank of each element within its set).
 
 use crate::machine::{Mpc, WordSized};
+use dcl_sim::{bit_len, Wire};
 
 /// Data distributed across machines: `blocks[i]` lives on machine `i`.
 pub type Dist<T> = Vec<Vec<T>>;
@@ -51,6 +52,42 @@ impl<T: WordSized> WordSized for Keyed<T> {
     }
 }
 
+/// Byte codec for the transport tier: a tag byte, then (for items) the
+/// payload and its tiebreak pair. The declared bit-width mirrors the
+/// structure; MPC's cost accounting stays word-based regardless.
+impl<T: Wire> Wire for Keyed<T> {
+    fn wire_bits(&self) -> u32 {
+        match self {
+            Keyed::Item(t, machine, index) => {
+                1 + t.wire_bits() + bit_len(u64::from(*machine)) + bit_len(u64::from(*index))
+            }
+            Keyed::Pad => 1,
+        }
+    }
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Keyed::Item(t, machine, index) => {
+                out.push(0);
+                t.wire_encode(out);
+                machine.wire_encode(out);
+                index.wire_encode(out);
+            }
+            Keyed::Pad => out.push(1),
+        }
+    }
+    fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+        match u8::wire_decode(buf)? {
+            0 => Some(Keyed::Item(
+                T::wire_decode(buf)?,
+                u32::wire_decode(buf)?,
+                u32::wire_decode(buf)?,
+            )),
+            1 => Some(Keyed::Pad),
+            _ => None,
+        }
+    }
+}
+
 /// Sorts `data` across the cluster (Definition 5.1): afterwards machine `i`
 /// holds the ranks `[i·B, (i+1)·B)` of the sorted order, for block size
 /// `B = ⌈N/M⌉`.
@@ -64,7 +101,7 @@ impl<T: WordSized> WordSized for Keyed<T> {
 /// merge-split network with `O(log² M)` rounds; see `DESIGN.md` §2.
 pub fn sort<T>(mpc: &mut Mpc, data: Dist<T>) -> Dist<T>
 where
-    T: Ord + Clone + WordSized + Send + Sync,
+    T: Ord + Clone + WordSized + Wire + Send + Sync,
 {
     let p = mpc.machines();
     assert_eq!(data.len(), p, "one block per machine required");
@@ -126,7 +163,7 @@ where
 /// would overload machine 0 for large clusters), then one routing round.
 fn rebalance<T>(mpc: &mut Mpc, data: Dist<T>, block_size: usize) -> Dist<T>
 where
-    T: Ord + Clone + WordSized + Send + Sync,
+    T: Ord + Clone + WordSized + Wire + Send + Sync,
 {
     let p = mpc.machines();
     // One single-word item per machine: its local count. The inclusive scan
@@ -155,7 +192,7 @@ where
 /// Constant-round regular-sampling sort on balanced blocks of distinct keys.
 fn sample_sort<T>(mpc: &mut Mpc, mut local: Dist<T>, block_size: usize) -> Dist<T>
 where
-    T: Ord + Clone + WordSized + Send + Sync,
+    T: Ord + Clone + WordSized + Wire + Send + Sync,
 {
     let p = mpc.machines();
     let total: usize = local.iter().map(Vec::len).sum();
@@ -230,7 +267,7 @@ where
 /// any blocked sequence.
 fn bitonic_sort<T>(mpc: &mut Mpc, local: Dist<Keyed<T>>, block_size: usize) -> Dist<Keyed<T>>
 where
-    T: Ord + Clone + WordSized + Send + Sync,
+    T: Ord + Clone + WordSized + Wire + Send + Sync,
 {
     let p = mpc.machines();
     let pp = p.next_power_of_two();
@@ -307,7 +344,7 @@ where
 /// aggregation-tree structure of Definition 5.4.
 pub fn prefix_sums<T, F>(mpc: &mut Mpc, data: &Dist<T>, mut op: F) -> Dist<T>
 where
-    T: Clone + WordSized + Send + Sync,
+    T: Clone + WordSized + Wire + Send + Sync,
     F: FnMut(&T, &T) -> T,
 {
     let p = mpc.machines();
@@ -432,8 +469,8 @@ where
 /// This is the aggregation-tree workhorse of Definition 5.4.
 pub fn segmented_scan<T, K, KF, F>(mpc: &mut Mpc, data: &Dist<T>, mut key_of: KF, op: F) -> Dist<T>
 where
-    T: Clone + WordSized + Send + Sync,
-    K: PartialEq + Clone + Send + Sync,
+    T: Clone + WordSized + Wire + Send + Sync,
+    K: PartialEq + Clone + Wire + Send + Sync,
     KF: FnMut(&T) -> K,
     F: Fn(&T, &T) -> T,
 {
@@ -449,6 +486,18 @@ where
     impl<T: Clone, K: Clone> Clone for Tagged<T, K> {
         fn clone(&self) -> Self {
             Tagged(self.0.clone(), self.1.clone())
+        }
+    }
+    impl<T: Wire, K: Wire> Wire for Tagged<T, K> {
+        fn wire_bits(&self) -> u32 {
+            self.0.wire_bits() + self.1.wire_bits()
+        }
+        fn wire_encode(&self, out: &mut Vec<u8>) {
+            self.0.wire_encode(out);
+            self.1.wire_encode(out);
+        }
+        fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+            Some(Tagged(K::wire_decode(buf)?, T::wire_decode(buf)?))
         }
     }
     let tagged: Dist<Tagged<T, K>> = data

@@ -4,7 +4,7 @@
 use crate::scenario::{Model, Scenario};
 use dcl_graphs::{Graph, GraphError};
 use dcl_par::JobPanic;
-use dcl_sim::ExecConfig;
+use dcl_sim::{ExecConfig, TransportError};
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,6 +45,12 @@ pub enum RunError {
         /// The simulator's assertion message.
         message: String,
     },
+    /// The byte-transport tier failed — a peer disconnected mid-round or a
+    /// frame violated the framing protocol. The simulators raise these as
+    /// typed [`TransportError`] panic payloads (the round APIs are
+    /// infallible by design), and [`run_protected`] recovers the original
+    /// value losslessly.
+    Transport(TransportError),
     /// The pipeline panicked for any other reason (progress-bug safety
     /// nets). Produced by [`run_protected`].
     Panic {
@@ -89,6 +95,7 @@ impl fmt::Display for RunError {
             RunError::Budget { model, message } => {
                 write!(f, "{model} resource budget violated: {message}")
             }
+            RunError::Transport(e) => write!(f, "transport failure: {e}"),
             RunError::Panic { scenario, message } => {
                 write!(f, "scenario '{scenario}' panicked: {message}")
             }
@@ -102,6 +109,7 @@ impl Error for RunError {
             RunError::Graph(e) => Some(e),
             RunError::Job(p) => Some(p),
             RunError::Rejected { source, .. } => Some(source.as_ref()),
+            RunError::Transport(e) => Some(e),
             RunError::Budget { .. } | RunError::Panic { .. } => None,
         }
     }
@@ -119,6 +127,12 @@ impl From<JobPanic> for RunError {
     }
 }
 
+impl From<TransportError> for RunError {
+    fn from(e: TransportError) -> Self {
+        RunError::Transport(e)
+    }
+}
+
 /// Runs `scenario` with a panic shield: the simulators' intentional budget
 /// assertions come back as [`RunError::Budget`] and any other panic (the
 /// progress-bug safety nets) as [`RunError::Panic`], instead of unwinding
@@ -132,6 +146,12 @@ pub fn run_protected(
     match catch_unwind(AssertUnwindSafe(|| scenario.run(graph, exec))) {
         Ok(result) => result,
         Err(payload) => {
+            // Transport failures travel as typed panic payloads
+            // (`panic_any(TransportError)` out of the infallible round
+            // APIs); recover them losslessly before any string matching.
+            if let Some(e) = payload.downcast_ref::<TransportError>() {
+                return Err(RunError::Transport(e.clone()));
+            }
             let message = payload
                 .downcast_ref::<String>()
                 .cloned()
@@ -257,6 +277,39 @@ mod tests {
                 other => panic!("{progress_message:?}: expected Panic, got {other:?}"),
             }
         }
+    }
+
+    struct TransportPanicking;
+
+    impl Scenario for TransportPanicking {
+        fn name(&self) -> &str {
+            "transport-panicking"
+        }
+        fn model(&self) -> Model {
+            Model::Congest
+        }
+        fn run(&self, _: &Graph, _: &ExecConfig) -> Result<Report, RunError> {
+            std::panic::panic_any(TransportError::Disconnected {
+                from: 3,
+                to: 7,
+                detail: String::from("peer closed the stream"),
+            });
+        }
+    }
+
+    #[test]
+    fn run_protected_recovers_transport_errors_losslessly() {
+        let g = generators::ring(4);
+        let err = run_protected(&TransportPanicking, &g, &ExecConfig::default()).unwrap_err();
+        match &err {
+            RunError::Transport(TransportError::Disconnected { from, to, detail }) => {
+                assert_eq!((*from, *to), (3, 7));
+                assert_eq!(detail, "peer closed the stream");
+            }
+            other => panic!("expected Transport, got {other:?}"),
+        }
+        assert!(err.to_string().contains("transport failure"));
+        assert!(err.source().is_some(), "transport keeps its source chain");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod scenario;
 pub mod sweep;
 pub mod table;
 
+pub use dcl_sim::{TransportError, TransportSpec};
 pub use error::{run_protected, RunError};
 pub use scenario::{Model, Report, Scenario};
 pub use sweep::{CapSpec, Cell, GraphSpec, Runner, Sweep};

@@ -6,13 +6,14 @@
 //! with the [`GraphSpec`] constructors (labels match the experiment-table
 //! conventions), caps with [`CapSpec`] (absolute bits or multiples of
 //! `⌈log₂ n⌉`, the paper's sweep axis), backends with
-//! [`dcl_par::Backend`], and read the grid back from [`Sweep`].
+//! [`dcl_par::Backend`], transport tiers with [`TransportSpec`], and read
+//! the grid back from [`Sweep`].
 
 use crate::error::{run_protected, RunError};
 use crate::scenario::{Report, Scenario};
 use dcl_graphs::{generators, Graph};
 use dcl_par::Backend;
-use dcl_sim::{BandwidthCap, ExecConfig};
+use dcl_sim::{BandwidthCap, ExecConfig, TransportSpec};
 use std::fmt;
 
 /// A labelled input graph of a sweep. The constructors mirror
@@ -138,6 +139,8 @@ pub struct Cell {
     pub cap_bits: Option<u32>,
     /// The backend this cell ran on.
     pub backend: Backend,
+    /// The transport tier this cell's messages travelled over.
+    pub transport: TransportSpec,
     /// The scenario's result.
     pub outcome: Result<Report, RunError>,
 }
@@ -157,15 +160,17 @@ impl Cell {
     }
 }
 
-/// The result grid of [`Runner::run`]: every (graph, cap, backend) cell in
-/// deterministic order — graphs outermost, then caps, then backends.
+/// The result grid of [`Runner::run`]: every (graph, cap, backend,
+/// transport) cell in deterministic order — graphs outermost, then caps,
+/// then backends, then transports.
 #[derive(Debug)]
 pub struct Sweep {
     /// [`Scenario::name`] of the swept scenario.
     pub scenario: String,
     /// The input graphs, in insertion order.
     pub graphs: Vec<GraphSpec>,
-    /// All result cells, in (graph, cap, backend) lexicographic order.
+    /// All result cells, in (graph, cap, backend, transport) lexicographic
+    /// order.
     pub cells: Vec<Cell>,
 }
 
@@ -182,14 +187,16 @@ impl Sweep {
 }
 
 /// Builder-style driver for sweeping one [`Scenario`] over graphs × caps ×
-/// backends.
+/// backends × transports.
 ///
 /// Defaults: no graphs (add at least one), the model-default cap, the
-/// sequential backend, panics propagate. The grid runs in deterministic
-/// order (graphs outermost, backends innermost); every cell constructs a
-/// fresh [`ExecConfig`], so results are bit-identical to calling the
-/// underlying entry point directly with the same knobs (property-tested in
-/// `tests/runner_equivalence.rs` at the workspace root).
+/// sequential backend, the in-memory [`TransportSpec::Local`] tier, panics
+/// propagate. The grid runs in deterministic order (graphs outermost,
+/// transports innermost); every cell constructs a fresh [`ExecConfig`], so
+/// results are bit-identical to calling the underlying entry point directly
+/// with the same knobs (property-tested in `tests/runner_equivalence.rs` at
+/// the workspace root) and bit-identical across transport tiers
+/// (property-tested in `tests/transport_oracle.rs`).
 ///
 /// # Examples
 ///
@@ -225,6 +232,7 @@ pub struct Runner<'a> {
     graphs: Vec<GraphSpec>,
     caps: Vec<CapSpec>,
     backends: Vec<Backend>,
+    transports: Vec<TransportSpec>,
     catch_panics: bool,
 }
 
@@ -236,6 +244,7 @@ impl<'a> Runner<'a> {
             graphs: Vec::new(),
             caps: vec![CapSpec::ModelDefault],
             backends: vec![Backend::Sequential],
+            transports: vec![TransportSpec::Local],
             catch_panics: false,
         }
     }
@@ -270,6 +279,19 @@ impl<'a> Runner<'a> {
         self
     }
 
+    /// Replaces the transport axis (default: the in-memory local tier
+    /// only). Every tier must produce bit-identical reports; sweeping the
+    /// axis is how `tests/transport_oracle.rs` proves it.
+    #[must_use]
+    pub fn transports<I: IntoIterator<Item = TransportSpec>>(mut self, transports: I) -> Self {
+        self.transports = transports.into_iter().collect();
+        assert!(
+            !self.transports.is_empty(),
+            "transport axis must be non-empty"
+        );
+        self
+    }
+
     /// Converts panics (budget violations, progress-bug safety nets) into
     /// [`RunError`] cells via [`run_protected`] instead of unwinding.
     #[must_use]
@@ -290,28 +312,34 @@ impl<'a> Runner<'a> {
             !self.graphs.is_empty(),
             "sweep has no input graphs — add at least one with .graph()/.graphs()"
         );
-        let mut cells =
-            Vec::with_capacity(self.graphs.len() * self.caps.len() * self.backends.len());
+        let mut cells = Vec::with_capacity(
+            self.graphs.len() * self.caps.len() * self.backends.len() * self.transports.len(),
+        );
         for (graph_index, spec) in self.graphs.iter().enumerate() {
             for &cap in &self.caps {
                 let resolved = cap.resolve(&spec.graph);
                 for &backend in &self.backends {
-                    let mut exec = ExecConfig::default().with_backend(backend);
-                    if let Some(c) = resolved {
-                        exec = exec.with_cap(c);
+                    for &transport in &self.transports {
+                        let mut exec = ExecConfig::default()
+                            .with_backend(backend)
+                            .with_transport(transport);
+                        if let Some(c) = resolved {
+                            exec = exec.with_cap(c);
+                        }
+                        let outcome = if self.catch_panics {
+                            run_protected(self.scenario, &spec.graph, &exec)
+                        } else {
+                            self.scenario.run(&spec.graph, &exec)
+                        };
+                        cells.push(Cell {
+                            graph: graph_index,
+                            cap,
+                            cap_bits: resolved.map(|c| c.bits()),
+                            backend,
+                            transport,
+                            outcome,
+                        });
                     }
-                    let outcome = if self.catch_panics {
-                        run_protected(self.scenario, &spec.graph, &exec)
-                    } else {
-                        self.scenario.run(&spec.graph, &exec)
-                    };
-                    cells.push(Cell {
-                        graph: graph_index,
-                        cap,
-                        cap_bits: resolved.map(|c| c.bits()),
-                        backend,
-                        outcome,
-                    });
                 }
             }
         }
@@ -368,7 +396,7 @@ mod tests {
     }
 
     #[test]
-    fn grid_order_is_graphs_then_caps_then_backends() {
+    fn grid_order_is_graphs_then_caps_then_backends_then_transports() {
         let sweep = Runner::new(&Greedy)
             .graphs([GraphSpec::ring(8), GraphSpec::ring(16)])
             .caps([CapSpec::Bits(8), CapSpec::Bits(16)])
@@ -391,6 +419,36 @@ mod tests {
                 (1, Some(8), true),
                 (1, Some(16), false),
                 (1, Some(16), true),
+            ]
+        );
+        assert!(
+            sweep
+                .cells
+                .iter()
+                .all(|c| c.transport == TransportSpec::Local),
+            "the default transport axis is the local tier only"
+        );
+    }
+
+    #[test]
+    fn transport_axis_is_innermost() {
+        let sweep = Runner::new(&Greedy)
+            .graph(GraphSpec::ring(8))
+            .caps([CapSpec::Bits(8), CapSpec::Bits(16)])
+            .transports([TransportSpec::Local, TransportSpec::Channel])
+            .run();
+        let order: Vec<(Option<u32>, TransportSpec)> = sweep
+            .cells
+            .iter()
+            .map(|c| (c.cap_bits, c.transport))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (Some(8), TransportSpec::Local),
+                (Some(8), TransportSpec::Channel),
+                (Some(16), TransportSpec::Local),
+                (Some(16), TransportSpec::Channel),
             ]
         );
     }

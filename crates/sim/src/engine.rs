@@ -13,6 +13,7 @@
 use crate::cap::BandwidthCap;
 use crate::metrics::SimMetrics;
 use crate::topology::{validate_sends, NeighborTopology, Topology};
+use crate::transport::{Frame, RoundLimits, Transport, TransportSpec, TransportStats};
 use crate::wire::Wire;
 use dcl_par::{Backend, Pool};
 
@@ -36,21 +37,31 @@ pub enum SendPolicy {
 }
 
 /// Backend-aware round executor: a [`Backend`] knob plus the worker pool it
-/// implies.
+/// implies, and a [`TransportSpec`] knob selecting which transport tier
+/// carries each round's messages (in-memory reference, channel matrix, or
+/// localhost sockets — results are bit-identical across tiers).
 #[derive(Debug)]
 pub struct RoundEngine {
     backend: Backend,
     /// Worker pool, present only when `backend` is effectively parallel.
     pool: Option<Pool>,
+    transport_spec: TransportSpec,
+    /// The built transport, created lazily on the first shipped round
+    /// (so [`TransportSpec::Local`]'s zero-copy fast path never pays for
+    /// socket setup).
+    transport: Option<Box<dyn Transport>>,
 }
 
 impl RoundEngine {
-    /// An engine with the given round-execution backend.
+    /// An engine with the given round-execution backend (on the
+    /// [`TransportSpec::Local`] reference transport).
     #[must_use]
     pub fn new(backend: Backend) -> Self {
         let mut engine = RoundEngine {
             backend: Backend::Sequential,
             pool: None,
+            transport_spec: TransportSpec::default(),
+            transport: None,
         };
         engine.set_backend(backend);
         engine
@@ -67,6 +78,137 @@ impl RoundEngine {
     #[must_use]
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// Switches the transport tier. Results (inboxes, metrics, intentional
+    /// panics) are bit-identical across tiers; only the physical layer —
+    /// and the [`TransportStats`] it meters — changes. Any previously built
+    /// transport is dropped (closing its sockets).
+    pub fn set_transport(&mut self, spec: TransportSpec) {
+        self.transport_spec = spec;
+        self.transport = None;
+    }
+
+    /// The active transport tier.
+    #[must_use]
+    pub fn transport_spec(&self) -> TransportSpec {
+        self.transport_spec
+    }
+
+    /// Physical-layer counters of the built transport. `None` until a round
+    /// has shipped (and always `None` on [`TransportSpec::Local`], whose
+    /// fast path bypasses the transport object entirely).
+    #[must_use]
+    pub fn transport_stats(&self) -> Option<&TransportStats> {
+        self.transport.as_deref().map(Transport::stats)
+    }
+
+    /// Fault injection for tests: tears down endpoint `v` on the built
+    /// transport (building it first if need be), so subsequent rounds
+    /// touching `v` raise a typed
+    /// [`TransportError`](crate::transport::TransportError). `n` is the
+    /// endpoint count used if the transport must be built.
+    pub fn close_transport_endpoint(&mut self, n: usize, v: usize) {
+        self.ensure_transport(n);
+        if let Some(transport) = self.transport.as_deref_mut() {
+            transport.close_endpoint(v);
+        }
+    }
+
+    /// Builds (or rebuilds, on an endpoint-count mismatch) the transport
+    /// for `n` endpoints. No-op on [`TransportSpec::Local`].
+    fn ensure_transport(&mut self, n: usize) {
+        if self.transport_spec == TransportSpec::Local {
+            return;
+        }
+        let stale = self
+            .transport
+            .as_deref()
+            .is_none_or(|transport| transport.len() != n);
+        if stale {
+            self.transport = Some(self.transport_spec.build(n));
+        }
+    }
+
+    /// Ships one round of already-validated outgoing messages over the
+    /// active transport and returns the per-recipient inboxes. On
+    /// [`TransportSpec::Local`] this is the zero-copy sender-order
+    /// [`deliver`] merge; on the byte tiers every payload crosses the
+    /// `Wire` codec inside a length-prefixed frame and the transport's
+    /// sorted-by-sender/per-link-FIFO delivery reproduces the same order
+    /// bit for bit.
+    ///
+    /// Transport failures (broken peer, protocol violation, undecodable
+    /// payload) raise the typed
+    /// [`TransportError`](crate::transport::TransportError) via
+    /// `std::panic::panic_any`, which `dcl_runner::run_protected` re-catches
+    /// losslessly as `RunError::Transport` — the round APIs themselves stay
+    /// infallible.
+    pub fn ship<M>(
+        &mut self,
+        n: usize,
+        model: &'static str,
+        cap: Option<BandwidthCap>,
+        policy: SendPolicy,
+        outgoing: Vec<Vec<(usize, M)>>,
+    ) -> Inboxes<M>
+    where
+        M: Wire,
+    {
+        if self.transport_spec == TransportSpec::Local {
+            return deliver(n, outgoing);
+        }
+        self.ensure_transport(n);
+        let transport = self
+            .transport
+            .as_deref_mut()
+            .expect("ensure_transport builds non-local transports");
+        transport.begin_round(&RoundLimits { cap, policy, model });
+        for (u, msgs) in outgoing.into_iter().enumerate() {
+            for (v, msg) in msgs {
+                let mut payload = Vec::new();
+                msg.wire_encode(&mut payload);
+                let frame = Frame {
+                    declared_bits: msg.wire_bits(),
+                    payload,
+                };
+                if let Err(e) = transport.send(u, v, frame) {
+                    std::panic::panic_any(e);
+                }
+            }
+        }
+        let frames = match transport.finish_round() {
+            Ok(frames) => frames,
+            Err(e) => std::panic::panic_any(e),
+        };
+        frames
+            .into_iter()
+            .map(|inbox| {
+                inbox
+                    .into_iter()
+                    .map(|(from, frame)| {
+                        let mut buf = frame.payload.as_slice();
+                        let msg = M::wire_decode(&mut buf).unwrap_or_else(|| {
+                            std::panic::panic_any(crate::transport::TransportError::Protocol {
+                                detail: format!(
+                                    "undecodable {}-bit payload from endpoint {from}",
+                                    frame.declared_bits
+                                ),
+                            })
+                        });
+                        if !buf.is_empty() {
+                            std::panic::panic_any(crate::transport::TransportError::Protocol {
+                                detail: format!(
+                                    "{} trailing payload bytes from endpoint {from}",
+                                    buf.len()
+                                ),
+                            });
+                        }
+                        (from, msg)
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// The worker pool of a parallel backend (`None` under
@@ -157,7 +299,7 @@ impl RoundEngine {
     /// the duplicate check), or — under [`SendPolicy::Strict`] — if a
     /// payload exceeds `cap`. After a panic the metrics are unspecified.
     pub fn message_round<M, T, F>(
-        &self,
+        &mut self,
         topo: &T,
         cap: BandwidthCap,
         policy: SendPolicy,
@@ -180,7 +322,7 @@ impl RoundEngine {
             },
         );
         metrics.rounds += u64::from(round_cost);
-        deliver(n, outgoing)
+        self.ship(n, topo.model(), Some(cap), policy, outgoing)
     }
 
     /// Runs one broadcast round over a [`NeighborTopology`]: every node
@@ -193,7 +335,7 @@ impl RoundEngine {
     ///
     /// Under [`SendPolicy::Strict`], panics if a payload exceeds `cap`.
     pub fn broadcast_round<M, F>(
-        &self,
+        &mut self,
         topo: &NeighborTopology<'_>,
         cap: BandwidthCap,
         policy: SendPolicy,
@@ -242,15 +384,22 @@ impl RoundEngine {
             },
         );
         metrics.rounds += u64::from(round_cost);
-        let mut inboxes: Inboxes<M> = (0..n).map(|_| Vec::new()).collect();
-        for (u, payload) in payloads.into_iter().enumerate() {
-            if let Some(msg) = payload {
-                for &v in graph.neighbors(u) {
-                    inboxes[v].push((u, msg.clone()));
-                }
-            }
-        }
-        inboxes
+        // Expanding the broadcast into per-neighbor unicasts (in neighbor
+        // order) reproduces the direct inbox build exactly, so the same
+        // ship path serves every transport tier.
+        let outgoing: Vec<Vec<(usize, M)>> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(u, payload)| match payload {
+                Some(msg) => graph
+                    .neighbors(u)
+                    .iter()
+                    .map(|&v| (v, msg.clone()))
+                    .collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        self.ship(n, topo.model(), Some(cap), policy, outgoing)
     }
 }
 
@@ -354,7 +503,7 @@ mod tests {
     #[test]
     fn message_round_delivers_and_meters() {
         let topo = AllPairsTopology::new(3);
-        let engine = RoundEngine::new(Backend::Sequential);
+        let mut engine = RoundEngine::new(Backend::Sequential);
         let mut metrics = SimMetrics::default();
         let inboxes = engine.message_round(
             &topo,
@@ -382,8 +531,8 @@ mod tests {
                 .map(|u| (u, (v * 100 + u) as u64))
                 .collect()
         };
-        let seq_engine = RoundEngine::new(Backend::Sequential);
-        let par_engine = RoundEngine::new(Backend::Parallel(4));
+        let mut seq_engine = RoundEngine::new(Backend::Sequential);
+        let mut par_engine = RoundEngine::new(Backend::Parallel(4));
         let cap = BandwidthCap::two_words();
         let mut seq = SimMetrics::default();
         let mut par = SimMetrics::default();
@@ -399,7 +548,7 @@ mod tests {
     fn fragmented_round_stretches_to_widest_message() {
         let g = generators::path(3);
         let topo = NeighborTopology::new(&g);
-        let engine = RoundEngine::new(Backend::Sequential);
+        let mut engine = RoundEngine::new(Backend::Sequential);
         let cap = BandwidthCap::new(7);
         let mut metrics = SimMetrics::default();
         // Node 0 sends a 20-bit payload (3 fragments at 7 bits).
@@ -427,7 +576,7 @@ mod tests {
                 .map(|&u| (u, (v + u) as u64))
                 .collect()
         };
-        let engine = RoundEngine::new(Backend::Sequential);
+        let mut engine = RoundEngine::new(Backend::Sequential);
         let topo = NeighborTopology::new(&g);
         let mut strict = SimMetrics::default();
         let mut frag = SimMetrics::default();
@@ -448,7 +597,7 @@ mod tests {
     #[test]
     fn empty_round_still_costs_one_round() {
         let topo = AllPairsTopology::new(0);
-        let engine = RoundEngine::new(Backend::Sequential);
+        let mut engine = RoundEngine::new(Backend::Sequential);
         let mut metrics = SimMetrics::default();
         let inboxes: Inboxes<u32> = engine.message_round(
             &topo,

@@ -1,10 +1,12 @@
 //! The unified execution knob shared by every coloring driver.
 
 use crate::cap::BandwidthCap;
+use crate::transport::TransportSpec;
 use dcl_par::Backend;
 
-/// Simulator execution configuration: which backend runs the rounds and
-/// which bandwidth cap the model enforces.
+/// Simulator execution configuration: which backend runs the rounds, which
+/// bandwidth cap the model enforces, and which transport tier carries the
+/// messages.
 ///
 /// Every driver config (`CongestColoringConfig`, `DecompColoringConfig`,
 /// `CliqueColoringConfig`, `DeltaColoringConfig`, the `mpc_color_*_with`
@@ -26,6 +28,9 @@ pub struct ExecConfig {
     /// clique). Ignored by MPC, whose bandwidth role is played by the
     /// per-machine word budget `S`.
     pub cap: Option<BandwidthCap>,
+    /// Transport tier carrying each round's messages (results are
+    /// bit-identical across tiers; only the physical layer changes).
+    pub transport: TransportSpec,
 }
 
 impl ExecConfig {
@@ -51,6 +56,13 @@ impl ExecConfig {
         self
     }
 
+    /// Selects the transport tier (builder style).
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// The cap to use: the override if set, else `default`.
     #[must_use]
     pub fn cap_or(&self, default: BandwidthCap) -> BandwidthCap {
@@ -67,7 +79,19 @@ mod tests {
         let exec = ExecConfig::default();
         assert_eq!(exec.backend, Backend::Sequential);
         assert_eq!(exec.cap, None);
+        assert_eq!(exec.transport, TransportSpec::Local);
         assert_eq!(exec.cap_or(BandwidthCap::new(99)).bits(), 99);
+    }
+
+    #[test]
+    fn transport_knob_composes_with_the_others() {
+        let exec = ExecConfig::default()
+            .with_transport(TransportSpec::Tcp)
+            .with_backend(Backend::Parallel(2))
+            .with_cap(BandwidthCap::new(16));
+        assert_eq!(exec.transport, TransportSpec::Tcp);
+        assert_eq!(exec.backend, Backend::Parallel(2));
+        assert_eq!(exec.cap, Some(BandwidthCap::new(16)));
     }
 
     #[test]

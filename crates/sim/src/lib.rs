@@ -18,8 +18,12 @@
 //!   owning pool execution, per-worker validation/accounting, deterministic
 //!   panic propagation and the sender-order inbox merge, plus the
 //!   deterministic [`argmin_f64`] used by the drivers' central loops;
-//! - [`exec`] — [`ExecConfig`]: the `{backend, cap}` knob every driver
-//!   config embeds.
+//! - [`transport`] — the pluggable [`Transport`] tier under the engine:
+//!   in-memory reference, `mpsc` channel matrix, and localhost TCP sockets
+//!   shipping length-prefixed [`Wire`]-encoded frames, proven bit-identical
+//!   by the cross-transport determinism suites (`DESIGN.md` §7);
+//! - [`exec`] — [`ExecConfig`]: the `{backend, cap, transport}` knob every
+//!   driver config embeds.
 //!
 //! Each model crate (`dcl_congest`, `dcl_clique`, `dcl_mpc`) is a thin
 //! policy on top: a [`Topology`], the model's default cap, and its charged
@@ -33,7 +37,7 @@
 //!
 //! // Three endpoints, all-pairs unicast, two-word cap.
 //! let topo = AllPairsTopology::new(3);
-//! let engine = RoundEngine::new(Backend::Sequential);
+//! let mut engine = RoundEngine::new(Backend::Sequential);
 //! let mut metrics = SimMetrics::default();
 //! let inboxes = engine.message_round(
 //!     &topo,
@@ -54,6 +58,7 @@ pub mod engine;
 pub mod exec;
 pub mod metrics;
 pub mod topology;
+pub mod transport;
 pub mod wire;
 
 #[cfg(feature = "test-util")]
@@ -67,4 +72,8 @@ pub use engine::{
 pub use exec::ExecConfig;
 pub use metrics::SimMetrics;
 pub use topology::{AllPairsTopology, MachineTopology, NeighborTopology, Topology};
+pub use transport::{
+    ChannelTransport, Frame, FrameReader, LocalTransport, RoundLimits, TcpTransport, Transport,
+    TransportError, TransportSpec, TransportStats,
+};
 pub use wire::{bit_len, Wire};

@@ -58,7 +58,7 @@ use dcl_graphs::Graph;
 /// // The model's simulator is now ~20 lines: hold an engine + metrics and
 /// // forward rounds.
 /// let topo = StarTopology { n: 5 };
-/// let engine = RoundEngine::new(Backend::Sequential);
+/// let mut engine = RoundEngine::new(Backend::Sequential);
 /// let mut metrics = SimMetrics::default();
 /// let inboxes = engine.message_round(
 ///     &topo,

@@ -21,7 +21,7 @@ fn round_panic_message(
     target: usize,
 ) -> Option<String> {
     let topo = NeighborTopology::new(g);
-    let engine = RoundEngine::new(backend);
+    let mut engine = RoundEngine::new(backend);
     let mut metrics = SimMetrics::default();
     let result = catch_unwind(AssertUnwindSafe(|| {
         engine.message_round(
@@ -95,8 +95,8 @@ proptest! {
         let clean = |v: usize| -> Vec<(usize, u64)> {
             g.neighbors(v).iter().map(|&x| (x, (v * n + x) as u64)).collect()
         };
-        let seq_engine = RoundEngine::new(Backend::Sequential);
-        let par_engine = RoundEngine::new(Backend::Parallel(threads));
+        let mut seq_engine = RoundEngine::new(Backend::Sequential);
+        let mut par_engine = RoundEngine::new(Backend::Parallel(threads));
         let mut seq_metrics = SimMetrics::default();
         let mut par_metrics = SimMetrics::default();
         let cap = BandwidthCap::two_words();

@@ -1,0 +1,194 @@
+//! Cross-transport determinism properties: for every [`Topology`] policy,
+//! a scripted multi-round conversation produces bit-identical inboxes and
+//! [`SimMetrics`] whether the messages travel through the in-memory
+//! reference ([`TransportSpec::Local`]), the channel matrix
+//! ([`TransportSpec::Channel`]), or real localhost sockets
+//! ([`TransportSpec::Tcp`]) — on the sequential and the parallel backend,
+//! with caps swept down to `⌈log₂ n⌉` bits. Intentional cap-violation
+//! panics carry the identical payload on every tier.
+
+use dcl_graphs::{generators, Graph};
+use dcl_par::Backend;
+use dcl_sim::{
+    AllPairsTopology, BandwidthCap, Inboxes, MachineTopology, NeighborTopology, RoundEngine,
+    SendPolicy, SimMetrics, Topology, TransportSpec, TransportStats,
+};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One scripted run: `rounds` unicast rounds over `topo` (each endpoint
+/// messages a deterministic, `salt`-dependent subset of its peers), then —
+/// on neighbor topologies — one broadcast round. Returns every inbox and
+/// the accumulated metrics plus the transport's byte-level statistics.
+#[allow(clippy::too_many_arguments)]
+fn scripted_run<T: Topology>(
+    spec: TransportSpec,
+    backend: Backend,
+    topo: &T,
+    peers_of: &(dyn Fn(usize) -> Vec<usize> + Sync),
+    cap: BandwidthCap,
+    policy: SendPolicy,
+    rounds: usize,
+    salt: u64,
+) -> (Vec<Inboxes<u64>>, SimMetrics, Option<TransportStats>) {
+    let mut engine = RoundEngine::new(backend);
+    engine.set_transport(spec);
+    let mut metrics = SimMetrics::default();
+    let mut history = Vec::new();
+    for r in 0..rounds {
+        let inboxes = engine.message_round(topo, cap, policy, &mut metrics, |u| {
+            peers_of(u)
+                .into_iter()
+                .filter(|&v| !(u + v + r).is_multiple_of(3))
+                .map(|v| (v, ((u as u64) * 131 + v as u64 + salt + r as u64) % 7 + 1))
+                .collect::<Vec<(usize, u64)>>()
+        });
+        history.push(inboxes);
+    }
+    let stats = engine.transport_stats().copied();
+    (history, metrics, stats)
+}
+
+/// The (spec, backend) grid every property sweeps, with the local
+/// sequential run as the reference cell.
+fn grid() -> Vec<(TransportSpec, Backend)> {
+    let mut cells = Vec::new();
+    for spec in TransportSpec::all() {
+        for backend in [Backend::Sequential, Backend::Parallel(3)] {
+            cells.push((spec, backend));
+        }
+    }
+    cells
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// CONGEST (neighbor) topology: inboxes and metrics are bit-identical
+    /// on every (transport, backend) cell, at caps down to `⌈log₂ n⌉`.
+    #[test]
+    fn neighbor_rounds_are_transport_identical(
+        n in 6usize..28,
+        p in 0.1f64..0.5,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+        cap_mult in 1u32..4,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let topo = NeighborTopology::new(&g);
+        let log_n = (usize::BITS - (n - 1).leading_zeros()).max(1);
+        let cap = BandwidthCap::new(cap_mult * log_n);
+        let peers = |u: usize| g.neighbors(u).to_vec();
+        let (reference, ref_metrics, ref_stats) = scripted_run(
+            TransportSpec::Local, Backend::Sequential, &topo, &peers,
+            cap, SendPolicy::Strict, 3, salt,
+        );
+        prop_assert!(ref_stats.is_none(), "the local tier has no byte layer");
+        let mut channel_stats = None;
+        let mut tcp_stats = None;
+        for (spec, backend) in grid() {
+            let (history, metrics, stats) = scripted_run(
+                spec, backend, &topo, &peers, cap, SendPolicy::Strict, 3, salt,
+            );
+            prop_assert_eq!(&history, &reference, "inboxes diverged on {}/{:?}", spec, backend);
+            prop_assert_eq!(&metrics, &ref_metrics, "metrics diverged on {}/{:?}", spec, backend);
+            match spec {
+                TransportSpec::Local => prop_assert!(stats.is_none()),
+                TransportSpec::Channel => channel_stats = stats,
+                TransportSpec::Tcp => tcp_stats = stats,
+            }
+        }
+        // The byte tiers agree on everything above the physical layer; only
+        // wire_bytes (TCP handshakes and end-of-round markers) may differ.
+        let (ch, tcp) = (channel_stats.unwrap(), tcp_stats.unwrap());
+        prop_assert_eq!(ch.frames, tcp.frames);
+        prop_assert_eq!(ch.payload_bytes, tcp.payload_bytes);
+        prop_assert_eq!(ch.packets, tcp.packets);
+        prop_assert_eq!(ch.frames, ref_metrics.messages, "one frame per logical message");
+    }
+
+    /// Clique (all-pairs) topology under the fragmenting policy: wide
+    /// payloads fragment identically on every tier.
+    #[test]
+    fn clique_fragmentation_is_transport_identical(
+        n in 4usize..16,
+        salt in any::<u64>(),
+        cap_bits in 3u32..10,
+    ) {
+        let topo = AllPairsTopology::new(n);
+        let cap = BandwidthCap::new(cap_bits);
+        let peers = |u: usize| (0..n).filter(|&v| v != u).collect::<Vec<_>>();
+        let (reference, ref_metrics, _) = scripted_run(
+            TransportSpec::Local, Backend::Sequential, &topo, &peers,
+            cap, SendPolicy::Fragment, 2, salt,
+        );
+        for (spec, backend) in grid() {
+            let (history, metrics, _) = scripted_run(
+                spec, backend, &topo, &peers, cap, SendPolicy::Fragment, 2, salt,
+            );
+            prop_assert_eq!(&history, &reference, "inboxes diverged on {}/{:?}", spec, backend);
+            prop_assert_eq!(&metrics, &ref_metrics, "metrics diverged on {}/{:?}", spec, backend);
+        }
+    }
+
+    /// MPC (machine) topology: any-to-any rounds are transport-identical.
+    #[test]
+    fn machine_rounds_are_transport_identical(
+        machines in 2usize..12,
+        salt in any::<u64>(),
+    ) {
+        let topo = MachineTopology::new(machines);
+        let cap = BandwidthCap::new(64);
+        let peers = |u: usize| (0..machines).filter(|&v| v != u).collect::<Vec<_>>();
+        let (reference, ref_metrics, _) = scripted_run(
+            TransportSpec::Local, Backend::Sequential, &topo, &peers,
+            cap, SendPolicy::Strict, 2, salt,
+        );
+        for (spec, backend) in grid() {
+            let (history, metrics, _) = scripted_run(
+                spec, backend, &topo, &peers, cap, SendPolicy::Strict, 2, salt,
+            );
+            prop_assert_eq!(&history, &reference, "inboxes diverged on {}/{:?}", spec, backend);
+            prop_assert_eq!(&metrics, &ref_metrics, "metrics diverged on {}/{:?}", spec, backend);
+        }
+    }
+}
+
+/// A strict-policy cap violation panics with the identical, byte-for-byte
+/// assertion message whether the round ships through memory, channels, or
+/// sockets — the panic fires at validation time, before any tier-specific
+/// code runs.
+#[test]
+fn cap_violation_panics_identically_on_every_tier() {
+    let g: Graph = generators::ring(8);
+    let cap = BandwidthCap::new(4);
+    let mut payloads = Vec::new();
+    for spec in TransportSpec::all() {
+        let topo = NeighborTopology::new(&g);
+        let mut engine = RoundEngine::new(Backend::Sequential);
+        engine.set_transport(spec);
+        let mut metrics = SimMetrics::default();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            engine.message_round(&topo, cap, SendPolicy::Strict, &mut metrics, |u| {
+                g.neighbors(u)
+                    .iter()
+                    .map(|&v| (v, u64::MAX))
+                    .collect::<Vec<(usize, u64)>>()
+            });
+        }));
+        let payload = result
+            .expect_err("a 64-bit payload must violate the 4-bit cap")
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("cap assertions carry String payloads");
+        payloads.push(payload);
+    }
+    assert_eq!(
+        payloads[0],
+        "message of 64 bits exceeds CONGEST cap of 4 bits"
+    );
+    assert!(
+        payloads.windows(2).all(|w| w[0] == w[1]),
+        "tiers disagreed on the violation payload: {payloads:?}"
+    );
+}

@@ -67,7 +67,7 @@ pub use dcl_mpc as mpc;
 pub use dcl_par::{Backend, Pool};
 pub use dcl_runner as runner;
 pub use dcl_sim as sim;
-pub use dcl_sim::{BandwidthCap, ExecConfig};
+pub use dcl_sim::{BandwidthCap, ExecConfig, TransportError, TransportSpec};
 
 /// The five pipelines as ready-made [`runner::Scenario`] objects, gathered
 /// from their home crates.

@@ -11,7 +11,7 @@ use distributed_coloring::graphs::{generators, Graph};
 use distributed_coloring::mpc::Mpc;
 use distributed_coloring::runner::{run_protected, Model, Report, RunError, Scenario};
 use distributed_coloring::scenarios::CongestScenario;
-use distributed_coloring::ExecConfig;
+use distributed_coloring::{ExecConfig, TransportError, TransportSpec};
 
 /// Sends one message far over the strict CONGEST cap — the real
 /// `SimMetrics::account` assertion fires.
@@ -79,6 +79,34 @@ impl Scenario for SendBudgetOverflow {
     }
 }
 
+/// Runs one real TCP round to establish the socket links, then tears down
+/// one endpoint and sends again — the dial is refused and the transport
+/// raises its typed error through the infallible round API.
+struct DroppedPeer;
+
+impl Scenario for DroppedPeer {
+    fn name(&self) -> &str {
+        "dropped-peer"
+    }
+    fn model(&self) -> Model {
+        Model::Congest
+    }
+    fn run(&self, g: &Graph, _: &ExecConfig) -> Result<Report, RunError> {
+        let exec = ExecConfig::default().with_transport(TransportSpec::Tcp);
+        let mut net = Network::from_exec(g, 100, &exec);
+        let talk = |v: usize| {
+            g.neighbors(v)
+                .iter()
+                .map(|&u| (u, (v + u) as u64))
+                .collect::<Vec<_>>()
+        };
+        let _ = net.round(talk); // all links come up
+        net.close_transport_endpoint(0); // node 0 vanishes mid-protocol
+        let _ = net.round(talk);
+        unreachable!("sending to the dropped peer raises the transport error");
+    }
+}
+
 fn ring() -> Graph {
     generators::ring(8)
 }
@@ -141,6 +169,34 @@ fn real_iteration_cap_panic_classifies_as_panic() {
         }
         other => panic!("expected Panic, got {other:?}"),
     }
+}
+
+/// A dropped TCP peer surfaces as the typed `RunError::Transport` with the
+/// original `TransportError` intact on the source chain — and the run
+/// returns promptly (the socket tier's deadlines bound every read and
+/// accept), it never hangs.
+#[test]
+fn dropped_tcp_peer_classifies_as_transport_error() {
+    let err = run_protected(&DroppedPeer, &ring(), &ExecConfig::default()).unwrap_err();
+    match &err {
+        RunError::Transport(e) => {
+            assert!(
+                matches!(e, TransportError::Disconnected { .. }),
+                "expected a disconnection, got {e:?}"
+            );
+            assert!(
+                e.to_string().contains("disconnected"),
+                "the error names the failure: {e}"
+            );
+        }
+        other => panic!("expected Transport, got {other:?}"),
+    }
+    assert!(err.to_string().contains("transport failure"), "{err}");
+    let source = std::error::Error::source(&err).expect("transport keeps its source");
+    assert!(
+        source.downcast_ref::<TransportError>().is_some(),
+        "the concrete TransportError survives losslessly"
+    );
 }
 
 /// The shield is transparent for successful runs: same report as a direct
