@@ -202,6 +202,90 @@ fn main() {
         ));
     }
 
+    // --- bench_kernels ------------------------------------------------------
+    // Each kernel family timed once per tier (reference / scalar / simd),
+    // so the committed baseline records the tier speedups on this machine.
+    // The digit-DP workload matches the bench_derand rows above, making
+    // "kernels/digit_dp/joint_coin_probs/reference" directly comparable to
+    // "bench_derand joint_coin_probs".
+    {
+        use dcl_derand::seed::PartialSeed;
+        use dcl_derand::slice::SliceFamily;
+        use dcl_kernels::KernelTier;
+        let fam = SliceFamily::new(10, 14);
+        let mut seed = PartialSeed::new(fam.seed_len());
+        for i in (0..fam.seed_len()).step_by(2) {
+            seed.fix(i, i % 4 == 0);
+        }
+        let (x, y) = (0b1011001101u64, 0b0111010010u64);
+        let fx = fam.forms_for(&seed, x);
+        let fy = fam.forms_for(&seed, y);
+        // Candidate forms for free seed bit 35 (slice 3), as the Lemma 2.6
+        // driver builds them for edge_shares.
+        let over_u = [
+            fam.form_with_fix(fx[3], x, 35, false),
+            fam.form_with_fix(fx[3], x, 35, true),
+        ];
+        let over_v = [
+            fam.form_with_fix(fy[3], y, 35, false),
+            fam.form_with_fix(fy[3], y, 35, true),
+        ];
+        let scores: Vec<f64> = (0..4096u64)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % 100_000) as f64 / 3.0)
+            .collect();
+        let vals: Vec<u64> = (0..4096u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
+        let mut lens = vec![0u32; vals.len()];
+        let ids: [(KernelTier, [&'static str; 4]); 3] = [
+            (
+                KernelTier::Reference,
+                [
+                    "kernels/digit_dp/joint_coin_probs/reference",
+                    "kernels/digit_dp/edge_shares/reference",
+                    "kernels/argmin/4096/reference",
+                    "kernels/bit_len_batch/4096/reference",
+                ],
+            ),
+            (
+                KernelTier::Scalar,
+                [
+                    "kernels/digit_dp/joint_coin_probs/scalar",
+                    "kernels/digit_dp/edge_shares/scalar",
+                    "kernels/argmin/4096/scalar",
+                    "kernels/bit_len_batch/4096/scalar",
+                ],
+            ),
+            (
+                KernelTier::Simd,
+                [
+                    "kernels/digit_dp/joint_coin_probs/simd",
+                    "kernels/digit_dp/edge_shares/simd",
+                    "kernels/argmin/4096/simd",
+                    "kernels/bit_len_batch/4096/simd",
+                ],
+            ),
+        ];
+        for (tier, [jc, es, am, bl]) in ids {
+            dcl_kernels::set_active_tier(tier);
+            rows.push(time_bench("bench_kernels", jc, || {
+                dcl_kernels::digit_dp::joint_coin_probs(&fx, 9000, &fy, 4000)
+            }));
+            rows.push(time_bench("bench_kernels", es, || {
+                dcl_kernels::digit_dp::edge_shares(
+                    &fx, over_u, 9000, 0.2, 0.25, &fy, over_v, 4000, 0.125, 0.5, 3,
+                )
+            }));
+            rows.push(time_bench("bench_kernels", am, || {
+                dcl_kernels::argmin::argmin_f64(&scores)
+            }));
+            rows.push(time_bench("bench_kernels", bl, || {
+                dcl_kernels::bits::bit_len_batch(&vals, &mut lens)
+            }));
+        }
+        dcl_kernels::set_active_tier(dcl_kernels::detected_tier());
+    }
+
     // The scale-tier suite (bench_scale, including its delta_scale group) is
     // covered by `scale_baseline` / BENCH_scale.json, not here.
 

@@ -256,10 +256,9 @@ pub fn clique_color(
                     ts.push(coin_threshold(cum, len, b));
                 }
                 thresholds[v] = ts;
-                inv[v] = counts
-                    .iter()
-                    .map(|&k| if k > 0 { 1.0 / k as f64 } else { 0.0 })
-                    .collect();
+                let mut recips = vec![0.0f64; counts.len()];
+                dcl_kernels::ratio::recip_batch(&counts, &mut recips);
+                inv[v] = recips;
             }
             // One round: neighbors exchange their digit-count vectors. The
             // routing headroom absorbs the 2^w word *count* (that is how w
@@ -309,8 +308,14 @@ pub fn clique_color(
                             if uh == ul || vh == vl {
                                 continue;
                             }
-                            let p =
-                                joint_interval(&family, &scratch[u], ul, uh, &scratch[v], vl, vh);
+                            let p = dcl_kernels::digit_dp::joint_interval(
+                                &scratch[u],
+                                ul,
+                                uh,
+                                &scratch[v],
+                                vl,
+                                vh,
+                            );
                             total += p * (inv[u][a] + inv[v][a]);
                         }
                     }
@@ -385,21 +390,6 @@ pub fn clique_color(
         iterations,
         collected_nodes,
     }
-}
-
-/// `Pr[z_u ∈ [ul, uh) ∧ z_v ∈ [vl, vh)]` by inclusion–exclusion over the
-/// joint CDF.
-fn joint_interval(
-    family: &SliceFamily,
-    forms_u: &[BitForm],
-    ul: u64,
-    uh: u64,
-    forms_v: &[BitForm],
-    vl: u64,
-    vh: u64,
-) -> f64 {
-    let j = |a: u64, b: u64| family.prob_joint_lt_forms(forms_u, a, forms_v, b);
-    (j(uh, vh) - j(ul, vh) - j(uh, vl) + j(ul, vl)).max(0.0)
 }
 
 #[cfg(test)]

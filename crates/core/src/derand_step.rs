@@ -52,6 +52,11 @@ pub struct PhaseOutcome {
 /// caller replays the returned contributions in edge order on one thread,
 /// which keeps the float association — and hence every leader decision
 /// downstream — bit-identical to the sequential backend.
+///
+/// The numeric work lives in `dcl_kernels::digit_dp::edge_shares` (the
+/// arch-dispatched tier of this function); here we only resolve the seed
+/// layout: the candidate-value overrides for position `slice` of each
+/// endpoint's form vector.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn edge_shares(
@@ -68,22 +73,27 @@ fn edge_shares(
 ) -> [f64; 4] {
     let fu = &forms[u];
     let fv = &forms[v];
-    let (tu, tv) = (thresholds[u], thresholds[v]);
-    let mut out = [0.0f64; 4];
-    for cand in [false, true] {
-        let ou = family.form_with_fix(fu[slice], psi[u], j, cand);
-        let ov = family.form_with_fix(fv[slice], psi[v], j, cand);
-        let p =
-            family.joint_coin_probs_override(fu, Some((slice, ou)), tu, fv, Some((slice, ov)), tv);
-        // Edge survives iff both coins agree; each endpoint adds the
-        // conditional expectation of its own 1/|L_ℓ| share.
-        let share_u = p[3] * k1_inv[u] + p[0] * k0_inv[u];
-        let share_v = p[3] * k1_inv[v] + p[0] * k0_inv[v];
-        let base = if cand { 2 } else { 0 };
-        out[base] = share_u;
-        out[base + 1] = share_v;
-    }
-    out
+    let over_u = [
+        family.form_with_fix(fu[slice], psi[u], j, false),
+        family.form_with_fix(fu[slice], psi[u], j, true),
+    ];
+    let over_v = [
+        family.form_with_fix(fv[slice], psi[v], j, false),
+        family.form_with_fix(fv[slice], psi[v], j, true),
+    ];
+    dcl_kernels::digit_dp::edge_shares(
+        fu,
+        over_u,
+        thresholds[u],
+        k0_inv[u],
+        k1_inv[u],
+        fv,
+        over_v,
+        thresholds[v],
+        k0_inv[v],
+        k1_inv[v],
+        slice,
+    )
 }
 
 /// Accuracy parameter `b` such that `ε = 2^{-b} ≤ 1/(10 · Δ · ⌈log C⌉ ·
@@ -128,8 +138,10 @@ pub fn derandomized_phase(
     let seed_len = family.seed_len();
 
     // --- Local setup: k0/k1 splits and coin thresholds. -------------------
-    let mut k0_inv = vec![0.0f64; n];
-    let mut k1_inv = vec![0.0f64; n];
+    // Inactive nodes keep k = 0, which `recip_batch` maps to 0.0 — the same
+    // no-share sentinel the per-node branch produced.
+    let mut k0 = vec![0usize; n];
+    let mut k1 = vec![0usize; n];
     let mut thresholds = vec![0u64; n];
     for v in 0..n {
         if !state.is_active(v) {
@@ -139,17 +151,13 @@ pub fn derandomized_phase(
         let split = state.split(instance, v);
         let total = (split.k0 + split.k1) as u64;
         thresholds[v] = coin_threshold(split.k1 as u64, total, b);
-        k0_inv[v] = if split.k0 > 0 {
-            1.0 / split.k0 as f64
-        } else {
-            0.0
-        };
-        k1_inv[v] = if split.k1 > 0 {
-            1.0 / split.k1 as f64
-        } else {
-            0.0
-        };
+        k0[v] = split.k0;
+        k1[v] = split.k1;
     }
+    let mut k0_inv = vec![0.0f64; n];
+    let mut k1_inv = vec![0.0f64; n];
+    dcl_kernels::ratio::recip_batch(&k0, &mut k0_inv);
+    dcl_kernels::ratio::recip_batch(&k1, &mut k1_inv);
 
     // One real round: neighbors learn (k1, |L|) — everything they need to
     // evaluate the survival probability of the shared edge (they already

@@ -20,7 +20,7 @@ use crate::prefix::PrefixState;
 #[must_use]
 pub fn node_potential(conflict_degree: usize, candidates: usize) -> f64 {
     assert!(candidates > 0, "candidate set must be nonempty");
-    conflict_degree as f64 / candidates as f64
+    dcl_kernels::ratio::ratio(conflict_degree, candidates)
 }
 
 /// Upper bound on the initial potential: `Σ_v deg(v)/|L(v)| < n_active`.
@@ -85,15 +85,26 @@ pub fn phases_within_budget(trace: &PotentialTrace, budget: f64, slack: f64) -> 
 
 /// Initial total potential of an instance restricted to `active` nodes
 /// (`Σ deg_active(v) / |L(v)|`).
+///
+/// The divisions run through `dcl_kernels::ratio::ratio_batch`; the sum
+/// folds the per-node ratios in node order, matching the sequential
+/// `map(...).sum()` this replaced bit for bit (division is correctly
+/// rounded, so batching cannot change any term).
 pub fn instance_potential(instance: &ListInstance, active: &[bool]) -> f64 {
     let g = instance.graph();
-    g.nodes()
+    let (degs, lens): (Vec<usize>, Vec<usize>) = g
+        .nodes()
         .filter(|&v| active[v])
         .map(|v| {
             let deg = g.neighbors(v).iter().filter(|&&u| active[u]).count();
-            node_potential(deg, instance.list(v).len())
+            let candidates = instance.list(v).len();
+            assert!(candidates > 0, "candidate set must be nonempty");
+            (deg, candidates)
         })
-        .sum()
+        .unzip();
+    let mut ratios = vec![0.0f64; degs.len()];
+    dcl_kernels::ratio::ratio_batch(&degs, &lens, &mut ratios);
+    ratios.iter().sum()
 }
 
 #[cfg(test)]

@@ -103,6 +103,32 @@ impl PartialSeed {
         c
     }
 
+    /// The `len`-bit window starting at `start`, packed as `(fixed, values)`
+    /// bitsets: bit `k` of `fixed` is set iff seed bit `start + k` is fixed,
+    /// and then bit `k` of `values` holds its value (0 for free bits).
+    ///
+    /// This is the SoA view of one hash-family slice: `SliceFamily::bit_form`
+    /// reduces to two AND-parity operations on it instead of `m + 1`
+    /// per-bit `Option` reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the seed or is wider than 64 bits.
+    pub fn packed(&self, start: usize, len: usize) -> (u64, u64) {
+        assert!(len <= 64, "packed window wider than 64 bits");
+        let mut fixed = 0u64;
+        let mut values = 0u64;
+        for (k, bit) in self.bits[start..start + len].iter().enumerate() {
+            if let Some(v) = *bit {
+                fixed |= 1 << k;
+                if v {
+                    values |= 1 << k;
+                }
+            }
+        }
+        (fixed, values)
+    }
+
     /// Enumerates all completions of this seed, calling `f` with each fully
     /// fixed seed. Intended for brute-force reference computations in tests.
     ///
@@ -177,5 +203,31 @@ mod tests {
         let t = s.with_fixed(1, true);
         assert_eq!(s.get(1), None);
         assert_eq!(t.get(1), Some(true));
+    }
+
+    #[test]
+    fn packed_matches_per_bit_reads() {
+        let mut s = PartialSeed::new(10);
+        s.fix(0, true);
+        s.fix(3, false);
+        s.fix(4, true);
+        s.fix(9, true);
+        for (start, len) in [(0, 10), (2, 5), (8, 2), (5, 0)] {
+            let (fixed, values) = s.packed(start, len);
+            for k in 0..len {
+                match s.get(start + k) {
+                    Some(v) => {
+                        assert_eq!(fixed >> k & 1, 1, "bit {k} of window {start}+{len}");
+                        assert_eq!(values >> k & 1 == 1, v);
+                    }
+                    None => {
+                        assert_eq!(fixed >> k & 1, 0);
+                        assert_eq!(values >> k & 1, 0);
+                    }
+                }
+            }
+            assert_eq!(fixed >> len, 0);
+            assert_eq!(values >> len, 0);
+        }
     }
 }

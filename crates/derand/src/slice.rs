@@ -23,111 +23,15 @@
 //! by an exact `O(b)`-time digit DP ([`SliceFamily::prob_joint_lt`]). This is
 //! what makes the method of conditional expectations (Lemma 2.6) efficiently
 //! implementable; see `DESIGN.md` §2.1.
+//!
+//! The DP itself ([`BitForm`], [`PairDist`], and the `prob_*` evaluators)
+//! lives in `dcl_kernels` as an arch-dispatched kernel family (reference /
+//! scalar-SoA / SIMD tiers, proven bit-identical); this module re-exports
+//! the types and keeps the seed-aware API on top.
 
 use crate::seed::PartialSeed;
 
-/// Affine form of one output bit over the free seed bits of its slice:
-/// `bit = offset ⊕ ⟨free r-vars selected by mask⟩ (⊕ s if s_free)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BitForm {
-    /// XOR of all already-fixed contributions.
-    pub offset: bool,
-    /// Free positions of `r_i` where the input has a 1 bit.
-    pub mask: u64,
-    /// Whether `s_i` is still free.
-    pub s_free: bool,
-}
-
-impl BitForm {
-    /// Whether the bit's value is fully determined.
-    pub fn is_known(&self) -> bool {
-        self.mask == 0 && !self.s_free
-    }
-
-    /// Marginal probability that the bit equals 1.
-    pub fn prob_one(&self) -> f64 {
-        if self.is_known() {
-            if self.offset {
-                1.0
-            } else {
-                0.0
-            }
-        } else {
-            0.5
-        }
-    }
-}
-
-/// Joint distribution of a pair of output bits at one position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PairDist {
-    /// Both bits determined.
-    BothKnown(bool, bool),
-    /// First bit determined, second uniform.
-    FirstKnown(bool),
-    /// Second bit determined, first uniform.
-    SecondKnown(bool),
-    /// First uniform; second = first ⊕ d.
-    Correlated(bool),
-    /// Jointly uniform on `{0,1}²`.
-    Independent,
-}
-
-impl PairDist {
-    /// Joint pmf as `[q00, q01, q10, q11]` (`q_{uv}` = Pr\[first = u, second = v\]).
-    pub fn pmf(&self) -> [f64; 4] {
-        match *self {
-            PairDist::BothKnown(a, b) => {
-                let mut q = [0.0; 4];
-                q[(usize::from(a) << 1) | usize::from(b)] = 1.0;
-                q
-            }
-            PairDist::FirstKnown(a) => {
-                let mut q = [0.0; 4];
-                q[usize::from(a) << 1] = 0.5;
-                q[(usize::from(a) << 1) | 1] = 0.5;
-                q
-            }
-            PairDist::SecondKnown(b) => {
-                let mut q = [0.0; 4];
-                q[usize::from(b)] = 0.5;
-                q[2 | usize::from(b)] = 0.5;
-                q
-            }
-            PairDist::Correlated(d) => {
-                let mut q = [0.0; 4];
-                q[usize::from(d)] = 0.5; // first = 0, second = d
-                q[2 | usize::from(!d)] = 0.5; // first = 1, second = !d
-                q
-            }
-            PairDist::Independent => [0.25; 4],
-        }
-    }
-}
-
-/// Joint distribution of two bit forms *from the same slice* (i.e. sharing
-/// the slice's free variables under one partial seed).
-#[must_use]
-pub fn pair_dist_of_forms(fx: BitForm, fy: BitForm) -> PairDist {
-    debug_assert_eq!(
-        fx.s_free, fy.s_free,
-        "forms must come from the same slice and seed"
-    );
-    match (fx.is_known(), fy.is_known()) {
-        (true, true) => PairDist::BothKnown(fx.offset, fy.offset),
-        (true, false) => PairDist::FirstKnown(fx.offset),
-        (false, true) => PairDist::SecondKnown(fy.offset),
-        (false, false) => {
-            // Same slice ⇒ the `s_i` coefficient is identical in both forms,
-            // so the affine forms coincide as linear maps iff the r-masks do.
-            if fx.mask == fy.mask {
-                PairDist::Correlated(fx.offset ^ fy.offset)
-            } else {
-                PairDist::Independent
-            }
-        }
-    }
-}
+pub use dcl_kernels::{pair_dist_of_forms, BitForm, PairDist};
 
 /// The slice-independent inner-product family `h: {0,1}^m → {0,1}^b`.
 ///
@@ -176,16 +80,6 @@ impl SliceFamily {
         self.b as usize * (self.m as usize + 1)
     }
 
-    /// Index of bit `j` of `r_i` within the seed.
-    fn r_index(&self, slice: u32, j: u32) -> usize {
-        slice as usize * (self.m as usize + 1) + j as usize
-    }
-
-    /// Index of `s_i` within the seed.
-    fn s_index(&self, slice: u32) -> usize {
-        slice as usize * (self.m as usize + 1) + self.m as usize
-    }
-
     /// The slice an absolute seed-bit index belongs to.
     pub fn slice_of_seed_bit(&self, index: usize) -> u32 {
         (index / (self.m as usize + 1)) as u32
@@ -201,23 +95,18 @@ impl SliceFamily {
         assert!(x >> self.m == 0, "input {x} wider than {} bits", self.m);
         assert!(slice < self.b, "slice out of range");
         assert_eq!(seed.len(), self.seed_len(), "seed length mismatch");
-        let mut offset = false;
-        let mut mask = 0u64;
-        for j in 0..self.m {
-            if x >> j & 1 == 1 {
-                match seed.get(self.r_index(slice, j)) {
-                    Some(bit) => offset ^= bit,
-                    None => mask |= 1 << j,
-                }
-            }
+        // Packed view of the slice's seed window: bits 0..m are r_i, bit m
+        // is s_i. The per-position loop collapses to word-parallel bit
+        // algebra — free input positions keep their mask bit, fixed ones
+        // fold their value into the offset parity.
+        let window = self.m as usize + 1;
+        let (fixed, values) = seed.packed(slice as usize * window, window);
+        let mask = x & !fixed;
+        let mut offset = (x & fixed & values).count_ones() & 1 == 1;
+        let s_free = fixed >> self.m & 1 == 0;
+        if !s_free {
+            offset ^= values >> self.m & 1 == 1;
         }
-        let s_free = match seed.get(self.s_index(slice)) {
-            Some(bit) => {
-                offset ^= bit;
-                false
-            }
-            None => true,
-        };
         BitForm {
             offset,
             mask,
@@ -296,25 +185,8 @@ impl SliceFamily {
         over: Option<(usize, BitForm)>,
         t: u64,
     ) -> f64 {
-        if t >= 1 << self.b {
-            return 1.0;
-        }
-        let mut p_eq = 1.0f64;
-        let mut p_lt = 0.0f64;
-        for i in (0..self.b as usize).rev() {
-            let form = match over {
-                Some((oi, f)) if oi == i => f,
-                _ => forms[i],
-            };
-            let p1 = form.prob_one();
-            if t >> i & 1 == 1 {
-                p_lt += p_eq * (1.0 - p1);
-                p_eq *= p1;
-            } else {
-                p_eq *= 1.0 - p1;
-            }
-        }
-        p_lt
+        debug_assert_eq!(forms.len(), self.b as usize, "forms length mismatch");
+        dcl_kernels::digit_dp::prob_lt_override(forms, over, t)
     }
 
     /// `Pr[z_x < t_x ∧ z_y < t_y]` from precomputed bit forms of the two
@@ -341,67 +213,8 @@ impl SliceFamily {
         over_y: Option<(usize, BitForm)>,
         t_y: u64,
     ) -> f64 {
-        let full = 1u64 << self.b;
-        if t_x >= full && t_y >= full {
-            return 1.0;
-        }
-        if t_x >= full {
-            return self.prob_lt_override(forms_y, over_y, t_y);
-        }
-        if t_y >= full {
-            return self.prob_lt_override(forms_x, over_x, t_x);
-        }
-        let mut ee = 1.0f64;
-        let mut el = 0.0f64;
-        let mut le = 0.0f64;
-        let mut ll = 0.0f64;
-        for i in (0..self.b as usize).rev() {
-            let fx = match over_x {
-                Some((oi, f)) if oi == i => f,
-                _ => forms_x[i],
-            };
-            let fy = match over_y {
-                Some((oi, f)) if oi == i => f,
-                _ => forms_y[i],
-            };
-            let q = pair_dist_of_forms(fx, fy).pmf();
-            let tbx = t_x >> i & 1;
-            let tby = t_y >> i & 1;
-            let (mut nee, mut nel, mut nle, mut nll) = (0.0, 0.0, 0.0, 0.0);
-            for (idx, &prob) in q.iter().enumerate() {
-                if prob == 0.0 {
-                    continue;
-                }
-                let bx = (idx >> 1) as u64;
-                let by = (idx & 1) as u64;
-                let cx = bx.cmp(&tbx);
-                let cy = by.cmp(&tby);
-                use std::cmp::Ordering::*;
-                match (cx, cy) {
-                    (Greater, _) | (_, Greater) => {}
-                    (Equal, Equal) => nee += ee * prob,
-                    (Equal, Less) => nel += ee * prob,
-                    (Less, Equal) => nle += ee * prob,
-                    (Less, Less) => nll += ee * prob,
-                }
-                match cx {
-                    Greater => {}
-                    Equal => nel += el * prob,
-                    Less => nll += el * prob,
-                }
-                match cy {
-                    Greater => {}
-                    Equal => nle += le * prob,
-                    Less => nll += le * prob,
-                }
-                nll += ll * prob;
-            }
-            ee = nee;
-            el = nel;
-            le = nle;
-            ll = nll;
-        }
-        ll
+        debug_assert_eq!(forms_x.len(), self.b as usize, "forms length mismatch");
+        dcl_kernels::digit_dp::prob_joint_lt_override(forms_x, over_x, t_x, forms_y, over_y, t_y)
     }
 
     /// Joint coin probabilities `[p00, p01, p10, p11]` from precomputed
@@ -428,13 +241,8 @@ impl SliceFamily {
         over_y: Option<(usize, BitForm)>,
         t_y: u64,
     ) -> [f64; 4] {
-        let p11 = self.prob_joint_lt_override(forms_x, over_x, t_x, forms_y, over_y, t_y);
-        let px = self.prob_lt_override(forms_x, over_x, t_x);
-        let py = self.prob_lt_override(forms_y, over_y, t_y);
-        let p10 = (px - p11).max(0.0);
-        let p01 = (py - p11).max(0.0);
-        let p00 = (1.0 - px - py + p11).max(0.0);
-        [p00, p01, p10, p11]
+        debug_assert_eq!(forms_x.len(), self.b as usize, "forms length mismatch");
+        dcl_kernels::digit_dp::joint_coin_probs_override(forms_x, over_x, t_x, forms_y, over_y, t_y)
     }
 
     /// Evaluates the hash on a fully fixed seed.

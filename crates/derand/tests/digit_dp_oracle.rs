@@ -1,0 +1,222 @@
+//! Brute-force histogram oracle for the digit-DP kernels.
+//!
+//! The tier-equivalence suite in `dcl_kernels` proves the three tiers agree
+//! with each other; this suite proves they agree with *the ground truth*:
+//! for every completion of a partial seed the hash output pair `(z_x, z_y)`
+//! is enumerated into an exact joint histogram, and the marginal DP, joint
+//! DP and four-outcome coin DP are checked against it for **every**
+//! threshold pair — once per kernel tier, asserting the tiers are also
+//! bitwise identical to one another along the way.
+//!
+//! A hand-crafted `m = 2, b = 2` configuration additionally pins coverage
+//! of all five `PairDist` cases (BothKnown / FirstKnown / SecondKnown /
+//! Correlated / Independent) so the case analysis can never silently
+//! degenerate under refactoring.
+
+use dcl_derand::seed::PartialSeed;
+use dcl_derand::slice::{PairDist, SliceFamily};
+use dcl_kernels::{detected_tier, set_active_tier, KernelTier};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Tier forcing mutates one process-global; serialize around it.
+fn lock_tier() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` once per tier and restores CPU detection afterwards.
+fn per_tier<T>(mut f: impl FnMut() -> T) -> [T; 3] {
+    let _guard = lock_tier();
+    let out = KernelTier::all().map(|tier| {
+        set_active_tier(tier);
+        f()
+    });
+    set_active_tier(detected_tier());
+    out
+}
+
+/// Exact joint histogram of `(z_x, z_y)` over all completions of `seed` —
+/// built once, then every threshold query is answered from it instead of
+/// re-enumerating.
+struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    outs: usize,
+}
+
+impl Histogram {
+    fn build(fam: &SliceFamily, seed: &PartialSeed, x: u64, y: u64) -> Self {
+        let outs = 1usize << fam.output_bits();
+        let mut counts = vec![0u64; outs * outs];
+        let mut total = 0u64;
+        seed.for_each_completion(|s| {
+            let zx = fam.evaluate(s, x) as usize;
+            let zy = fam.evaluate(s, y) as usize;
+            counts[zx * outs + zy] += 1;
+            total += 1;
+        });
+        Histogram {
+            counts,
+            total,
+            outs,
+        }
+    }
+
+    fn prob(&self, pred: impl Fn(u64, u64) -> bool) -> f64 {
+        let mut hits = 0u64;
+        for zx in 0..self.outs {
+            for zy in 0..self.outs {
+                if pred(zx as u64, zy as u64) {
+                    hits += self.counts[zx * self.outs + zy];
+                }
+            }
+        }
+        hits as f64 / self.total as f64
+    }
+}
+
+/// Checks every DP entry point against the histogram for one threshold
+/// pair, under every tier, and asserts the tiers are bitwise identical.
+fn check_thresholds(
+    fam: &SliceFamily,
+    seed: &PartialSeed,
+    hist: &Histogram,
+    x: u64,
+    tx: u64,
+    y: u64,
+    ty: u64,
+) -> Result<(), String> {
+    let results = per_tier(|| {
+        (
+            fam.prob_lt(seed, x, tx),
+            fam.prob_lt(seed, y, ty),
+            fam.prob_joint_lt(seed, x, tx, y, ty),
+            fam.joint_coin_probs(seed, x, tx, y, ty),
+        )
+    });
+    let as_bits = |r: &(f64, f64, f64, [f64; 4])| {
+        (
+            r.0.to_bits(),
+            r.1.to_bits(),
+            r.2.to_bits(),
+            r.3.map(f64::to_bits),
+        )
+    };
+    for (tier, r) in KernelTier::all().iter().zip(&results) {
+        if as_bits(r) != as_bits(&results[0]) {
+            return Err(format!(
+                "tier {} diverged from reference at tx={tx} ty={ty}: {r:?} vs {:?}",
+                tier.name(),
+                results[0]
+            ));
+        }
+    }
+    let (px, py, pxy, coins) = results[0];
+    let checks = [
+        ("marginal x", px, hist.prob(|zx, _| zx < tx)),
+        ("marginal y", py, hist.prob(|_, zy| zy < ty)),
+        ("joint", pxy, hist.prob(|zx, zy| zx < tx && zy < ty)),
+        (
+            "coin 00",
+            coins[0],
+            hist.prob(|zx, zy| zx >= tx && zy >= ty),
+        ),
+        ("coin 01", coins[1], hist.prob(|zx, zy| zx >= tx && zy < ty)),
+        ("coin 10", coins[2], hist.prob(|zx, zy| zx < tx && zy >= ty)),
+        ("coin 11", coins[3], hist.prob(|zx, zy| zx < tx && zy < ty)),
+    ];
+    for (label, dp, oracle) in checks {
+        if (dp - oracle).abs() >= 1e-9 {
+            return Err(format!(
+                "{label} at tx={tx} ty={ty}: dp={dp} oracle={oracle}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every DP entry point equals exhaustive enumeration for arbitrary
+    /// partial seeds, inputs and **all** threshold pairs, under every tier.
+    #[test]
+    fn dp_matches_histogram_oracle_under_every_tier(
+        m in 1u32..=8,
+        b in 1u32..=4,
+        x_raw in any::<u64>(),
+        y_raw in any::<u64>(),
+        fix_a in any::<u64>(),
+        fix_b in any::<u64>(),
+        values in any::<u64>(),
+    ) {
+        let fam = SliceFamily::new(m, b);
+        let mask = (1u64 << m) - 1;
+        let (x, y) = (x_raw & mask, y_raw & mask);
+        let mut seed = PartialSeed::new(fam.seed_len());
+        // Fix each bit with probability 3/4 so enumeration stays small
+        // (seed_len is up to 36 here) while leaving real joint structure.
+        for i in 0..fam.seed_len() {
+            if (fix_a | fix_b) >> (i % 64) & 1 == 1 {
+                seed.fix(i, values >> (i % 64) & 1 == 1);
+            }
+        }
+        prop_assume!(seed.free_count() <= 14);
+
+        let hist = Histogram::build(&fam, &seed, x, y);
+        let full = 1u64 << b;
+        for tx in 0..=full {
+            for ty in 0..=full {
+                check_thresholds(&fam, &seed, &hist, x, tx, y, ty)
+                    .map_err(TestCaseError::Fail)?;
+            }
+        }
+    }
+}
+
+/// A fixed `m = 2, b = 2` configuration that provably exercises all five
+/// `PairDist` cases at once: slice 0 has its `r₀` and `s` bits fixed (so
+/// input 1 is fully known and input 2 is still free), while slice 1 is
+/// fully free (equal masks ⇒ Correlated, different masks ⇒ Independent).
+#[test]
+fn all_five_pair_dist_cases_covered_and_oracle_checked() {
+    let fam = SliceFamily::new(2, 2);
+    let mut seed = PartialSeed::new(fam.seed_len());
+    seed.fix(0, true); // r₀ of slice 0
+    seed.fix(2, true); // s of slice 0
+
+    assert!(matches!(
+        fam.pair_dist(&seed, 0, 1, 1),
+        PairDist::BothKnown(..)
+    ));
+    assert!(matches!(
+        fam.pair_dist(&seed, 0, 1, 2),
+        PairDist::FirstKnown(..)
+    ));
+    assert!(matches!(
+        fam.pair_dist(&seed, 0, 2, 1),
+        PairDist::SecondKnown(..)
+    ));
+    assert!(matches!(
+        fam.pair_dist(&seed, 1, 1, 1),
+        PairDist::Correlated(..)
+    ));
+    assert!(matches!(
+        fam.pair_dist(&seed, 1, 1, 2),
+        PairDist::Independent
+    ));
+
+    // Input pairs chosen so the two slices jointly walk through every
+    // case combination the DP has to aggregate.
+    for (x, y) in [(1, 1), (1, 2), (2, 1), (1, 3), (2, 3), (3, 3)] {
+        let hist = Histogram::build(&fam, &seed, x, y);
+        for tx in 0..=4 {
+            for ty in 0..=4 {
+                check_thresholds(&fam, &seed, &hist, x, tx, y, ty).unwrap();
+            }
+        }
+    }
+}

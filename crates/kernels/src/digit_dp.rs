@@ -1,0 +1,342 @@
+//! Family 1: the Lemma 2.6 pair-probability digit DP and its per-edge
+//! aggregation.
+//!
+//! This is ~90% of Theorem 1.1 runtime: every conflict edge × every seed
+//! bit × both candidate values runs the exact `O(b)` digit DP over the
+//! joint distribution of two hash outputs. The public functions here are
+//! the dispatch layer; the three tiers live in the submodules:
+//!
+//! - [`mod@reference`] — `SliceFamily::{prob_lt_override,
+//!   prob_joint_lt_override, joint_coin_probs_override}` and the drivers'
+//!   edge aggregation, moved verbatim from `dcl_derand::slice` /
+//!   `dcl_core::derand_step`.
+//! - [`scalar`] — the forms repacked once per call into an SoA batch
+//!   (`Soa`: `mask` array + `known`/`offset` bitsets), the per-digit
+//!   case split resolved by integer bit tests, and the DP transition
+//!   replaying the reference's float operations in the reference's order —
+//!   bit-identical by construction, with no allocation and no per-position
+//!   override branch.
+//! - [`simd`] — independent DP instances paired into SSE2 lanes (the two
+//!   candidate values of one seed bit, the two marginals of one edge, the
+//!   CDF corners of one interval). Per-lane IEEE ops equal the scalar ops;
+//!   masked-out contributions add `+0.0`, which preserves accumulator bits
+//!   because every term is finite and non-negative. Off x86_64 the tier
+//!   falls back to [`scalar`].
+//!
+//! Thresholds may be up to `2^b` *inclusive* (the reference's guard
+//! clauses); `b` is the forms-slice length, at most 63 (`SliceFamily`
+//! enforces this upstream).
+
+use crate::forms::{BitForm, PairDist};
+use crate::tier::{active_tier, KernelTier};
+
+pub mod reference;
+pub mod scalar;
+pub mod simd;
+
+/// SoA repack of one input's `b` bit forms (with an optional single-position
+/// override pre-applied): the free-variable masks as an array, the
+/// known/offset flags as bitsets. The scalar and SIMD tiers read digits from
+/// this layout with integer bit tests instead of per-position struct loads.
+pub(crate) struct Soa {
+    /// Number of digits (= forms.len()).
+    pub b: usize,
+    /// `masks[i]` = free positions of `r_i` where the input has a 1 bit.
+    pub masks: [u64; 64],
+    /// Bit `i` set iff form `i` is fully determined.
+    pub known: u64,
+    /// Bit `i` = offset of form `i`.
+    pub offset: u64,
+}
+
+impl Soa {
+    pub(crate) fn pack(forms: &[BitForm], over: Option<(usize, BitForm)>) -> Soa {
+        debug_assert!(forms.len() < 64, "digit DP supports at most 63 digits");
+        let mut s = Soa {
+            b: forms.len(),
+            masks: [0; 64],
+            known: 0,
+            offset: 0,
+        };
+        for (i, form) in forms.iter().enumerate() {
+            let f = match over {
+                Some((oi, o)) if oi == i => o,
+                _ => *form,
+            };
+            s.masks[i] = f.mask;
+            if f.is_known() {
+                s.known |= 1 << i;
+            }
+            if f.offset {
+                s.offset |= 1 << i;
+            }
+        }
+        s
+    }
+
+    /// Marginal probability that digit `i` equals 1 — same values as
+    /// [`BitForm::prob_one`], read from the bitsets.
+    #[inline]
+    pub(crate) fn prob_one(&self, i: usize) -> f64 {
+        if self.known >> i & 1 == 1 {
+            if self.offset >> i & 1 == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            0.5
+        }
+    }
+}
+
+/// The joint pmf of digit `i` of the two inputs, `[q00, q01, q10, q11]` —
+/// the same five-case split as [`pair_dist_of_forms`], decided from the SoA
+/// bitsets.
+#[inline]
+pub(crate) fn pmf_at(sx: &Soa, sy: &Soa, i: usize) -> [f64; 4] {
+    let kx = sx.known >> i & 1 == 1;
+    let ky = sy.known >> i & 1 == 1;
+    let ox = sx.offset >> i & 1 == 1;
+    let oy = sy.offset >> i & 1 == 1;
+    let dist = match (kx, ky) {
+        (true, true) => PairDist::BothKnown(ox, oy),
+        (true, false) => PairDist::FirstKnown(ox),
+        (false, true) => PairDist::SecondKnown(oy),
+        (false, false) if sx.masks[i] == sy.masks[i] => PairDist::Correlated(ox ^ oy),
+        (false, false) => PairDist::Independent,
+    };
+    dist.pmf()
+}
+
+/// `Pr[z < t]` over the free bits of `forms`, with position `i` replaced by
+/// `f` when `over = Some((i, f))`. `t` may be `2^b` (inclusive) → 1.
+#[must_use]
+pub fn prob_lt_override(forms: &[BitForm], over: Option<(usize, BitForm)>, t: u64) -> f64 {
+    match active_tier() {
+        KernelTier::Reference => reference::prob_lt_override(forms, over, t),
+        // A single marginal DP has nothing to pair into lanes; the SIMD
+        // tier shares the SoA path.
+        KernelTier::Scalar | KernelTier::Simd => scalar::prob_lt(&Soa::pack(forms, over), t),
+    }
+}
+
+/// `Pr[z < t]` without an override.
+#[must_use]
+pub fn prob_lt(forms: &[BitForm], t: u64) -> f64 {
+    prob_lt_override(forms, None, t)
+}
+
+/// `Pr[z_x < t_x ∧ z_y < t_y]` over the shared free seed bits, with
+/// per-input single-position overrides.
+#[must_use]
+pub fn prob_joint_lt_override(
+    forms_x: &[BitForm],
+    over_x: Option<(usize, BitForm)>,
+    t_x: u64,
+    forms_y: &[BitForm],
+    over_y: Option<(usize, BitForm)>,
+    t_y: u64,
+) -> f64 {
+    match active_tier() {
+        KernelTier::Reference => {
+            reference::prob_joint_lt_override(forms_x, over_x, t_x, forms_y, over_y, t_y)
+        }
+        // One joint DP is one instance; pairing happens at the aggregation
+        // entry points (edge_shares, joint_interval).
+        KernelTier::Scalar | KernelTier::Simd => scalar::prob_joint_lt(
+            &Soa::pack(forms_x, over_x),
+            t_x,
+            &Soa::pack(forms_y, over_y),
+            t_y,
+        ),
+    }
+}
+
+/// `Pr[z_x < t_x ∧ z_y < t_y]` without overrides.
+#[must_use]
+pub fn prob_joint_lt(forms_x: &[BitForm], t_x: u64, forms_y: &[BitForm], t_y: u64) -> f64 {
+    prob_joint_lt_override(forms_x, None, t_x, forms_y, None, t_y)
+}
+
+/// Joint threshold-coin probabilities `[p00, p01, p10, p11]` with per-input
+/// single-position overrides.
+#[must_use]
+pub fn joint_coin_probs_override(
+    forms_x: &[BitForm],
+    over_x: Option<(usize, BitForm)>,
+    t_x: u64,
+    forms_y: &[BitForm],
+    over_y: Option<(usize, BitForm)>,
+    t_y: u64,
+) -> [f64; 4] {
+    match active_tier() {
+        KernelTier::Reference => {
+            reference::joint_coin_probs_override(forms_x, over_x, t_x, forms_y, over_y, t_y)
+        }
+        KernelTier::Scalar => scalar::joint_coin_probs(
+            &Soa::pack(forms_x, over_x),
+            t_x,
+            &Soa::pack(forms_y, over_y),
+            t_y,
+        ),
+        KernelTier::Simd => simd::joint_coin_probs(
+            &Soa::pack(forms_x, over_x),
+            t_x,
+            &Soa::pack(forms_y, over_y),
+            t_y,
+        ),
+    }
+}
+
+/// Joint threshold-coin probabilities without overrides.
+#[must_use]
+pub fn joint_coin_probs(forms_x: &[BitForm], t_x: u64, forms_y: &[BitForm], t_y: u64) -> [f64; 4] {
+    joint_coin_probs_override(forms_x, None, t_x, forms_y, None, t_y)
+}
+
+/// Conditional expectations of one conflict edge for one seed bit:
+/// `[x⁰ share of u, x⁰ share of v, x¹ share of u, x¹ share of v]`.
+///
+/// `over_u[c]` / `over_v[c]` are the endpoint forms at position `slice`
+/// with the seed bit under evaluation fixed to candidate value `c` (the
+/// caller computes them via `SliceFamily::form_with_fix`, keeping the
+/// kernel independent of the seed layout). This is the innermost function
+/// of the whole system — the dominant work of every scenario.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn edge_shares(
+    forms_u: &[BitForm],
+    over_u: [BitForm; 2],
+    t_u: u64,
+    k0_inv_u: f64,
+    k1_inv_u: f64,
+    forms_v: &[BitForm],
+    over_v: [BitForm; 2],
+    t_v: u64,
+    k0_inv_v: f64,
+    k1_inv_v: f64,
+    slice: usize,
+) -> [f64; 4] {
+    match active_tier() {
+        KernelTier::Reference => reference::edge_shares(
+            forms_u, over_u, t_u, k0_inv_u, k1_inv_u, forms_v, over_v, t_v, k0_inv_v, k1_inv_v,
+            slice,
+        ),
+        KernelTier::Scalar => scalar::edge_shares(
+            forms_u, over_u, t_u, k0_inv_u, k1_inv_u, forms_v, over_v, t_v, k0_inv_v, k1_inv_v,
+            slice,
+        ),
+        KernelTier::Simd => simd::edge_shares(
+            forms_u, over_u, t_u, k0_inv_u, k1_inv_u, forms_v, over_v, t_v, k0_inv_v, k1_inv_v,
+            slice,
+        ),
+    }
+}
+
+/// `Pr[z_u ∈ [ul, uh) ∧ z_v ∈ [vl, vh)]` by inclusion–exclusion over the
+/// joint CDF, in the fixed combine order
+/// `(J(uh,vh) − J(ul,vh) − J(uh,vl) + J(ul,vl)).max(0)` — the order both
+/// the CONGESTED CLIQUE driver and the MPC finisher used before the
+/// extraction, so the kernel serves both call sites bit-identically.
+#[must_use]
+pub fn joint_interval(
+    forms_u: &[BitForm],
+    ul: u64,
+    uh: u64,
+    forms_v: &[BitForm],
+    vl: u64,
+    vh: u64,
+) -> f64 {
+    match active_tier() {
+        KernelTier::Reference => reference::joint_interval(forms_u, ul, uh, forms_v, vl, vh),
+        KernelTier::Scalar => scalar::joint_interval(forms_u, ul, uh, forms_v, vl, vh),
+        KernelTier::Simd => simd::joint_interval(forms_u, ul, uh, forms_v, vl, vh),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forms::pair_dist_of_forms;
+    use crate::tier::set_active_tier;
+
+    fn form(offset: bool, mask: u64, s_free: bool) -> BitForm {
+        BitForm {
+            offset,
+            mask,
+            s_free,
+        }
+    }
+
+    fn sample_forms() -> (Vec<BitForm>, Vec<BitForm>) {
+        let fx = vec![
+            form(false, 0b0110, false),
+            form(true, 0, false),
+            form(false, 0, true),
+            form(true, 0b1000, true),
+        ];
+        let fy = vec![
+            form(true, 0b0110, false),
+            form(false, 0b0001, false),
+            form(true, 0, true),
+            form(false, 0b1000, true),
+        ];
+        (fx, fy)
+    }
+
+    #[test]
+    fn all_tiers_agree_on_sample() {
+        let (fx, fy) = sample_forms();
+        let anchor = reference::prob_joint_lt_override(&fx, None, 11, &fy, None, 6);
+        for t in KernelTier::all() {
+            set_active_tier(t);
+            assert_eq!(
+                prob_joint_lt(&fx, 11, &fy, 6).to_bits(),
+                anchor.to_bits(),
+                "tier {}",
+                t.name()
+            );
+            assert_eq!(
+                joint_coin_probs(&fx, 11, &fy, 6).map(f64::to_bits),
+                reference::joint_coin_probs_override(&fx, None, 11, &fy, None, 6).map(f64::to_bits),
+                "tier {}",
+                t.name()
+            );
+        }
+        set_active_tier(crate::tier::detected_tier());
+    }
+
+    #[test]
+    fn guards_handle_inclusive_thresholds() {
+        let (fx, fy) = sample_forms();
+        for t in KernelTier::all() {
+            set_active_tier(t);
+            assert_eq!(prob_joint_lt(&fx, 16, &fy, 16), 1.0);
+            assert_eq!(prob_lt(&fx, 16), 1.0);
+            assert_eq!(
+                prob_joint_lt(&fx, 16, &fy, 5).to_bits(),
+                prob_lt(&fy, 5).to_bits()
+            );
+            assert_eq!(
+                prob_joint_lt(&fx, 7, &fy, 16).to_bits(),
+                prob_lt(&fx, 7).to_bits()
+            );
+        }
+        set_active_tier(crate::tier::detected_tier());
+    }
+
+    #[test]
+    fn pmf_at_matches_pair_dist_of_forms() {
+        let (fx, fy) = sample_forms();
+        let sx = Soa::pack(&fx, None);
+        let sy = Soa::pack(&fy, None);
+        for i in 0..fx.len() {
+            assert_eq!(
+                pmf_at(&sx, &sy, i),
+                pair_dist_of_forms(fx[i], fy[i]).pmf(),
+                "digit {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Arch-dispatched numeric kernels for the simulator's hot loops.
+//!
+//! ~90% of Theorem 1.1 runtime is the Lemma 2.6 per-edge
+//! conditional-expectation loop; the rest of the budget is dominated by the
+//! drivers' `argmin_f64` candidate selection and the wire-accounting
+//! arithmetic. This crate owns those three numeric families as *kernels*
+//! with three implementation tiers each, selected at runtime by one
+//! dispatch module ([`tier`]):
+//!
+//! - **reference** — the code exactly as it lived at its original call
+//!   site, moved verbatim. The semantic anchor every other tier is proven
+//!   against.
+//! - **scalar** — SoA (struct-of-arrays) restructured, allocation-free,
+//!   autovectorization-friendly. Replays the reference's float operation
+//!   sequence step for step, so results are bit-identical by construction.
+//! - **simd** — explicit stable `std::arch` SIMD on x86_64 (SSE2 for the
+//!   digit DP, AVX2 for `argmin`/`bit_len` when detected at runtime via
+//!   [`std::arch::is_x86_feature_detected`]), falling back to `scalar`
+//!   elsewhere.
+//!
+//! # The float-association rule
+//!
+//! Every tier must produce **bit-identical** `f64` results, not merely
+//! approximately equal ones: PRs 2–6 property-tested the whole system
+//! bit-identical across backends, bandwidth caps, and transports, and the
+//! kernels tier must not be the layer that breaks that contract. The rule
+//! that makes this possible: *a tier may reorder independent work, but
+//! never the accumulation order of any single float accumulator*. The SIMD
+//! tiers therefore vectorize **across independent DP instances** (one
+//! instance per lane, each lane replaying the scalar op sequence exactly)
+//! rather than across the digits of one instance, and `argmin` uses a
+//! fixed-width lane reduction with a defined lane-order combine. Masked
+//! lanes contribute `+0.0` adds, which are bit-preserving because every
+//! accumulated term is finite and non-negative (probabilities). The
+//! cross-tier property tests in `tests/tier_equivalence.rs` and the
+//! whole-pipeline oracle in the facade's `kernel_tier_oracle.rs` enforce
+//! the contract.
+//!
+//! # Dispatch
+//!
+//! [`tier::active_tier`] picks the tier once per process: the
+//! `DCL_KERNEL_TIER` environment variable (`reference` / `scalar` /
+//! `simd`) wins if set, otherwise the best tier the CPU supports is
+//! detected. Tests force tiers in-process via [`tier::set_active_tier`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod argmin;
+pub mod bits;
+pub mod digit_dp;
+pub mod forms;
+pub mod ratio;
+pub mod tier;
+
+pub use forms::{pair_dist_of_forms, BitForm, PairDist};
+pub use tier::{active_tier, detected_tier, set_active_tier, simd_features, KernelTier};

@@ -1,0 +1,165 @@
+//! Tier selection: one dispatch decision per process.
+//!
+//! The decision order is
+//!
+//! 1. [`set_active_tier`] — an explicit in-process override (tests force
+//!    each tier this way without re-spawning);
+//! 2. the `DCL_KERNEL_TIER` environment variable (`reference`, `scalar`
+//!    or `simd`), read once on first use;
+//! 3. runtime CPU detection: `simd` on x86_64 (SSE2 is part of the
+//!    x86_64 baseline, wider extensions are probed per kernel), `scalar`
+//!    on every other architecture.
+//!
+//! Requesting `simd` on a non-x86_64 build is allowed and falls back to
+//! the scalar implementations kernel by kernel — the tier names a
+//! *ceiling*, not a requirement, so sweep scripts can export
+//! `DCL_KERNEL_TIER=simd` unconditionally.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which implementation tier the kernels dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// The original call-site code, moved verbatim. Semantic anchor.
+    Reference,
+    /// SoA, allocation-free, autovectorization-friendly. Bit-identical to
+    /// reference by replaying its float op sequence.
+    Scalar,
+    /// Explicit `std::arch` SIMD where the CPU supports it, scalar
+    /// fallback elsewhere. Bit-identical by lane-parallel independence.
+    Simd,
+}
+
+impl KernelTier {
+    /// Stable lower-case name (`"reference"`, `"scalar"`, `"simd"`) — the
+    /// same spelling `DCL_KERNEL_TIER` accepts and bench/MachineProfile
+    /// headers record.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            KernelTier::Reference => "reference",
+            KernelTier::Scalar => "scalar",
+            KernelTier::Simd => "simd",
+        }
+    }
+
+    /// All tiers, in escalation order. Drives tier-matrix tests.
+    #[must_use]
+    pub const fn all() -> [KernelTier; 3] {
+        [KernelTier::Reference, KernelTier::Scalar, KernelTier::Simd]
+    }
+
+    fn from_u8(v: u8) -> Option<KernelTier> {
+        match v {
+            1 => Some(KernelTier::Reference),
+            2 => Some(KernelTier::Scalar),
+            3 => Some(KernelTier::Simd),
+            _ => None,
+        }
+    }
+
+    const fn as_u8(self) -> u8 {
+        match self {
+            KernelTier::Reference => 1,
+            KernelTier::Scalar => 2,
+            KernelTier::Simd => 3,
+        }
+    }
+}
+
+/// 0 = undecided; otherwise `KernelTier::as_u8`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The tier the current CPU supports without an override.
+#[must_use]
+pub fn detected_tier() -> KernelTier {
+    if cfg!(target_arch = "x86_64") {
+        // SSE2 is architecturally guaranteed on x86_64; AVX2 paths probe
+        // `is_x86_feature_detected!` at their own call sites.
+        KernelTier::Simd
+    } else {
+        KernelTier::Scalar
+    }
+}
+
+fn tier_from_env() -> Option<KernelTier> {
+    let raw = std::env::var("DCL_KERNEL_TIER").ok()?;
+    match raw.as_str() {
+        "reference" => Some(KernelTier::Reference),
+        "scalar" => Some(KernelTier::Scalar),
+        "simd" => Some(KernelTier::Simd),
+        other => panic!("DCL_KERNEL_TIER must be one of reference|scalar|simd, got {other:?}"),
+    }
+}
+
+/// The tier every kernel dispatches to. Decided once per process (env
+/// override, else CPU detection) and cached; [`set_active_tier`] replaces
+/// the decision at any time.
+#[must_use]
+pub fn active_tier() -> KernelTier {
+    if let Some(t) = KernelTier::from_u8(ACTIVE.load(Ordering::Relaxed)) {
+        return t;
+    }
+    let decided = tier_from_env().unwrap_or_else(detected_tier);
+    // A racing first-use may store a different-but-identically-derived
+    // value; last write wins and both are the same decision.
+    ACTIVE.store(decided.as_u8(), Ordering::Relaxed);
+    decided
+}
+
+/// Forces the active tier for the rest of the process (until the next
+/// call). Test-matrix entry point: the tier oracle runs each scenario
+/// once per tier in a single process through this.
+pub fn set_active_tier(tier: KernelTier) {
+    ACTIVE.store(tier.as_u8(), Ordering::Relaxed);
+}
+
+/// The `target_feature` set the SIMD tier can actually use on this
+/// machine, as a stable `+`-joined string (`"none"` off x86_64). Recorded
+/// in the `MachineProfile` header of committed `BENCH_*.json` files so
+/// baselines state what produced them.
+#[must_use]
+pub fn simd_features() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            "sse2+avx2"
+        } else {
+            "sse2"
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_are_stable() {
+        assert_eq!(KernelTier::Reference.name(), "reference");
+        assert_eq!(KernelTier::Scalar.name(), "scalar");
+        assert_eq!(KernelTier::Simd.name(), "simd");
+    }
+
+    #[test]
+    fn set_active_tier_wins_over_detection() {
+        for t in KernelTier::all() {
+            set_active_tier(t);
+            assert_eq!(active_tier(), t);
+        }
+        set_active_tier(detected_tier());
+    }
+
+    #[test]
+    fn u8_roundtrip() {
+        for t in KernelTier::all() {
+            assert_eq!(KernelTier::from_u8(t.as_u8()), Some(t));
+        }
+        assert_eq!(KernelTier::from_u8(0), None);
+        assert_eq!(KernelTier::from_u8(9), None);
+    }
+}

@@ -1,0 +1,297 @@
+//! Cross-tier bit-identity property tests.
+//!
+//! Every kernel family must produce **bit-identical** `f64` results under
+//! all three tiers (`reference` / `scalar` / `simd`) — the float-association
+//! rule of the crate docs, checked here with `to_bits` equality rather than
+//! epsilon comparison. Inputs are arbitrary same-slice form vectors,
+//! thresholds (including the inclusive `t = 2^b` edge) and single-position
+//! overrides derived by real "fix one seed bit" semantics.
+
+use dcl_kernels::{argmin, bits, digit_dp, ratio};
+use dcl_kernels::{detected_tier, set_active_tier, BitForm, KernelTier};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Tier forcing mutates one process-global; serialize the tests in this
+/// binary so no case observes a foreign tier mid-matrix.
+fn lock_tier() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` once per tier (reference, scalar, simd — in that order) and
+/// restores CPU detection afterwards.
+fn per_tier<T>(mut f: impl FnMut() -> T) -> [T; 3] {
+    let _guard = lock_tier();
+    let out = KernelTier::all().map(|tier| {
+        set_active_tier(tier);
+        f()
+    });
+    set_active_tier(detected_tier());
+    out
+}
+
+fn assert_tiers_agree<T: PartialEq + std::fmt::Debug>(
+    label: &str,
+    results: [T; 3],
+) -> Result<(), TestCaseError> {
+    let [reference, scalar, simd] = results;
+    prop_assert_eq!(
+        &reference,
+        &scalar,
+        "{}: scalar diverged from reference",
+        label
+    );
+    prop_assert_eq!(&reference, &simd, "{}: simd diverged from reference", label);
+    Ok(())
+}
+
+/// Decodes two same-slice form vectors of `b` digits from raw generator
+/// words. Per position: `s_free` is shared (same slice, same seed), the
+/// r-masks are independent `b`-bit subsets, and a `corr` bit forces the
+/// masks equal so the `Correlated` case appears reliably. All five
+/// `PairDist` cases arise.
+#[allow(clippy::too_many_arguments)]
+fn decode_forms(
+    b: usize,
+    s_free_bits: u64,
+    off_x: u64,
+    off_y: u64,
+    mask_seed_x: u64,
+    mask_seed_y: u64,
+    corr_bits: u64,
+) -> (Vec<BitForm>, Vec<BitForm>) {
+    debug_assert!(b <= 6, "decode_forms packs 6-bit masks");
+    let width = (1u64 << b) - 1;
+    let mut fx = Vec::with_capacity(b);
+    let mut fy = Vec::with_capacity(b);
+    for i in 0..b {
+        let s_free = s_free_bits >> i & 1 == 1;
+        let mx = mask_seed_x >> (i * 6) & width;
+        let my = if corr_bits >> i & 1 == 1 {
+            mx
+        } else {
+            mask_seed_y >> (i * 6) & width
+        };
+        fx.push(BitForm {
+            offset: off_x >> i & 1 == 1,
+            mask: mx,
+            s_free,
+        });
+        fy.push(BitForm {
+            offset: off_y >> i & 1 == 1,
+            mask: my,
+            s_free,
+        });
+    }
+    (fx, fy)
+}
+
+/// Applies "fix one seed bit of this slice to `val`" to a paired position:
+/// either the shared `s` bit (when free and selected) or a free r-variable
+/// `j`, dropped from each mask that contains it with `val` folded into the
+/// offset. Preserves the same-slice invariant (shared `s_free`, masks stay
+/// subsets), exactly like `SliceFamily::form_with_fix`.
+fn fix_forms(fx: BitForm, fy: BitForm, which: u64, val: bool) -> (BitForm, BitForm) {
+    let mut gx = fx;
+    let mut gy = fy;
+    if fx.s_free && which & 1 == 1 {
+        gx.s_free = false;
+        gy.s_free = false;
+        if val {
+            gx.offset = !gx.offset;
+            gy.offset = !gy.offset;
+        }
+    } else {
+        let j = which % 6;
+        for g in [&mut gx, &mut gy] {
+            if g.mask >> j & 1 == 1 {
+                g.mask &= !(1u64 << j);
+                if val {
+                    g.offset = !g.offset;
+                }
+            }
+        }
+    }
+    (gx, gy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Marginal, joint and four-outcome coin DPs are bit-identical across
+    /// tiers, with and without single-position overrides.
+    #[test]
+    fn digit_dp_probs_bit_identical_across_tiers(
+        b in 1usize..=6,
+        s_free_bits in any::<u64>(),
+        offs in any::<u64>(),
+        mask_seed_x in any::<u64>(),
+        mask_seed_y in any::<u64>(),
+        corr_bits in any::<u64>(),
+        ts in any::<u64>(),
+        ctrl in any::<u64>(),
+    ) {
+        let (fx, fy) = decode_forms(
+            b, s_free_bits, offs, offs >> 8, mask_seed_x, mask_seed_y, corr_bits,
+        );
+        let full = 1u64 << b;
+        let (tx, ty) = (ts % (full + 1), (ts >> 32) % (full + 1));
+        let p = (ctrl % b as u64) as usize;
+        let (over_which, over_val, use_over) =
+            (ctrl >> 8, ctrl >> 16 & 1 == 1, ctrl >> 17 & 1 == 1);
+        let (ox, oy) = fix_forms(fx[p], fy[p], over_which, over_val);
+        let (over_x, over_y) = if use_over {
+            (Some((p, ox)), Some((p, oy)))
+        } else {
+            (None, None)
+        };
+
+        let results = per_tier(|| {
+            let marginal_x = digit_dp::prob_lt_override(&fx, over_x, tx).to_bits();
+            let marginal_y = digit_dp::prob_lt_override(&fy, over_y, ty).to_bits();
+            let joint =
+                digit_dp::prob_joint_lt_override(&fx, over_x, tx, &fy, over_y, ty).to_bits();
+            let coins = digit_dp::joint_coin_probs_override(&fx, over_x, tx, &fy, over_y, ty)
+                .map(f64::to_bits);
+            (marginal_x, marginal_y, joint, coins)
+        });
+        assert_tiers_agree("digit_dp probs", results)?;
+    }
+
+    /// The per-edge aggregation kernels (`edge_shares`, `joint_interval`)
+    /// are bit-identical across tiers — these are the entry points the
+    /// SIMD tier actually lane-pairs, so they exercise the masked-lane
+    /// `+0.0` argument directly.
+    #[test]
+    fn edge_aggregation_bit_identical_across_tiers(
+        b in 1usize..=6,
+        s_free_bits in any::<u64>(),
+        offs in any::<u64>(),
+        mask_seed_u in any::<u64>(),
+        mask_seed_v in any::<u64>(),
+        corr_bits in any::<u64>(),
+        ts in any::<u64>(),
+        bounds_raw in any::<u64>(),
+        ctrl in any::<u64>(),
+        kraw in any::<u64>(),
+    ) {
+        let (fu, fv) = decode_forms(
+            b, s_free_bits, offs, offs >> 8, mask_seed_u, mask_seed_v, corr_bits,
+        );
+        let full = 1u64 << b;
+        let (tu, tv) = (ts % (full + 1), (ts >> 32) % (full + 1));
+        let slice = (ctrl % b as u64) as usize;
+        let over_which = ctrl >> 8;
+        let (k0_u, k1_u, k0_v, k1_v) = (
+            (kraw % 9) as usize,
+            ((kraw >> 8) % 9) as usize,
+            ((kraw >> 16) % 9) as usize,
+            ((kraw >> 24) % 9) as usize,
+        );
+        let (u0, v0) = fix_forms(fu[slice], fv[slice], over_which, false);
+        let (u1, v1) = fix_forms(fu[slice], fv[slice], over_which, true);
+        let inv = ratio::recip_or_zero;
+
+        let (a, bb) = (bounds_raw % (full + 1), bounds_raw >> 8 & 0xff);
+        let (ul, uh) = (a.min(bb % (full + 1)), a.max(bb % (full + 1)));
+        let c = bounds_raw >> 16 & 0xff;
+        let d = bounds_raw >> 24 & 0xff;
+        let (vl, vh) = ((c % (full + 1)).min(d % (full + 1)), (c % (full + 1)).max(d % (full + 1)));
+
+        let results = per_tier(|| {
+            let shares = digit_dp::edge_shares(
+                &fu, [u0, u1], tu, inv(k0_u), inv(k1_u),
+                &fv, [v0, v1], tv, inv(k0_v), inv(k1_v),
+                slice,
+            )
+            .map(f64::to_bits);
+            let interval = digit_dp::joint_interval(&fu, ul, uh, &fv, vl, vh).to_bits();
+            (shares, interval)
+        });
+        assert_tiers_agree("edge aggregation", results)?;
+    }
+
+    /// `argmin_f64` is bit-identical across tiers on adversarial score
+    /// vectors: ties, NaN, infinities, signed zeros, arbitrary lengths
+    /// (covering lane remainders and the `len < 8` SIMD bail-out).
+    #[test]
+    fn argmin_bit_identical_across_tiers(
+        raw in collection::vec((0u8..8, 0.0f64..1.0), 0..48),
+    ) {
+        let scores: Vec<f64> = raw
+            .iter()
+            .map(|&(code, v)| match code {
+                4 => f64::NAN,
+                5 => f64::INFINITY,
+                6 => 0.0,
+                7 => -0.0,
+                // Quantize to 1/8ths so exact ties are common.
+                _ => (v * 8.0).floor() / 8.0,
+            })
+            .collect();
+
+        // The per-tier implementations are public: compare them directly,
+        // then confirm the dispatcher routes to the same answer per tier.
+        let anchor = argmin::reference(&scores);
+        let anchor_bits = (anchor.0.to_bits(), anchor.1);
+        let scalar = argmin::scalar(&scores);
+        let simd = argmin::simd(&scores);
+        prop_assert_eq!((scalar.0.to_bits(), scalar.1), anchor_bits, "scalar");
+        prop_assert_eq!((simd.0.to_bits(), simd.1), anchor_bits, "simd");
+        let dispatched = per_tier(|| {
+            let (m, i) = argmin::argmin_f64(&scores);
+            (m.to_bits(), i)
+        });
+        assert_tiers_agree("argmin dispatch", dispatched)?;
+        prop_assert_eq!(dispatched_anchor(&scores), anchor_bits);
+    }
+
+    /// The bit-accounting batches (`bit_len_batch`, `recip_batch`,
+    /// `ratio_batch`) match their single-value anchors bit for bit under
+    /// every tier.
+    #[test]
+    fn batches_bit_identical_across_tiers(
+        vals in collection::vec(any::<u64>(), 0..48),
+        ks in collection::vec(0usize..10_000, 0..48),
+        pairs in collection::vec((0usize..10_000, 1usize..10_000), 0..48),
+    ) {
+        let (nums, dens): (Vec<usize>, Vec<usize>) = pairs.iter().copied().unzip();
+        let results = per_tier(|| {
+            let mut lens = vec![0u32; vals.len()];
+            bits::bit_len_batch(&vals, &mut lens);
+            let mut recips = vec![0.0f64; ks.len()];
+            ratio::recip_batch(&ks, &mut recips);
+            let mut ratios = vec![0.0f64; nums.len()];
+            ratio::ratio_batch(&nums, &dens, &mut ratios);
+            (
+                lens,
+                recips.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                ratios.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            )
+        });
+        assert_tiers_agree("batches", results.clone())?;
+
+        // Anchor against the single-value functions.
+        let (lens, recips, ratios) = &results[0];
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(lens[i], bits::bit_len(v));
+        }
+        for (i, &k) in ks.iter().enumerate() {
+            prop_assert_eq!(recips[i], ratio::recip_or_zero(k).to_bits());
+        }
+        for (i, (&n, &d)) in nums.iter().zip(&dens).enumerate() {
+            prop_assert_eq!(ratios[i], ratio::ratio(n, d).to_bits());
+        }
+    }
+}
+
+/// One dispatched call under whatever tier is currently active — used to
+/// check the dispatcher agrees with the direct reference call outside the
+/// forced-tier window.
+fn dispatched_anchor(scores: &[f64]) -> (u64, usize) {
+    let (m, i) = argmin::argmin_f64(scores);
+    (m.to_bits(), i)
+}

@@ -93,10 +93,11 @@ fn bitwise_selection(
     let mut state = PrefixState::new(residual, active);
     while state.remaining_bits() > 0 {
         mpc.charge_rounds(costs.phase_rounds);
-        // Per-node thresholds.
+        // Per-node thresholds. Inactive nodes keep k = 0 → `recip_batch`
+        // yields the 0.0 no-share sentinel.
         let mut thresholds = vec![0u64; n];
-        let mut k0_inv = vec![0.0f64; n];
-        let mut k1_inv = vec![0.0f64; n];
+        let mut k0 = vec![0usize; n];
+        let mut k1 = vec![0usize; n];
         for v in 0..n {
             if !active[v] {
                 continue;
@@ -104,17 +105,13 @@ fn bitwise_selection(
             let split = state.split(residual, v);
             let total = (split.k0 + split.k1) as u64;
             thresholds[v] = coin_threshold(split.k1 as u64, total, b);
-            k0_inv[v] = if split.k0 > 0 {
-                1.0 / split.k0 as f64
-            } else {
-                0.0
-            };
-            k1_inv[v] = if split.k1 > 0 {
-                1.0 / split.k1 as f64
-            } else {
-                0.0
-            };
+            k0[v] = split.k0;
+            k1[v] = split.k1;
         }
+        let mut k0_inv = vec![0.0f64; n];
+        let mut k1_inv = vec![0.0f64; n];
+        dcl_kernels::ratio::recip_batch(&k0, &mut k0_inv);
+        dcl_kernels::ratio::recip_batch(&k1, &mut k1_inv);
         let mut seed = PartialSeed::new(seed_len);
         let mut forms: Vec<Vec<BitForm>> = (0..n)
             .map(|v| {
@@ -579,7 +576,6 @@ fn run_finisher(
                 let mut total = 0.0;
                 for &(u, v) in &edges {
                     total += edge_conflict_expectation(
-                        &family,
                         residual,
                         u,
                         v,
@@ -658,7 +654,6 @@ fn run_finisher(
 /// Expected conflict contribution of one edge under a partially fixed seed:
 /// the probability that both endpoints' quantiles land on the same color.
 fn edge_conflict_expectation(
-    family: &SliceFamily,
     residual: &ListInstance,
     u: NodeId,
     v: NodeId,
@@ -678,8 +673,8 @@ fn edge_conflict_expectation(
                 let (a0, a1) = (thresholds[u][iu], thresholds[u][iu + 1]);
                 let (b0, b1) = (thresholds[v][iv], thresholds[v][iv + 1]);
                 if a1 > a0 && b1 > b0 {
-                    let j = |x: u64, y: u64| family.prob_joint_lt_forms(forms_u, x, forms_v, y);
-                    total += (j(a1, b1) - j(a0, b1) - j(a1, b0) + j(a0, b0)).max(0.0);
+                    total +=
+                        dcl_kernels::digit_dp::joint_interval(forms_u, a0, a1, forms_v, b0, b1);
                 }
                 iu += 1;
                 iv += 1;

@@ -76,6 +76,14 @@ pub struct MachineProfile {
     pub os: &'static str,
     /// `std::env::consts::ARCH`.
     pub arch: &'static str,
+    /// The kernel tier the numbers were recorded under
+    /// (`dcl_kernels::active_tier().name()`), so a baseline produced with
+    /// `DCL_KERNEL_TIER=reference` is never diffed against a SIMD run
+    /// unnoticed.
+    pub kernel_tier: &'static str,
+    /// The `target_feature` set the SIMD tier can use on the recording
+    /// machine (`dcl_kernels::simd_features()`).
+    pub target_features: &'static str,
 }
 
 impl MachineProfile {
@@ -87,6 +95,8 @@ impl MachineProfile {
                 .unwrap_or(1),
             os: std::env::consts::OS,
             arch: std::env::consts::ARCH,
+            kernel_tier: dcl_kernels::active_tier().name(),
+            target_features: dcl_kernels::simd_features(),
         }
     }
 
@@ -94,8 +104,8 @@ impl MachineProfile {
     /// spell it.
     pub fn json_object(&self) -> String {
         format!(
-            "{{ \"hardware_threads\": {}, \"os\": \"{}\", \"arch\": \"{}\" }}",
-            self.hardware_threads, self.os, self.arch
+            "{{ \"hardware_threads\": {}, \"os\": \"{}\", \"arch\": \"{}\", \"kernel_tier\": \"{}\", \"target_features\": \"{}\" }}",
+            self.hardware_threads, self.os, self.arch, self.kernel_tier, self.target_features
         )
     }
 }
@@ -186,11 +196,13 @@ mod tests {
             hardware_threads: 1,
             os: "linux",
             arch: "x86_64",
+            kernel_tier: "simd",
+            target_features: "sse2+avx2",
         };
         let j = baseline_json("bench_experiments/v1", &profile, 12.34, &[(t, 5.67)]);
         assert!(j.starts_with("{\n  \"schema\": \"bench_experiments/v1\",\n"));
         assert!(j.contains(
-            "  \"machine\": { \"hardware_threads\": 1, \"os\": \"linux\", \"arch\": \"x86_64\" },\n"
+            "  \"machine\": { \"hardware_threads\": 1, \"os\": \"linux\", \"arch\": \"x86_64\", \"kernel_tier\": \"simd\", \"target_features\": \"sse2+avx2\" },\n"
         ));
         assert!(j.contains("  \"total_ms\": 12.3,\n"));
         assert!(j.contains("      \"id\": \"E9\",\n"));

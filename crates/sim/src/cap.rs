@@ -65,14 +65,11 @@ impl BandwidthCap {
 
     /// Number of cap-sized physical messages a `bits`-bit logical payload
     /// occupies (at least 1 — even zero-width payloads take a message).
+    /// The arithmetic lives in [`dcl_kernels::bits::fragments`] (exact
+    /// integer formula, shared by every kernel tier).
     #[must_use]
     pub const fn fragments(self, bits: u32) -> u32 {
-        let f = bits.div_ceil(self.bits);
-        if f == 0 {
-            1
-        } else {
-            f
-        }
+        dcl_kernels::bits::fragments(self.bits, bits)
     }
 }
 

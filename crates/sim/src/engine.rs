@@ -469,29 +469,21 @@ where
 /// bit-identical across backends.
 ///
 /// Returns `(f64::INFINITY, 0)` when `count == 0`.
+///
+/// The reduction itself is `dcl_kernels::argmin::argmin_f64` — an
+/// arch-dispatched kernel whose every tier is proven equal to the
+/// first-minimum scan (see the contract tests in `tests/argmin_contract.rs`
+/// and in `dcl_kernels`), so the winner is also identical across
+/// `DCL_KERNEL_TIER` settings.
 pub fn argmin_f64<F>(pool: Option<&Pool>, count: usize, score: F) -> (f64, usize)
 where
     F: Fn(usize) -> f64 + Sync,
 {
-    let mut best = (f64::INFINITY, 0usize);
-    match pool {
-        Some(pool) if count > 1 => {
-            for (i, s) in par_map_jobs(pool, count, &score).into_iter().enumerate() {
-                if s < best.0 {
-                    best = (s, i);
-                }
-            }
-        }
-        _ => {
-            for i in 0..count {
-                let s = score(i);
-                if s < best.0 {
-                    best = (s, i);
-                }
-            }
-        }
-    }
-    best
+    let scores = match pool {
+        Some(pool) if count > 1 => par_map_jobs(pool, count, &score),
+        _ => (0..count).map(score).collect(),
+    };
+    dcl_kernels::argmin::argmin_f64(&scores)
 }
 
 #[cfg(test)]

@@ -37,11 +37,9 @@ pub trait Wire {
 }
 
 /// Bit length of a `u64` value (at least 1, so that the value 0 still
-/// occupies a bit on the wire).
-#[must_use]
-pub fn bit_len(v: u64) -> u32 {
-    (64 - v.leading_zeros()).max(1)
-}
+/// occupies a bit on the wire). Re-exported from `dcl_kernels::bits`, where
+/// the batch variant and the SIMD tier live.
+pub use dcl_kernels::bits::bit_len;
 
 /// Appends the LEB128 varint encoding of `v` (1–10 bytes) to `out`.
 pub fn encode_varint(v: u64, out: &mut Vec<u8>) {

@@ -8,6 +8,10 @@
 //! on a single crate:
 //!
 //! - [`graphs`] — graph representation, generators, metrics, validators.
+//! - [`kernels`] — the arch-dispatched numeric kernels behind the hot
+//!   loops (Lemma 2.6 digit DP, argmin, bit accounting): reference /
+//!   scalar-SoA / SIMD tiers, proven bit-identical, selectable with the
+//!   `DCL_KERNEL_TIER` environment variable.
 //! - [`sim`] — the shared simulator runtime: wire accounting, bandwidth
 //!   caps ([`sim::BandwidthCap`]), unified metrics, topology policies and
 //!   the backend-aware round engine every model runs on.
@@ -63,6 +67,7 @@ pub use dcl_decomp as decomp;
 pub use dcl_delta as delta;
 pub use dcl_derand as derand;
 pub use dcl_graphs as graphs;
+pub use dcl_kernels as kernels;
 pub use dcl_mpc as mpc;
 pub use dcl_par::{Backend, Pool};
 pub use dcl_runner as runner;
