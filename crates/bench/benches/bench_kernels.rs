@@ -1,7 +1,9 @@
 //! Micro-benchmarks of the arch-dispatched kernel tiers: every family
 //! (Lemma 2.6 digit DP, argmin, bit accounting) timed under each of the
-//! three tiers (`reference` / `scalar` / `simd`), on the same workloads
-//! the committed `BENCH_bench.json` records.
+//! four tiers (`reference` / `scalar` / `simd` / `incremental`), on the
+//! same workloads the committed `BENCH_bench.json` records. The
+//! incremental `edge_shares` row is the warm-cache `edge_shares_cached`
+//! path — the steady state of the Lemma 2.6 drivers.
 //!
 //! The digit-DP fixture matches `bench_derand`, so
 //! `kernels/digit_dp/joint_coin_probs/reference` reproduces the historical
@@ -44,16 +46,25 @@ fn kernel_tiers(c: &mut Criterion) {
             &format!("kernels/digit_dp/joint_coin_probs/{}", tier.name()),
             |b| b.iter(|| dcl_kernels::digit_dp::joint_coin_probs(&fx, 9000, &fy, 4000)),
         );
-        c.bench_function(
-            &format!("kernels/digit_dp/edge_shares/{}", tier.name()),
-            |b| {
+        let es_id = format!("kernels/digit_dp/edge_shares/{}", tier.name());
+        if tier == KernelTier::Incremental {
+            let mut cache = dcl_kernels::digit_dp::EdgeDpCache::new();
+            c.bench_function(&es_id, |b| {
+                b.iter(|| {
+                    dcl_kernels::digit_dp::edge_shares_cached(
+                        &mut cache, &fx, over_u, 9000, 0.2, 0.25, &fy, over_v, 4000, 0.125, 0.5, 3,
+                    )
+                })
+            });
+        } else {
+            c.bench_function(&es_id, |b| {
                 b.iter(|| {
                     dcl_kernels::digit_dp::edge_shares(
                         &fx, over_u, 9000, 0.2, 0.25, &fy, over_v, 4000, 0.125, 0.5, 3,
                     )
                 })
-            },
-        );
+            });
+        }
         c.bench_function(&format!("kernels/argmin/4096/{}", tier.name()), |b| {
             b.iter(|| dcl_kernels::argmin::argmin_f64(&scores))
         });
@@ -62,7 +73,7 @@ fn kernel_tiers(c: &mut Criterion) {
             |b| b.iter(|| dcl_kernels::bits::bit_len_batch(&vals, &mut lens)),
         );
     }
-    dcl_kernels::set_active_tier(dcl_kernels::detected_tier());
+    dcl_kernels::clear_active_tier();
 }
 
 criterion_group!(benches, kernel_tiers);

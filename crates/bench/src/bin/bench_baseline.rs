@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! cargo run -p dcl_bench --bin bench_baseline --release -- [out.json]
+//! cargo run -p dcl_bench --bin bench_baseline --release -- --check[-warn] [baseline.json]
 //! ```
 //!
 //! Each entry re-times one representative workload of a criterion suite in
@@ -12,21 +13,38 @@
 //! calibration strategy: one warm-up call sizes a batch of roughly 20 ms,
 //! and the batch average is recorded. Wall-clock numbers are only
 //! comparable within one machine profile; the profile header says which.
+//!
+//! `--check` re-times everything and compares row by row against the
+//! committed baseline (default `BENCH_bench.json`) instead of writing:
+//! a row slower than `CHECK_TOLERANCE`× its committed value is reported,
+//! and the process exits non-zero. `--check-warn` is the CI-friendly
+//! variant — same report, exit 0 — because shared runners are noisy enough
+//! that a hard gate on wall-clock would flake.
 
 use dcl_bench::{gnp_instance, regular_instance};
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// `--check` flags a row when `new > CHECK_TOLERANCE × committed`.
+/// Generous on purpose: the committed numbers come from one quiet machine,
+/// and the check exists to catch order-of-magnitude dispatch mistakes
+/// (a tier accidentally demoted to reference), not percent-level noise.
+const CHECK_TOLERANCE: f64 = 3.0;
+
 struct BenchRow {
     suite: &'static str,
-    id: &'static str,
+    id: String,
     ns_per_iter: f64,
     iters: u64,
 }
 
 /// Calibrated timing: one warm-up call, then a batch sized to ~20 ms
 /// (capped at 1000 iterations), averaged.
-fn time_bench<O, F: FnMut() -> O>(suite: &'static str, id: &'static str, mut f: F) -> BenchRow {
+fn time_bench<O, F: FnMut() -> O>(
+    suite: &'static str,
+    id: impl Into<String>,
+    mut f: F,
+) -> BenchRow {
     let t0 = Instant::now();
     std::hint::black_box(f());
     let once = t0.elapsed().max(std::time::Duration::from_nanos(20));
@@ -37,16 +55,81 @@ fn time_bench<O, F: FnMut() -> O>(suite: &'static str, id: &'static str, mut f: 
     }
     BenchRow {
         suite,
-        id,
+        id: id.into(),
         ns_per_iter: t1.elapsed().as_nanos() as f64 / iters as f64,
         iters,
     }
 }
 
+/// Parses `id -> ns_per_iter` out of a committed baseline. The committed
+/// layout is one row object per line, so line-oriented matching suffices —
+/// the same approach `dcl_kernels/tests/family_dispatch.rs` pins.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\": \"") else {
+            continue;
+        };
+        let id = &line[id_at + 7..];
+        let Some(id_end) = id.find('"') else { continue };
+        let Some(ns_at) = line.find("\"ns_per_iter\": ") else {
+            continue;
+        };
+        let ns = &line[ns_at + 15..];
+        let Some(ns_end) = ns.find(',') else { continue };
+        if let Ok(v) = ns[..ns_end].trim().parse::<f64>() {
+            rows.push((id[..id_end].to_string(), v));
+        }
+    }
+    rows
+}
+
+/// Compares freshly timed rows against the committed baseline. Returns the
+/// number of regressions (rows slower than [`CHECK_TOLERANCE`]× committed).
+fn check_against(rows: &[BenchRow], baseline_path: &str) -> usize {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read committed baseline {baseline_path}: {e}"));
+    let committed = parse_baseline(&text);
+    let mut regressions = 0;
+    let mut missing = 0;
+    for row in rows {
+        match committed.iter().find(|(id, _)| *id == row.id) {
+            Some((_, old)) => {
+                let ratio = row.ns_per_iter / old;
+                let verdict = if ratio > CHECK_TOLERANCE {
+                    regressions += 1;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{verdict:>10}  {:<50} {:>12.1} ns committed, {:>12.1} ns now ({:.2}x)",
+                    row.id, old, row.ns_per_iter, ratio
+                );
+            }
+            None => {
+                missing += 1;
+                println!(
+                    "{:>10}  {:<50} {:>12} committed, {:>12.1} ns now",
+                    "NEW", row.id, "-", row.ns_per_iter
+                );
+            }
+        }
+    }
+    println!(
+        "checked {} rows against {baseline_path}: {} regression(s) over {CHECK_TOLERANCE}x, {} new",
+        rows.len(),
+        regressions,
+        missing
+    );
+    regressions
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| String::from("BENCH_bench.json"));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let check_warn = args.iter().any(|a| a == "--check-warn");
+    let path_arg = args.iter().find(|a| !a.starts_with("--")).cloned();
     let started = Instant::now();
     let mut rows: Vec<BenchRow> = Vec::new();
 
@@ -81,6 +164,22 @@ fn main() {
             "theorem_1_1/d_sweep/hcube6",
             || color_list_instance(&hcube, &CongestColoringConfig::default()),
         ));
+        // Before/after pair for the incremental digit DP at the system
+        // level: the same Theorem 1.1 run forced to the reference tier and
+        // to the prefix-cached tier. The unforced row above is the shipped
+        // per-family default.
+        for tier in [
+            dcl_kernels::KernelTier::Reference,
+            dcl_kernels::KernelTier::Incremental,
+        ] {
+            dcl_kernels::set_active_tier(tier);
+            rows.push(time_bench(
+                "bench_congest",
+                format!("theorem_1_1/n_sweep/64/{}", tier.name()),
+                || color_list_instance(&inst, &CongestColoringConfig::default()),
+            ));
+        }
+        dcl_kernels::clear_active_tier();
     }
 
     // --- bench_partial -----------------------------------------------------
@@ -203,11 +302,16 @@ fn main() {
     }
 
     // --- bench_kernels ------------------------------------------------------
-    // Each kernel family timed once per tier (reference / scalar / simd),
-    // so the committed baseline records the tier speedups on this machine.
-    // The digit-DP workload matches the bench_derand rows above, making
+    // Each kernel family timed once per tier (reference / scalar / simd /
+    // incremental), so the committed baseline records the tier speedups on
+    // this machine — `default_family_tier` is pinned against these rows by
+    // `dcl_kernels/tests/family_dispatch.rs`. The digit-DP workload matches
+    // the bench_derand rows above, making
     // "kernels/digit_dp/joint_coin_probs/reference" directly comparable to
-    // "bench_derand joint_coin_probs".
+    // "bench_derand joint_coin_probs". The edge_shares row of the
+    // incremental tier is the warm-cache path (`edge_shares_cached` with a
+    // persistent `EdgeDpCache`) — the steady state of the Lemma 2.6 drivers,
+    // which evaluate each edge (m+1)×2 times per slice against one cache.
     {
         use dcl_derand::seed::PartialSeed;
         use dcl_derand::slice::SliceFamily;
@@ -237,59 +341,58 @@ fn main() {
             .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
             .collect();
         let mut lens = vec![0u32; vals.len()];
-        let ids: [(KernelTier, [&'static str; 4]); 3] = [
-            (
-                KernelTier::Reference,
-                [
-                    "kernels/digit_dp/joint_coin_probs/reference",
-                    "kernels/digit_dp/edge_shares/reference",
-                    "kernels/argmin/4096/reference",
-                    "kernels/bit_len_batch/4096/reference",
-                ],
-            ),
-            (
-                KernelTier::Scalar,
-                [
-                    "kernels/digit_dp/joint_coin_probs/scalar",
-                    "kernels/digit_dp/edge_shares/scalar",
-                    "kernels/argmin/4096/scalar",
-                    "kernels/bit_len_batch/4096/scalar",
-                ],
-            ),
-            (
-                KernelTier::Simd,
-                [
-                    "kernels/digit_dp/joint_coin_probs/simd",
-                    "kernels/digit_dp/edge_shares/simd",
-                    "kernels/argmin/4096/simd",
-                    "kernels/bit_len_batch/4096/simd",
-                ],
-            ),
-        ];
-        for (tier, [jc, es, am, bl]) in ids {
+        for tier in KernelTier::all() {
             dcl_kernels::set_active_tier(tier);
-            rows.push(time_bench("bench_kernels", jc, || {
-                dcl_kernels::digit_dp::joint_coin_probs(&fx, 9000, &fy, 4000)
-            }));
-            rows.push(time_bench("bench_kernels", es, || {
-                dcl_kernels::digit_dp::edge_shares(
-                    &fx, over_u, 9000, 0.2, 0.25, &fy, over_v, 4000, 0.125, 0.5, 3,
-                )
-            }));
-            rows.push(time_bench("bench_kernels", am, || {
-                dcl_kernels::argmin::argmin_f64(&scores)
-            }));
-            rows.push(time_bench("bench_kernels", bl, || {
-                dcl_kernels::bits::bit_len_batch(&vals, &mut lens)
-            }));
+            let name = tier.name();
+            rows.push(time_bench(
+                "bench_kernels",
+                format!("kernels/digit_dp/joint_coin_probs/{name}"),
+                || dcl_kernels::digit_dp::joint_coin_probs(&fx, 9000, &fy, 4000),
+            ));
+            let es_id = format!("kernels/digit_dp/edge_shares/{name}");
+            if tier == KernelTier::Incremental {
+                let mut cache = dcl_kernels::digit_dp::EdgeDpCache::new();
+                rows.push(time_bench("bench_kernels", es_id, || {
+                    dcl_kernels::digit_dp::edge_shares_cached(
+                        &mut cache, &fx, over_u, 9000, 0.2, 0.25, &fy, over_v, 4000, 0.125, 0.5, 3,
+                    )
+                }));
+            } else {
+                rows.push(time_bench("bench_kernels", es_id, || {
+                    dcl_kernels::digit_dp::edge_shares(
+                        &fx, over_u, 9000, 0.2, 0.25, &fy, over_v, 4000, 0.125, 0.5, 3,
+                    )
+                }));
+            }
+            rows.push(time_bench(
+                "bench_kernels",
+                format!("kernels/argmin/4096/{name}"),
+                || dcl_kernels::argmin::argmin_f64(&scores),
+            ));
+            rows.push(time_bench(
+                "bench_kernels",
+                format!("kernels/bit_len_batch/4096/{name}"),
+                || dcl_kernels::bits::bit_len_batch(&vals, &mut lens),
+            ));
         }
-        dcl_kernels::set_active_tier(dcl_kernels::detected_tier());
+        dcl_kernels::clear_active_tier();
     }
 
     // The scale-tier suite (bench_scale, including its delta_scale group) is
     // covered by `scale_baseline` / BENCH_scale.json, not here.
 
+    // --- Check mode: compare, report, exit — nothing is (over)written. -----
+    if check || check_warn {
+        let baseline = path_arg.unwrap_or_else(|| String::from("BENCH_bench.json"));
+        let regressions = check_against(&rows, &baseline);
+        if regressions > 0 && check {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     // --- Emit JSON. --------------------------------------------------------
+    let out_path = path_arg.unwrap_or_else(|| String::from("BENCH_bench.json"));
     let mut j = String::new();
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"schema\": \"bench_bench/v1\",");

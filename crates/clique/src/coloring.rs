@@ -29,7 +29,7 @@ use dcl_coloring::derand_step::accuracy_bits;
 use dcl_coloring::instance::ListInstance;
 use dcl_coloring::prefix::PrefixState;
 use dcl_derand::seed::PartialSeed;
-use dcl_derand::slice::{coin_threshold, BitForm, SliceFamily};
+use dcl_derand::slice::{coin_threshold, PackedForms, SliceFamily};
 use dcl_sim::{ExecConfig, Wire};
 
 /// Configuration of the clique coloring.
@@ -266,14 +266,19 @@ pub fn clique_color(
             // so the round stretches by the per-word fragment factor.
             net.charge_rounds(u64::from(net.cap().fragments(64)));
 
-            // Segmented derandomization of the shared seed.
+            // Segmented derandomization of the shared seed. Forms are kept
+            // directly in the kernels' packed SoA layout: the per-candidate
+            // scratch below then clones one flat allocation (instead of n
+            // nested `Vec`s) and the interval DP consumes it without a
+            // per-call pack step.
             let mut seed = PartialSeed::new(seed_len);
-            let mut forms: Vec<Vec<BitForm>> = (0..n)
+            let empty = PackedForms::from_forms(&[]);
+            let mut forms: Vec<PackedForms> = (0..n)
                 .map(|v| {
                     if active[v] {
-                        family.forms_for(&seed, psi[v])
+                        family.packed_forms_for(&seed, psi[v])
                     } else {
-                        Vec::new()
+                        empty.clone()
                     }
                 })
                 .collect();
@@ -291,12 +296,12 @@ pub fn clique_color(
                 let score = |cand: usize| -> f64 {
                     let cand = cand as u64;
                     // Candidate forms: base forms with the segment fixed.
-                    let mut scratch: Vec<Vec<BitForm>> = forms.clone();
+                    let mut scratch: Vec<PackedForms> = forms.clone();
                     for (offset, j) in (start..end).enumerate() {
                         let bit = cand >> offset & 1 == 1;
                         for v in 0..n {
                             if active[v] {
-                                family.update_forms_on_fix(&mut scratch[v], psi[v], j, bit);
+                                family.update_packed_on_fix(&mut scratch[v], psi[v], j, bit);
                             }
                         }
                     }
@@ -308,7 +313,7 @@ pub fn clique_color(
                             if uh == ul || vh == vl {
                                 continue;
                             }
-                            let p = dcl_kernels::digit_dp::joint_interval(
+                            let p = dcl_kernels::digit_dp::joint_interval_packed(
                                 &scratch[u],
                                 ul,
                                 uh,
@@ -330,7 +335,7 @@ pub fn clique_color(
                     seed.fix(j, bit);
                     for v in 0..n {
                         if active[v] {
-                            family.update_forms_on_fix(&mut forms[v], psi[v], j, bit);
+                            family.update_packed_on_fix(&mut forms[v], psi[v], j, bit);
                         }
                     }
                 }

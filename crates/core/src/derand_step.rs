@@ -30,6 +30,7 @@ use dcl_congest::network::Network;
 use dcl_congest::tree::{aggregate_vec_forest_charged, broadcast_forest_charged};
 use dcl_derand::seed::PartialSeed;
 use dcl_derand::slice::{coin_threshold, BitForm, SliceFamily};
+use dcl_kernels::digit_dp::EdgeDpCache;
 
 /// Outcome of one derandomized phase.
 #[derive(Debug, Clone)]
@@ -53,10 +54,14 @@ pub struct PhaseOutcome {
 /// which keeps the float association — and hence every leader decision
 /// downstream — bit-identical to the sequential backend.
 ///
-/// The numeric work lives in `dcl_kernels::digit_dp::edge_shares` (the
-/// arch-dispatched tier of this function); here we only resolve the seed
-/// layout: the candidate-value overrides for position `slice` of each
-/// endpoint's form vector.
+/// The numeric work lives in `dcl_kernels::digit_dp::edge_shares_cached`
+/// (the arch-dispatched tier of this function); here we only resolve the
+/// seed layout: the candidate-value overrides for position `slice` of each
+/// endpoint's form vector. `cache` is this edge's persistent DP prefix
+/// state — the seed bits `j` arrive in index order, which is exactly the
+/// monotone schedule the incremental tier's cache contract requires (see
+/// `dcl_derand::slice` module docs); under a forced non-incremental tier
+/// the cache is ignored and that tier's stateless evaluator runs.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn edge_shares(
@@ -70,6 +75,7 @@ fn edge_shares(
     slice: usize,
     u: usize,
     v: usize,
+    cache: &mut EdgeDpCache,
 ) -> [f64; 4] {
     let fu = &forms[u];
     let fv = &forms[v];
@@ -81,7 +87,8 @@ fn edge_shares(
         family.form_with_fix(fv[slice], psi[v], j, false),
         family.form_with_fix(fv[slice], psi[v], j, true),
     ];
-    dcl_kernels::digit_dp::edge_shares(
+    dcl_kernels::digit_dp::edge_shares_cached(
+        cache,
         fu,
         over_u,
         thresholds[u],
@@ -94,6 +101,15 @@ fn edge_shares(
         k1_inv[v],
         slice,
     )
+}
+
+/// Per-conflict-edge scratch that survives the whole phase: the
+/// incremental tier's DP prefix cache plus the share slot the parallel
+/// path writes results into (a flat buffer instead of per-chunk `Vec`
+/// churn — the same fix the aggregation `vectors` buffer got).
+struct EdgeScratch {
+    cache: EdgeDpCache,
+    share: [f64; 4],
 }
 
 /// Accuracy parameter `b` such that `ε = 2^{-b} ≤ 1/(10 · Δ · ⌈log C⌉ ·
@@ -186,6 +202,19 @@ pub fn derandomized_phase(
         })
         .collect();
     let edges = state.conflict_edges();
+    // Per-edge scratch allocated once per phase. The caches make each
+    // seed-bit evaluation replay only the current slice's digits (the
+    // tentpole speedup); the share slots give the parallel path a flat
+    // output buffer. `map_chunks_with` hands each worker exclusive access
+    // to its chunk of scratch at the same deterministic boundaries as
+    // `map_chunks`, so results stay independent of the worker count.
+    let mut scratch: Vec<EdgeScratch> = edges
+        .iter()
+        .map(|_| EdgeScratch {
+            cache: EdgeDpCache::new(),
+            share: [0.0; 4],
+        })
+        .collect();
 
     let mut x0 = vec![0.0f64; n];
     let mut x1 = vec![0.0f64; n];
@@ -193,40 +222,44 @@ pub fn derandomized_phase(
     // bit costs ~10⁹ allocations on a 10⁵-node run and dominates RSS via
     // allocator churn.
     let mut vectors: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0, 0.0]).collect();
+    // Reused per-tree decision buffer (same churn argument, one per bit).
+    let mut choices = vec![false; trees];
     for j in 0..seed_len {
         x0.iter_mut().for_each(|x| *x = 0.0);
         x1.iter_mut().for_each(|x| *x = 0.0);
         let slice = family.slice_of_seed_bit(j) as usize;
         match net.pool() {
             Some(pool) => {
-                let shares = pool.map_chunks(edges.len(), |range| {
-                    range
-                        .map(|e| {
-                            let (u, v) = edges[e];
-                            edge_shares(
-                                &family,
-                                &forms,
-                                psi,
-                                &thresholds,
-                                &k0_inv,
-                                &k1_inv,
-                                j,
-                                slice,
-                                u,
-                                v,
-                            )
-                        })
-                        .collect::<Vec<_>>()
+                pool.map_chunks_with(&mut scratch, |range, chunk| {
+                    for (e, sc) in range.zip(chunk.iter_mut()) {
+                        let (u, v) = edges[e];
+                        sc.share = edge_shares(
+                            &family,
+                            &forms,
+                            psi,
+                            &thresholds,
+                            &k0_inv,
+                            &k1_inv,
+                            j,
+                            slice,
+                            u,
+                            v,
+                            &mut sc.cache,
+                        );
+                    }
                 });
-                for (&(u, v), s) in edges.iter().zip(shares.iter().flatten()) {
-                    x0[u] += s[0];
-                    x0[v] += s[1];
-                    x1[u] += s[2];
-                    x1[v] += s[3];
+                // Replay in edge order on one thread: float association —
+                // and every leader decision downstream — stays bit-identical
+                // to the sequential backend.
+                for (&(u, v), sc) in edges.iter().zip(&scratch) {
+                    x0[u] += sc.share[0];
+                    x0[v] += sc.share[1];
+                    x1[u] += sc.share[2];
+                    x1[v] += sc.share[3];
                 }
             }
             None => {
-                for &(u, v) in &edges {
+                for (&(u, v), sc) in edges.iter().zip(scratch.iter_mut()) {
                     let s = edge_shares(
                         &family,
                         &forms,
@@ -238,6 +271,7 @@ pub fn derandomized_phase(
                         slice,
                         u,
                         v,
+                        &mut sc.cache,
                     );
                     x0[u] += s[0];
                     x0[v] += s[1];
@@ -253,7 +287,9 @@ pub fn derandomized_phase(
             vectors[v][1] = x1[v];
         }
         let sums = aggregate_vec_forest_charged(net, forest, &vectors, 2);
-        let choices: Vec<bool> = sums.iter().map(|s| s[1] < s[0]).collect();
+        for (c, s) in choices.iter_mut().zip(sums.iter()) {
+            *c = s[1] < s[0];
+        }
         let delivered = broadcast_forest_charged(net, forest, &choices);
         for (t, &bit) in choices.iter().enumerate() {
             seeds[t].fix(j, bit);

@@ -26,11 +26,29 @@
 //!
 //! The DP itself ([`BitForm`], [`PairDist`], and the `prob_*` evaluators)
 //! lives in `dcl_kernels` as an arch-dispatched kernel family (reference /
-//! scalar-SoA / SIMD tiers, proven bit-identical); this module re-exports
-//! the types and keeps the seed-aware API on top.
+//! scalar-SoA / SIMD / incremental tiers, proven bit-identical); this
+//! module re-exports the types and keeps the seed-aware API on top.
+//!
+//! # The monotone seed-schedule contract
+//!
+//! The Lemma 2.6 drivers fix seed bits in **increasing index order**, and
+//! [`SliceFamily::slice_of_seed_bit`] is monotone nondecreasing in the
+//! index (`slice = index / (m+1)`). Together with the locality of
+//! [`SliceFamily::update_forms_on_fix`] — fixing a bit of slice `s`
+//! mutates only `forms[s]` — this gives the invariant the kernels'
+//! incremental tier relies on: *while the schedule is inside one slice's
+//! window, every form at any other position is frozen*. A per-edge
+//! [`dcl_kernels::digit_dp::EdgeDpCache`] can therefore memoize the DP
+//! transfer over the untouched positions and replay only the current
+//! slice and the digits below it, with the float operation sequence — and
+//! hence every probability, bit for bit — unchanged. The
+//! `schedule_is_slice_monotone` test pins the layout half of the
+//! contract; `update_forms_on_fix`'s implementation (and its
+//! `form_with_fix` mirror) pins the locality half.
 
 use crate::seed::PartialSeed;
 
+pub use dcl_kernels::digit_dp::PackedForms;
 pub use dcl_kernels::{pair_dist_of_forms, BitForm, PairDist};
 
 /// The slice-independent inner-product family `h: {0,1}^m → {0,1}^b`.
@@ -170,6 +188,35 @@ impl SliceFamily {
             form.offset ^= value;
         }
         form
+    }
+
+    /// All `b` bit forms for input `x`, packed in the kernels' SoA layout
+    /// ([`PackedForms`]). The packed layout is what the clique/MPC drivers
+    /// keep as per-candidate scratch: the digit-DP entry points
+    /// (`joint_interval_packed`, `joint_coin_probs_packed`) consume it
+    /// directly, so the per-call pack step disappears from the hot loop.
+    pub fn packed_forms_for(&self, seed: &PartialSeed, x: u64) -> PackedForms {
+        let forms = self.forms_for(seed, x);
+        PackedForms::from_forms(&forms)
+    }
+
+    /// [`SliceFamily::update_forms_on_fix`] on the packed layout: O(1)
+    /// bitset surgery on the slice containing seed bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the seed layout.
+    pub fn update_packed_on_fix(
+        &self,
+        packed: &mut PackedForms,
+        x: u64,
+        index: usize,
+        value: bool,
+    ) {
+        assert!(index < self.seed_len(), "seed bit index out of range");
+        let slice = self.slice_of_seed_bit(index) as usize;
+        let updated = self.form_with_fix(packed.form(slice), x, index, value);
+        packed.set_form(slice, updated);
     }
 
     /// `Pr[z < t]` from precomputed bit forms.
@@ -524,5 +571,55 @@ mod tests {
         assert_eq!(fam.slice_of_seed_bit(3), 0); // s_0
         assert_eq!(fam.slice_of_seed_bit(4), 1);
         assert_eq!(fam.slice_of_seed_bit(7), 1); // s_1
+    }
+
+    /// The layout half of the monotone seed-schedule contract (module
+    /// docs): fixing seed bits in index order visits slices in
+    /// nondecreasing order, so the incremental tier's prefix cache is
+    /// sound for any driver that walks the seed front to back.
+    #[test]
+    fn schedule_is_slice_monotone() {
+        for (m, b) in [(1u32, 1u32), (3, 4), (10, 14), (63, 63)] {
+            let fam = SliceFamily::new(m, b);
+            let mut prev = 0u32;
+            for index in 0..fam.seed_len() {
+                let slice = fam.slice_of_seed_bit(index);
+                assert!(slice >= prev, "slice regressed at index {index}");
+                assert!(slice < b, "slice out of range at index {index}");
+                prev = slice;
+            }
+            assert_eq!(prev, b - 1, "schedule must end in the last slice");
+        }
+    }
+
+    /// Packed scratch stays in lockstep with the AoS forms across a full
+    /// schedule of fixes, and the packed evaluators match the AoS ones.
+    #[test]
+    fn packed_forms_track_fixes() {
+        let fam = SliceFamily::new(4, 3);
+        let mut seed = PartialSeed::new(fam.seed_len());
+        let (x, y) = (0b1010u64, 0b0111u64);
+        let mut forms_x = fam.forms_for(&seed, x);
+        let mut packed_x = fam.packed_forms_for(&seed, x);
+        let mut forms_y = fam.forms_for(&seed, y);
+        let mut packed_y = fam.packed_forms_for(&seed, y);
+        for index in 0..fam.seed_len() {
+            let value = index % 3 == 1;
+            seed.fix(index, value);
+            fam.update_forms_on_fix(&mut forms_x, x, index, value);
+            fam.update_packed_on_fix(&mut packed_x, x, index, value);
+            fam.update_forms_on_fix(&mut forms_y, y, index, value);
+            fam.update_packed_on_fix(&mut packed_y, y, index, value);
+            for i in 0..fam.output_bits() as usize {
+                assert_eq!(packed_x.form(i), forms_x[i], "bit {index} position {i}");
+                assert_eq!(packed_y.form(i), forms_y[i], "bit {index} position {i}");
+            }
+            for (tx, ty) in [(3u64, 7u64), (8, 8), (0, 5)] {
+                let aos = fam.joint_coin_probs_forms(&forms_x, tx, &forms_y, ty);
+                let packed =
+                    dcl_kernels::digit_dp::joint_coin_probs_packed(&packed_x, tx, &packed_y, ty);
+                assert_eq!(aos.map(f64::to_bits), packed.map(f64::to_bits));
+            }
+        }
     }
 }

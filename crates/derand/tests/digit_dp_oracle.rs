@@ -1,12 +1,16 @@
 //! Brute-force histogram oracle for the digit-DP kernels.
 //!
-//! The tier-equivalence suite in `dcl_kernels` proves the three tiers agree
+//! The tier-equivalence suite in `dcl_kernels` proves the four tiers agree
 //! with each other; this suite proves they agree with *the ground truth*:
 //! for every completion of a partial seed the hash output pair `(z_x, z_y)`
 //! is enumerated into an exact joint histogram, and the marginal DP, joint
 //! DP and four-outcome coin DP are checked against it for **every**
 //! threshold pair — once per kernel tier, asserting the tiers are also
-//! bitwise identical to one another along the way.
+//! bitwise identical to one another along the way. The stateful
+//! incremental evaluator is additionally driven through real monotone
+//! seed schedules (`SliceFamily` fixes in index order) with the warm
+//! cache checked against a fresh enumeration after every candidate
+//! evaluation.
 //!
 //! A hand-crafted `m = 2, b = 2` configuration additionally pins coverage
 //! of all five `PairDist` cases (BothKnown / FirstKnown / SecondKnown /
@@ -15,7 +19,8 @@
 
 use dcl_derand::seed::PartialSeed;
 use dcl_derand::slice::{PairDist, SliceFamily};
-use dcl_kernels::{detected_tier, set_active_tier, KernelTier};
+use dcl_kernels::digit_dp::{incremental, EdgeDpCache};
+use dcl_kernels::{clear_active_tier, set_active_tier, KernelTier};
 use proptest::prelude::*;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -27,14 +32,14 @@ fn lock_tier() -> MutexGuard<'static, ()> {
         .unwrap_or_else(|e| e.into_inner())
 }
 
-/// Runs `f` once per tier and restores CPU detection afterwards.
-fn per_tier<T>(mut f: impl FnMut() -> T) -> [T; 3] {
+/// Runs `f` once per tier and restores per-family dispatch afterwards.
+fn per_tier<T>(mut f: impl FnMut() -> T) -> [T; 4] {
     let _guard = lock_tier();
     let out = KernelTier::all().map(|tier| {
         set_active_tier(tier);
         f()
     });
-    set_active_tier(detected_tier());
+    clear_active_tier();
     out
 }
 
@@ -173,6 +178,79 @@ proptest! {
                 check_thresholds(&fam, &seed, &hist, x, tx, y, ty)
                     .map_err(TestCaseError::Fail)?;
             }
+        }
+    }
+
+    /// The incremental evaluator against ground truth through a **real**
+    /// monotone seed schedule: every seed bit is visited in index order
+    /// (exactly the Lemma 2.6 drivers' order), both candidate values are
+    /// evaluated through one warm per-edge cache, and each result is
+    /// checked against exhaustive enumeration of the correspondingly fixed
+    /// seed and bitwise against the stateless dispatched evaluator.
+    #[test]
+    fn incremental_matches_histogram_across_monotone_schedule(
+        m in 1u32..=3,
+        b in 1u32..=3,
+        x_raw in any::<u64>(),
+        y_raw in any::<u64>(),
+        values in any::<u64>(),
+        ts in any::<u64>(),
+    ) {
+        let fam = SliceFamily::new(m, b);
+        let mask = (1u64 << m) - 1;
+        let (x, y) = (x_raw & mask, y_raw & mask);
+        let full = 1u64 << b;
+        let (tx, ty) = (ts % (full + 1), (ts >> 32) % (full + 1));
+        let mut seed = PartialSeed::new(fam.seed_len());
+        let mut fx = fam.forms_for(&seed, x);
+        let mut fy = fam.forms_for(&seed, y);
+        let mut cache = EdgeDpCache::new();
+        for index in 0..fam.seed_len() {
+            let slice = fam.slice_of_seed_bit(index) as usize;
+            for val in [false, true] {
+                let ox = fam.form_with_fix(fx[slice], x, index, val);
+                let oy = fam.form_with_fix(fy[slice], y, index, val);
+                let got = incremental::joint_coin_probs_override(
+                    &mut cache, &fx, ox, tx, &fy, oy, ty, slice,
+                );
+                // Bitwise vs the stateless evaluator (any tier — all are
+                // proven bit-identical).
+                let want = fam.joint_coin_probs_override(
+                    &fx, Some((slice, ox)), tx, &fy, Some((slice, oy)), ty,
+                );
+                prop_assert_eq!(
+                    got.map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "stateless divergence at seed bit {} candidate {}",
+                    index,
+                    val
+                );
+                // Ground truth: enumerate the seed with this bit fixed.
+                let mut fixed = seed.clone();
+                fixed.fix(index, val);
+                let hist = Histogram::build(&fam, &fixed, x, y);
+                let oracle = [
+                    hist.prob(|zx, zy| zx >= tx && zy >= ty),
+                    hist.prob(|zx, zy| zx >= tx && zy < ty),
+                    hist.prob(|zx, zy| zx < tx && zy >= ty),
+                    hist.prob(|zx, zy| zx < tx && zy < ty),
+                ];
+                for (dp, truth) in got.iter().zip(oracle) {
+                    prop_assert!(
+                        (dp - truth).abs() < 1e-9,
+                        "coin prob off at seed bit {} candidate {}: {} vs {}",
+                        index,
+                        val,
+                        dp,
+                        truth
+                    );
+                }
+            }
+            // Commit one value and advance the schedule.
+            let val = values >> (index % 64) & 1 == 1;
+            seed.fix(index, val);
+            fam.update_forms_on_fix(&mut fx, x, index, val);
+            fam.update_forms_on_fix(&mut fy, y, index, val);
         }
     }
 }

@@ -17,16 +17,18 @@
 //! comparison also makes the `±0.0` equality class tie-break by index,
 //! matching the scan (which keeps the first-seen zero of either sign).
 
-use crate::tier::{active_tier, KernelTier};
+use crate::tier::{family_tier, KernelFamily, KernelTier};
 
 /// Dispatched argmin over a score slice. Returns `(f64::INFINITY, 0)` for
-/// an empty slice.
+/// an empty slice. Without an override the family default applies
+/// (scalar — see [`crate::tier::default_family_tier`]); the `Incremental`
+/// tier has no stateful argmin, so it rides the SIMD ceiling.
 #[must_use]
 pub fn argmin_f64(scores: &[f64]) -> (f64, usize) {
-    match active_tier() {
+    match family_tier(KernelFamily::Argmin) {
         KernelTier::Reference => reference(scores),
         KernelTier::Scalar => scalar(scores),
-        KernelTier::Simd => simd(scores),
+        KernelTier::Simd | KernelTier::Incremental => simd(scores),
     }
 }
 

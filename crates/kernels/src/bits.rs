@@ -10,7 +10,7 @@
 //! magic-constant conversion is exact — and read `⌊log₂⌋` straight out of
 //! the IEEE exponent field).
 
-use crate::tier::{active_tier, KernelTier};
+use crate::tier::{family_tier, KernelFamily, KernelTier};
 
 /// Bit length of a `u64` value (at least 1, so that the value 0 still
 /// occupies a bit on the wire). Moved verbatim from `dcl_sim::wire`,
@@ -47,14 +47,14 @@ pub const fn fragments(cap: u32, bits: u32) -> u32 {
 /// Panics if the slices have different lengths.
 pub fn bit_len_batch(vals: &[u64], out: &mut [u32]) {
     assert_eq!(vals.len(), out.len(), "batch slices must have equal length");
-    match active_tier() {
+    match family_tier(KernelFamily::Bits) {
         KernelTier::Reference => {
             for (v, o) in vals.iter().zip(out.iter_mut()) {
                 *o = bit_len(*v);
             }
         }
         KernelTier::Scalar => scalar_batch(vals, out),
-        KernelTier::Simd => {
+        KernelTier::Simd | KernelTier::Incremental => {
             #[cfg(target_arch = "x86_64")]
             {
                 if vals.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
@@ -138,7 +138,7 @@ mod avx2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tier::{detected_tier, set_active_tier, KernelTier};
+    use crate::tier::{clear_active_tier, set_active_tier, KernelTier};
 
     #[test]
     fn bit_len_basics() {
@@ -175,6 +175,6 @@ mod tests {
             bit_len_batch(&vals, &mut out);
             assert_eq!(out, expected, "tier {}", tier.name());
         }
-        set_active_tier(detected_tier());
+        clear_active_tier();
     }
 }

@@ -184,6 +184,14 @@ pub fn joint_interval(
 ) -> f64 {
     let su = Soa::pack(forms_u, None);
     let sv = Soa::pack(forms_v, None);
-    let j = |a: u64, b: u64| prob_joint_lt(&su, a, &sv, b);
+    joint_interval_packed(&su, ul, uh, &sv, vl, vh)
+}
+
+/// Interval probability on inputs the caller keeps packed (the clique/MPC
+/// drivers' SoA scratch): the four CDF corners and the fixed combine,
+/// without the per-call pack.
+#[must_use]
+pub fn joint_interval_packed(su: &Soa, ul: u64, uh: u64, sv: &Soa, vl: u64, vh: u64) -> f64 {
+    let j = |a: u64, b: u64| prob_joint_lt(su, a, sv, b);
     (j(uh, vh) - j(ul, vh) - j(uh, vl) + j(ul, vl)).max(0.0)
 }

@@ -100,14 +100,20 @@ pub fn joint_interval(
     vl: u64,
     vh: u64,
 ) -> f64 {
+    let su = Soa::pack(forms_u, None);
+    let sv = Soa::pack(forms_v, None);
+    joint_interval_packed(&su, ul, uh, &sv, vl, vh)
+}
+
+/// [`joint_interval`] on inputs the caller keeps packed.
+#[must_use]
+pub fn joint_interval_packed(su: &Soa, ul: u64, uh: u64, sv: &Soa, vl: u64, vh: u64) -> f64 {
     #[cfg(not(target_arch = "x86_64"))]
     {
-        scalar::joint_interval(forms_u, ul, uh, forms_v, vl, vh)
+        scalar::joint_interval_packed(su, ul, uh, sv, vl, vh)
     }
     #[cfg(target_arch = "x86_64")]
     {
-        let su = Soa::pack(forms_u, None);
-        let sv = Soa::pack(forms_v, None);
         let full = 1u64 << su.b;
         let corners = [(uh, vh), (ul, vh), (uh, vl), (ul, vl)];
         let mut j = [0.0f64; 4];
@@ -117,9 +123,9 @@ pub fn joint_interval(
             if a >= full && c >= full {
                 j[idx] = 1.0;
             } else if a >= full {
-                j[idx] = scalar::prob_lt(&sv, c);
+                j[idx] = scalar::prob_lt(sv, c);
             } else if c >= full {
-                j[idx] = scalar::prob_lt(&su, a);
+                j[idx] = scalar::prob_lt(su, a);
             } else {
                 pending[np] = idx;
                 np += 1;
@@ -131,13 +137,13 @@ pub fn joint_interval(
             // SAFETY: SSE2 is part of the x86_64 baseline ABI.
             let r = unsafe {
                 x86::joint2(
-                    &su,
+                    su,
                     corners[i0].0,
-                    &sv,
+                    sv,
                     corners[i0].1,
-                    &su,
+                    su,
                     corners[i1].0,
-                    &sv,
+                    sv,
                     corners[i1].1,
                 )
             };
@@ -147,7 +153,7 @@ pub fn joint_interval(
         }
         if k < np {
             let idx = pending[k];
-            j[idx] = scalar::prob_joint_lt(&su, corners[idx].0, &sv, corners[idx].1);
+            j[idx] = scalar::prob_joint_lt(su, corners[idx].0, sv, corners[idx].1);
         }
         (j[0] - j[1] - j[2] + j[3]).max(0.0)
     }

@@ -4,7 +4,7 @@
 //! conditional-expectation loop; the rest of the budget is dominated by the
 //! drivers' `argmin_f64` candidate selection and the wire-accounting
 //! arithmetic. This crate owns those three numeric families as *kernels*
-//! with three implementation tiers each, selected at runtime by one
+//! with four implementation tiers, selected at runtime by one
 //! dispatch module ([`tier`]):
 //!
 //! - **reference** — the code exactly as it lived at its original call
@@ -17,6 +17,14 @@
 //!   digit DP, AVX2 for `argmin`/`bit_len` when detected at runtime via
 //!   [`std::arch::is_x86_feature_detected`]), falling back to `scalar`
 //!   elsewhere.
+//! - **incremental** — stateful digit-DP evaluation
+//!   ([`digit_dp::incremental`]): callers following the monotone seed
+//!   schedule carry a per-edge [`digit_dp::EdgeDpCache`] of DP prefix
+//!   states, so each seed-bit evaluation replays only the overridden
+//!   digit and the trailing digits instead of the full width. The cached
+//!   prefix is a literal memo of the reference computation's leading
+//!   steps, so results stay bit-identical. Kernels with no stateful
+//!   variant ride the SIMD ceiling under this tier.
 //!
 //! # The float-association rule
 //!
@@ -38,10 +46,13 @@
 //!
 //! # Dispatch
 //!
-//! [`tier::active_tier`] picks the tier once per process: the
-//! `DCL_KERNEL_TIER` environment variable (`reference` / `scalar` /
-//! `simd`) wins if set, otherwise the best tier the CPU supports is
-//! detected. Tests force tiers in-process via [`tier::set_active_tier`].
+//! [`tier::family_tier`] picks the tier per kernel family: an explicit
+//! override — [`tier::set_active_tier`] or the `DCL_KERNEL_TIER`
+//! environment variable (`reference` / `scalar` / `simd` /
+//! `incremental`) — forces every family to one tier (the tier-matrix
+//! tests rely on this), otherwise each family uses its measured-best
+//! default ([`tier::default_family_tier`], pinned against the committed
+//! `BENCH_bench.json` by `tests/family_dispatch.rs`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -54,4 +65,7 @@ pub mod ratio;
 pub mod tier;
 
 pub use forms::{pair_dist_of_forms, BitForm, PairDist};
-pub use tier::{active_tier, detected_tier, set_active_tier, simd_features, KernelTier};
+pub use tier::{
+    active_tier, clear_active_tier, default_family_tier, detected_tier, dispatch_label,
+    family_tier, set_active_tier, simd_features, KernelFamily, KernelTier,
+};

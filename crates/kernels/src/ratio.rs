@@ -9,7 +9,7 @@
 //! node) can vectorize; the SIMD tier zeroes `k = 0` lanes with a compare
 //! mask instead of a branch, which is bitwise the same `0.0`.
 
-use crate::tier::{active_tier, KernelTier};
+use crate::tier::{family_tier, KernelFamily, KernelTier};
 
 /// `num / den` as `f64`. The caller asserts `den > 0` (the potential is
 /// undefined for a node with no candidates).
@@ -36,14 +36,14 @@ pub fn recip_or_zero(k: usize) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn recip_batch(ks: &[usize], out: &mut [f64]) {
     assert_eq!(ks.len(), out.len(), "batch slices must have equal length");
-    match active_tier() {
+    match family_tier(KernelFamily::Ratio) {
         KernelTier::Reference => {
             for (k, o) in ks.iter().zip(out.iter_mut()) {
                 *o = recip_or_zero(*k);
             }
         }
         KernelTier::Scalar => recip_scalar(ks, out),
-        KernelTier::Simd => {
+        KernelTier::Simd | KernelTier::Incremental => {
             #[cfg(target_arch = "x86_64")]
             {
                 if ks.len() >= 4 {
@@ -71,14 +71,14 @@ pub fn ratio_batch(nums: &[usize], dens: &[usize], out: &mut [f64]) {
         "batch slices must have equal length"
     );
     assert_eq!(nums.len(), out.len(), "batch slices must have equal length");
-    match active_tier() {
+    match family_tier(KernelFamily::Ratio) {
         KernelTier::Reference => {
             for i in 0..nums.len() {
                 out[i] = ratio(nums[i], dens[i]);
             }
         }
         KernelTier::Scalar => ratio_scalar(nums, dens, out),
-        KernelTier::Simd => {
+        KernelTier::Simd | KernelTier::Incremental => {
             #[cfg(target_arch = "x86_64")]
             {
                 if nums.len() >= 4 {
@@ -157,7 +157,7 @@ mod sse2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tier::{detected_tier, set_active_tier, KernelTier};
+    use crate::tier::{clear_active_tier, set_active_tier, KernelTier};
 
     #[test]
     fn single_value_helpers() {
@@ -187,6 +187,6 @@ mod tests {
             let got: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
             assert_eq!(got, want_ratio, "ratio tier {}", tier.name());
         }
-        set_active_tier(detected_tier());
+        clear_active_tier();
     }
 }

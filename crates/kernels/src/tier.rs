@@ -1,19 +1,25 @@
-//! Tier selection: one dispatch decision per process.
+//! Tier selection: one dispatch decision per process, refined per family.
 //!
 //! The decision order is
 //!
 //! 1. [`set_active_tier`] — an explicit in-process override (tests force
-//!    each tier this way without re-spawning);
-//! 2. the `DCL_KERNEL_TIER` environment variable (`reference`, `scalar`
-//!    or `simd`), read once on first use;
-//! 3. runtime CPU detection: `simd` on x86_64 (SSE2 is part of the
-//!    x86_64 baseline, wider extensions are probed per kernel), `scalar`
-//!    on every other architecture.
+//!    each tier this way without re-spawning); [`clear_active_tier`]
+//!    removes it;
+//! 2. the `DCL_KERNEL_TIER` environment variable (`reference`, `scalar`,
+//!    `simd` or `incremental`), read once on first use;
+//! 3. the **per-family default** ([`default_family_tier`]): the committed
+//!    `BENCH_bench.json` baseline shows the best tier differs per kernel
+//!    family — the digit DP wants the incremental/SIMD path, `argmin`
+//!    wants the unrolled scalar fold, and `bit_len_batch` is fastest as
+//!    the plain reference loop (the SoA/SIMD batching overhead exceeds the
+//!    work). A global "best" tier therefore regresses some family on every
+//!    machine; defaults are per family, while an explicit override (1. or
+//!    2.) still forces *all* families for tier-matrix tests.
 //!
-//! Requesting `simd` on a non-x86_64 build is allowed and falls back to
-//! the scalar implementations kernel by kernel — the tier names a
-//! *ceiling*, not a requirement, so sweep scripts can export
-//! `DCL_KERNEL_TIER=simd` unconditionally.
+//! Requesting `simd` (or `incremental`) on a non-x86_64 build is allowed
+//! and falls back to the scalar implementations kernel by kernel — a tier
+//! names a *ceiling*, not a requirement, so sweep scripts can export
+//! `DCL_KERNEL_TIER=incremental` unconditionally.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -28,25 +34,53 @@ pub enum KernelTier {
     /// Explicit `std::arch` SIMD where the CPU supports it, scalar
     /// fallback elsewhere. Bit-identical by lane-parallel independence.
     Simd,
+    /// Stateful evaluation: callers that follow the monotone seed schedule
+    /// carry a per-edge DP prefix cache (`digit_dp::incremental`), and the
+    /// stateless entry points use the best measured stateless tier.
+    /// Bit-identical because the cached prefix is a literal memo of the
+    /// reference computation's leading digits.
+    Incremental,
+}
+
+/// The kernel families with independent default tiers. An explicit
+/// override ([`set_active_tier`] / `DCL_KERNEL_TIER`) forces every family
+/// to the same tier; without one, each family uses its measured best
+/// ([`default_family_tier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelFamily {
+    /// The Lemma 2.6 digit DP and its per-edge aggregation (`digit_dp`).
+    DigitDp,
+    /// The `argmin_f64` reduction behind every leader decision.
+    Argmin,
+    /// The `bit_len_batch` wire-accounting kernel.
+    Bits,
+    /// The `recip_batch` / `ratio_batch` arithmetic kernels.
+    Ratio,
 }
 
 impl KernelTier {
-    /// Stable lower-case name (`"reference"`, `"scalar"`, `"simd"`) — the
-    /// same spelling `DCL_KERNEL_TIER` accepts and bench/MachineProfile
-    /// headers record.
+    /// Stable lower-case name (`"reference"`, `"scalar"`, `"simd"`,
+    /// `"incremental"`) — the same spelling `DCL_KERNEL_TIER` accepts and
+    /// bench/MachineProfile headers record.
     #[must_use]
     pub const fn name(self) -> &'static str {
         match self {
             KernelTier::Reference => "reference",
             KernelTier::Scalar => "scalar",
             KernelTier::Simd => "simd",
+            KernelTier::Incremental => "incremental",
         }
     }
 
     /// All tiers, in escalation order. Drives tier-matrix tests.
     #[must_use]
-    pub const fn all() -> [KernelTier; 3] {
-        [KernelTier::Reference, KernelTier::Scalar, KernelTier::Simd]
+    pub const fn all() -> [KernelTier; 4] {
+        [
+            KernelTier::Reference,
+            KernelTier::Scalar,
+            KernelTier::Simd,
+            KernelTier::Incremental,
+        ]
     }
 
     fn from_u8(v: u8) -> Option<KernelTier> {
@@ -54,6 +88,7 @@ impl KernelTier {
             1 => Some(KernelTier::Reference),
             2 => Some(KernelTier::Scalar),
             3 => Some(KernelTier::Simd),
+            4 => Some(KernelTier::Incremental),
             _ => None,
         }
     }
@@ -63,12 +98,17 @@ impl KernelTier {
             KernelTier::Reference => 1,
             KernelTier::Scalar => 2,
             KernelTier::Simd => 3,
+            KernelTier::Incremental => 4,
         }
     }
 }
 
-/// 0 = undecided; otherwise `KernelTier::as_u8`.
+/// 0 = no override; otherwise `KernelTier::as_u8` of the forced tier.
 static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// 0 = env not read yet; `NO_ENV` = read, unset; otherwise the tier.
+static ENV: AtomicU8 = AtomicU8::new(0);
+const NO_ENV: u8 = u8::MAX;
 
 /// The tier the current CPU supports without an override.
 #[must_use]
@@ -83,35 +123,90 @@ pub fn detected_tier() -> KernelTier {
 }
 
 fn tier_from_env() -> Option<KernelTier> {
-    let raw = std::env::var("DCL_KERNEL_TIER").ok()?;
-    match raw.as_str() {
-        "reference" => Some(KernelTier::Reference),
-        "scalar" => Some(KernelTier::Scalar),
-        "simd" => Some(KernelTier::Simd),
-        other => panic!("DCL_KERNEL_TIER must be one of reference|scalar|simd, got {other:?}"),
+    match ENV.load(Ordering::Relaxed) {
+        0 => {}
+        NO_ENV => return None,
+        v => return KernelTier::from_u8(v),
     }
-}
-
-/// The tier every kernel dispatches to. Decided once per process (env
-/// override, else CPU detection) and cached; [`set_active_tier`] replaces
-/// the decision at any time.
-#[must_use]
-pub fn active_tier() -> KernelTier {
-    if let Some(t) = KernelTier::from_u8(ACTIVE.load(Ordering::Relaxed)) {
-        return t;
+    let decided = std::env::var("DCL_KERNEL_TIER").ok().map(|raw| {
+        match raw.as_str() {
+        "reference" => KernelTier::Reference,
+        "scalar" => KernelTier::Scalar,
+        "simd" => KernelTier::Simd,
+        "incremental" => KernelTier::Incremental,
+        other => {
+            panic!("DCL_KERNEL_TIER must be one of reference|scalar|simd|incremental, got {other:?}")
+        }
     }
-    let decided = tier_from_env().unwrap_or_else(detected_tier);
-    // A racing first-use may store a different-but-identically-derived
-    // value; last write wins and both are the same decision.
-    ACTIVE.store(decided.as_u8(), Ordering::Relaxed);
+    });
+    // A racing first-use stores an identically-derived value.
+    ENV.store(decided.map_or(NO_ENV, KernelTier::as_u8), Ordering::Relaxed);
     decided
 }
 
-/// Forces the active tier for the rest of the process (until the next
-/// call). Test-matrix entry point: the tier oracle runs each scenario
-/// once per tier in a single process through this.
+/// The explicit override in effect, if any: [`set_active_tier`] wins over
+/// `DCL_KERNEL_TIER`; `None` means per-family defaults apply.
+#[must_use]
+pub fn tier_override() -> Option<KernelTier> {
+    KernelTier::from_u8(ACTIVE.load(Ordering::Relaxed)).or_else(tier_from_env)
+}
+
+/// The measured-best default tier of `family` when no override is in
+/// effect, from the committed `BENCH_bench.json` baseline (the
+/// `kernels/*/{tier}` rows). `family_dispatch.rs` pins these choices
+/// against the committed numbers.
+#[must_use]
+pub fn default_family_tier(family: KernelFamily) -> KernelTier {
+    match family {
+        // edge_shares: incremental ≻ simd ≻ scalar ≻ reference.
+        KernelFamily::DigitDp => KernelTier::Incremental,
+        // argmin/4096: scalar (unrolled four-lane fold) edges out AVX2.
+        KernelFamily::Argmin => KernelTier::Scalar,
+        // bit_len_batch/4096: the reference `leading_zeros` loop wins;
+        // batching overhead exceeds the one-instruction work item.
+        KernelFamily::Bits => KernelTier::Reference,
+        // No committed measurement separates the tiers; keep detection.
+        KernelFamily::Ratio => detected_tier(),
+    }
+}
+
+/// The tier `family` dispatches to right now: the explicit override if one
+/// is in effect, else the family's measured default.
+#[must_use]
+pub fn family_tier(family: KernelFamily) -> KernelTier {
+    tier_override().unwrap_or_else(|| default_family_tier(family))
+}
+
+/// The single tier every family dispatches to under an override, else the
+/// CPU-detected ceiling. Kept for call sites that need *one* tier name
+/// (legacy dispatch, log lines); family-aware code uses [`family_tier`].
+#[must_use]
+pub fn active_tier() -> KernelTier {
+    tier_override().unwrap_or_else(detected_tier)
+}
+
+/// The dispatch decision as a stable label for bench/profile headers:
+/// the forced tier's name under an override, `"per-family"` otherwise.
+#[must_use]
+pub fn dispatch_label() -> &'static str {
+    match tier_override() {
+        Some(t) => t.name(),
+        None => "per-family",
+    }
+}
+
+/// Forces every family to `tier` for the rest of the process (until the
+/// next call or [`clear_active_tier`]). Test-matrix entry point: the tier
+/// oracle runs each scenario once per tier in a single process through
+/// this.
 pub fn set_active_tier(tier: KernelTier) {
     ACTIVE.store(tier.as_u8(), Ordering::Relaxed);
+}
+
+/// Removes the in-process override, restoring `DCL_KERNEL_TIER` (if set)
+/// or the per-family defaults.
+pub fn clear_active_tier() {
+    ACTIVE.store(0, Ordering::Relaxed);
 }
 
 /// The `target_feature` set the SIMD tier can actually use on this
@@ -143,6 +238,7 @@ mod tests {
         assert_eq!(KernelTier::Reference.name(), "reference");
         assert_eq!(KernelTier::Scalar.name(), "scalar");
         assert_eq!(KernelTier::Simd.name(), "simd");
+        assert_eq!(KernelTier::Incremental.name(), "incremental");
     }
 
     #[test]
@@ -150,8 +246,17 @@ mod tests {
         for t in KernelTier::all() {
             set_active_tier(t);
             assert_eq!(active_tier(), t);
+            // An override forces every family.
+            for f in [
+                KernelFamily::DigitDp,
+                KernelFamily::Argmin,
+                KernelFamily::Bits,
+                KernelFamily::Ratio,
+            ] {
+                assert_eq!(family_tier(f), t);
+            }
         }
-        set_active_tier(detected_tier());
+        clear_active_tier();
     }
 
     #[test]
@@ -161,5 +266,22 @@ mod tests {
         }
         assert_eq!(KernelTier::from_u8(0), None);
         assert_eq!(KernelTier::from_u8(9), None);
+    }
+
+    #[test]
+    fn family_defaults_are_per_family() {
+        assert_eq!(
+            default_family_tier(KernelFamily::DigitDp),
+            KernelTier::Incremental
+        );
+        assert_eq!(
+            default_family_tier(KernelFamily::Argmin),
+            KernelTier::Scalar
+        );
+        assert_eq!(
+            default_family_tier(KernelFamily::Bits),
+            KernelTier::Reference
+        );
+        assert_eq!(default_family_tier(KernelFamily::Ratio), detected_tier());
     }
 }

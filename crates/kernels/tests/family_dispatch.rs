@@ -1,0 +1,143 @@
+//! Pins the per-family default tier choices against the committed
+//! `BENCH_bench.json` baseline.
+//!
+//! [`default_family_tier`] encodes measured decisions ("bit_len_batch is
+//! fastest at the reference tier on the recording machine"); nothing else
+//! would catch the table in `tier.rs` drifting out of sync with the
+//! committed numbers. These tests parse the baseline's `kernels/*` rows and
+//! assert the dispatched tier is never the measured-slowest one for its
+//! family — the weakest claim that still catches an inverted default (a
+//! re-recorded baseline on different hardware may legitimately reorder the
+//! middle of the field).
+
+use dcl_kernels::{
+    clear_active_tier, default_family_tier, family_tier, set_active_tier, KernelFamily, KernelTier,
+};
+use std::collections::HashMap;
+
+/// The committed baseline at the workspace root.
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_bench.json")
+}
+
+/// Extracts `id -> ns_per_iter` for every `kernels/*` row, with the
+/// line-oriented matching the baseline's hand-written layout guarantees
+/// (one `{ "suite": ..., "id": ..., "ns_per_iter": ... }` object per line).
+fn kernel_rows() -> HashMap<String, f64> {
+    let text = std::fs::read_to_string(baseline_path()).expect("committed BENCH_bench.json");
+    let mut rows = HashMap::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\": \"kernels/") else {
+            continue;
+        };
+        let id = &line[id_at + 7..];
+        let id = &id[..id.find('"').expect("closing quote after id")];
+        let ns_at = line.find("\"ns_per_iter\": ").expect("ns_per_iter field");
+        let ns = &line[ns_at + 15..];
+        let ns = &ns[..ns.find(',').expect("comma after ns_per_iter")];
+        let ns: f64 = ns.trim().parse().expect("numeric ns_per_iter");
+        rows.insert(id.to_string(), ns);
+    }
+    assert!(
+        !rows.is_empty(),
+        "no kernels/* rows in {}",
+        baseline_path().display()
+    );
+    rows
+}
+
+/// The baseline row prefix whose per-tier measurements justify each
+/// family's default. Ratio has no committed rows (its default stays
+/// CPU-detected), so it is absent here.
+const MEASURED: &[(KernelFamily, &str)] = &[
+    (KernelFamily::DigitDp, "kernels/digit_dp/edge_shares/"),
+    (KernelFamily::Argmin, "kernels/argmin/4096/"),
+    (KernelFamily::Bits, "kernels/bit_len_batch/4096/"),
+];
+
+#[test]
+fn default_tier_is_never_the_measured_slowest() {
+    let rows = kernel_rows();
+    for &(family, prefix) in MEASURED {
+        let timed: Vec<(KernelTier, f64)> = KernelTier::all()
+            .into_iter()
+            .filter_map(|t| {
+                rows.get(&format!("{prefix}{}", t.name()))
+                    .map(|&ns| (t, ns))
+            })
+            .collect();
+        assert!(
+            timed.len() >= 3,
+            "{prefix}* rows missing from the committed baseline"
+        );
+        let default = default_family_tier(family);
+        let picked = timed
+            .iter()
+            .find(|(t, _)| *t == default)
+            .unwrap_or_else(|| panic!("{prefix}{} row missing", default.name()));
+        let worst = timed
+            .iter()
+            .cloned()
+            .fold(f64::MIN, |acc, (_, ns)| acc.max(ns));
+        assert!(
+            picked.1 < worst,
+            "{:?} dispatches to {} ({:.1} ns) which is the measured-slowest of {:?}",
+            family,
+            default.name(),
+            picked.1,
+            timed
+        );
+    }
+}
+
+#[test]
+fn bit_len_default_matches_the_committed_regression() {
+    // The concrete regression that motivated per-family dispatch: for
+    // bit_len_batch the SIMD batching overhead exceeds the one-instruction
+    // work item, so the committed numbers show the simd tier losing to the
+    // dispatched default. (Reference vs scalar is within run-to-run noise
+    // on the recording machine; the simd gap is the stable signal.)
+    let rows = kernel_rows();
+    let get = |tier: &str| rows[&format!("kernels/bit_len_batch/4096/{tier}")];
+    let default = default_family_tier(KernelFamily::Bits);
+    let default_ns = get(default.name());
+    assert!(
+        default_ns < get("simd"),
+        "Bits defaults to {} ({default_ns:.1} ns) but the committed simd row ({:.1} ns) is faster",
+        default.name(),
+        get("simd")
+    );
+}
+
+#[test]
+fn override_forces_every_family() {
+    for tier in KernelTier::all() {
+        set_active_tier(tier);
+        for family in [
+            KernelFamily::DigitDp,
+            KernelFamily::Argmin,
+            KernelFamily::Bits,
+            KernelFamily::Ratio,
+        ] {
+            assert_eq!(family_tier(family), tier, "{family:?} under forced tier");
+        }
+    }
+    clear_active_tier();
+    // Under a `DCL_KERNEL_TIER` environment override (the CI tier matrix)
+    // clearing the in-process override resurfaces the env one, so the
+    // per-family defaults are only observable without it.
+    if std::env::var_os("DCL_KERNEL_TIER").is_none() {
+        for family in [
+            KernelFamily::DigitDp,
+            KernelFamily::Argmin,
+            KernelFamily::Bits,
+            KernelFamily::Ratio,
+        ] {
+            assert_eq!(
+                family_tier(family),
+                default_family_tier(family),
+                "{family:?} after clearing the override"
+            );
+        }
+    }
+}

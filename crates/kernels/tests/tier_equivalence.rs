@@ -1,14 +1,18 @@
 //! Cross-tier bit-identity property tests.
 //!
 //! Every kernel family must produce **bit-identical** `f64` results under
-//! all three tiers (`reference` / `scalar` / `simd`) — the float-association
-//! rule of the crate docs, checked here with `to_bits` equality rather than
-//! epsilon comparison. Inputs are arbitrary same-slice form vectors,
-//! thresholds (including the inclusive `t = 2^b` edge) and single-position
-//! overrides derived by real "fix one seed bit" semantics.
+//! all four tiers (`reference` / `scalar` / `simd` / `incremental`) — the
+//! float-association rule of the crate docs, checked here with `to_bits`
+//! equality rather than epsilon comparison. Inputs are arbitrary
+//! same-slice form vectors, thresholds (including the inclusive `t = 2^b`
+//! edge) and single-position overrides derived by real "fix one seed bit"
+//! semantics. The stateful incremental evaluator is additionally driven
+//! through full monotone seed schedules, checking warm-cache vs fresh
+//! equality after every fix.
 
+use dcl_kernels::digit_dp::{incremental, EdgeDpCache};
 use dcl_kernels::{argmin, bits, digit_dp, ratio};
-use dcl_kernels::{detected_tier, set_active_tier, BitForm, KernelTier};
+use dcl_kernels::{clear_active_tier, set_active_tier, BitForm, KernelTier};
 use proptest::prelude::*;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -21,23 +25,23 @@ fn lock_tier() -> MutexGuard<'static, ()> {
         .unwrap_or_else(|e| e.into_inner())
 }
 
-/// Runs `f` once per tier (reference, scalar, simd — in that order) and
-/// restores CPU detection afterwards.
-fn per_tier<T>(mut f: impl FnMut() -> T) -> [T; 3] {
+/// Runs `f` once per tier (reference, scalar, simd, incremental — in that
+/// order) and restores per-family dispatch afterwards.
+fn per_tier<T>(mut f: impl FnMut() -> T) -> [T; 4] {
     let _guard = lock_tier();
     let out = KernelTier::all().map(|tier| {
         set_active_tier(tier);
         f()
     });
-    set_active_tier(detected_tier());
+    clear_active_tier();
     out
 }
 
 fn assert_tiers_agree<T: PartialEq + std::fmt::Debug>(
     label: &str,
-    results: [T; 3],
+    results: [T; 4],
 ) -> Result<(), TestCaseError> {
-    let [reference, scalar, simd] = results;
+    let [reference, scalar, simd, incremental] = results;
     prop_assert_eq!(
         &reference,
         &scalar,
@@ -45,6 +49,12 @@ fn assert_tiers_agree<T: PartialEq + std::fmt::Debug>(
         label
     );
     prop_assert_eq!(&reference, &simd, "{}: simd diverged from reference", label);
+    prop_assert_eq!(
+        &reference,
+        &incremental,
+        "{}: incremental diverged from reference",
+        label
+    );
     Ok(())
 }
 
@@ -284,6 +294,83 @@ proptest! {
         }
         for (i, (&n, &d)) in nums.iter().zip(&dens).enumerate() {
             prop_assert_eq!(ratios[i], ratio::ratio(n, d).to_bits());
+        }
+    }
+
+    /// The stateful incremental evaluator driven through a full monotone
+    /// seed schedule: slices are processed in increasing order, and within
+    /// each slice's window several seed bits are fixed in turn (mutating
+    /// only that slice's form — the contract `EdgeDpCache` relies on).
+    /// After **every** fix, the warm persistent cache must agree bitwise
+    /// with a cold cache and with the stateless dispatched evaluator.
+    #[test]
+    fn incremental_cache_matches_fresh_across_monotone_schedule(
+        b in 1usize..=6,
+        s_free_bits in any::<u64>(),
+        offs in any::<u64>(),
+        mask_seed_u in any::<u64>(),
+        mask_seed_v in any::<u64>(),
+        corr_bits in any::<u64>(),
+        ts in any::<u64>(),
+        kraw in any::<u64>(),
+        fix_ctrl in any::<u64>(),
+    ) {
+        let (mut fu, mut fv) = decode_forms(
+            b, s_free_bits, offs, offs >> 8, mask_seed_u, mask_seed_v, corr_bits,
+        );
+        let full = 1u64 << b;
+        let (tu, tv) = (ts % (full + 1), (ts >> 32) % (full + 1));
+        let inv = ratio::recip_or_zero;
+        let (k0_u, k1_u, k0_v, k1_v) = (
+            (kraw % 9) as usize,
+            ((kraw >> 8) % 9) as usize,
+            ((kraw >> 16) % 9) as usize,
+            ((kraw >> 24) % 9) as usize,
+        );
+        let mut warm = EdgeDpCache::new();
+        let mut warm_marg = incremental::MarginalDpCache::new();
+        for slice in 0..b {
+            // A window of "m + 1 = 3" seed bits per slice.
+            for step in 0..3usize {
+                let which = fix_ctrl >> (slice * 8 + step * 2);
+                let val = fix_ctrl >> (32 + slice + step) & 1 == 1;
+                let (u0, v0) = fix_forms(fu[slice], fv[slice], which, false);
+                let (u1, v1) = fix_forms(fu[slice], fv[slice], which, true);
+
+                let cached = incremental::edge_shares(
+                    &mut warm,
+                    &fu, [u0, u1], tu, inv(k0_u), inv(k1_u),
+                    &fv, [v0, v1], tv, inv(k0_v), inv(k1_v),
+                    slice,
+                ).map(f64::to_bits);
+                let mut cold = EdgeDpCache::new();
+                let fresh = incremental::edge_shares(
+                    &mut cold,
+                    &fu, [u0, u1], tu, inv(k0_u), inv(k1_u),
+                    &fv, [v0, v1], tv, inv(k0_v), inv(k1_v),
+                    slice,
+                ).map(f64::to_bits);
+                // Bit-identical under any tier, so no tier lock is needed.
+                let stateless = digit_dp::edge_shares(
+                    &fu, [u0, u1], tu, inv(k0_u), inv(k1_u),
+                    &fv, [v0, v1], tv, inv(k0_v), inv(k1_v),
+                    slice,
+                ).map(f64::to_bits);
+                prop_assert_eq!(cached, fresh, "warm vs cold at slice {} step {}", slice, step);
+                prop_assert_eq!(cached, stateless, "warm vs stateless at slice {} step {}", slice, step);
+
+                let marg = incremental::prob_lt_override(&mut warm_marg, &fu, u1, tu, slice)
+                    .to_bits();
+                let marg_ref = digit_dp::prob_lt_override(&fu, Some((slice, u1)), tu).to_bits();
+                prop_assert_eq!(marg, marg_ref, "marginal at slice {} step {}", slice, step);
+
+                // Commit the fix: the chosen candidate becomes the slice's
+                // form — only `slice`'s position mutates, as in
+                // `SliceFamily::update_forms_on_fix`.
+                let (gu, gv) = if val { (u1, v1) } else { (u0, v0) };
+                fu[slice] = gu;
+                fv[slice] = gv;
+            }
         }
     }
 }

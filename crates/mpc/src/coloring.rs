@@ -24,7 +24,7 @@ use dcl_coloring::derand_step::accuracy_bits;
 use dcl_coloring::instance::ListInstance;
 use dcl_coloring::prefix::PrefixState;
 use dcl_derand::seed::PartialSeed;
-use dcl_derand::slice::{coin_threshold, BitForm, SliceFamily};
+use dcl_derand::slice::{coin_threshold, PackedForms, SliceFamily};
 use dcl_graphs::NodeId;
 
 /// Result of an MPC coloring run.
@@ -112,13 +112,16 @@ fn bitwise_selection(
         let mut k1_inv = vec![0.0f64; n];
         dcl_kernels::ratio::recip_batch(&k0, &mut k0_inv);
         dcl_kernels::ratio::recip_batch(&k1, &mut k1_inv);
+        // Forms live in the kernels' packed SoA layout: per-candidate
+        // scratch is one flat clone, and the coin DP runs pack-free.
         let mut seed = PartialSeed::new(seed_len);
-        let mut forms: Vec<Vec<BitForm>> = (0..n)
+        let empty = PackedForms::from_forms(&[]);
+        let mut forms: Vec<PackedForms> = (0..n)
             .map(|v| {
                 if active[v] {
-                    family.forms_for(&seed, psi[v])
+                    family.packed_forms_for(&seed, psi[v])
                 } else {
-                    Vec::new()
+                    empty.clone()
                 }
             })
             .collect();
@@ -134,13 +137,13 @@ fn bitwise_selection(
                     let bit = cand >> offset & 1 == 1;
                     for v in 0..n {
                         if active[v] {
-                            family.update_forms_on_fix(&mut scratch[v], psi[v], j, bit);
+                            family.update_packed_on_fix(&mut scratch[v], psi[v], j, bit);
                         }
                     }
                 }
                 let mut total = 0.0;
                 for &(u, v) in &edges {
-                    let p = family.joint_coin_probs_forms(
+                    let p = dcl_kernels::digit_dp::joint_coin_probs_packed(
                         &scratch[u],
                         thresholds[u],
                         &scratch[v],
@@ -156,7 +159,7 @@ fn bitwise_selection(
                 seed.fix(j, bit);
                 for v in 0..n {
                     if active[v] {
-                        family.update_forms_on_fix(&mut forms[v], psi[v], j, bit);
+                        family.update_packed_on_fix(&mut forms[v], psi[v], j, bit);
                     }
                 }
             }
@@ -545,12 +548,13 @@ fn run_finisher(
         }
         mpc.charge_rounds(2 * tree_depth); // lists meet at edge machines
         let mut seed = PartialSeed::new(seed_len);
-        let mut forms: Vec<Vec<BitForm>> = (0..n)
+        let empty = PackedForms::from_forms(&[]);
+        let mut forms: Vec<PackedForms> = (0..n)
             .map(|v| {
                 if active[v] {
-                    family.forms_for(&seed, psi[v])
+                    family.packed_forms_for(&seed, psi[v])
                 } else {
-                    Vec::new()
+                    empty.clone()
                 }
             })
             .collect();
@@ -569,7 +573,7 @@ fn run_finisher(
                     let bit = cand >> offset & 1 == 1;
                     for v in 0..n {
                         if active[v] {
-                            family.update_forms_on_fix(&mut scratch[v], psi[v], j, bit);
+                            family.update_packed_on_fix(&mut scratch[v], psi[v], j, bit);
                         }
                     }
                 }
@@ -592,7 +596,7 @@ fn run_finisher(
                 seed.fix(j, bit);
                 for v in 0..n {
                     if active[v] {
-                        family.update_forms_on_fix(&mut forms[v], psi[v], j, bit);
+                        family.update_packed_on_fix(&mut forms[v], psi[v], j, bit);
                     }
                 }
             }
@@ -657,8 +661,8 @@ fn edge_conflict_expectation(
     residual: &ListInstance,
     u: NodeId,
     v: NodeId,
-    forms_u: &[BitForm],
-    forms_v: &[BitForm],
+    forms_u: &PackedForms,
+    forms_v: &PackedForms,
     thresholds: &[Vec<u64>],
 ) -> f64 {
     let (lu, lv) = (residual.list(u), residual.list(v));
@@ -673,8 +677,9 @@ fn edge_conflict_expectation(
                 let (a0, a1) = (thresholds[u][iu], thresholds[u][iu + 1]);
                 let (b0, b1) = (thresholds[v][iv], thresholds[v][iv + 1]);
                 if a1 > a0 && b1 > b0 {
-                    total +=
-                        dcl_kernels::digit_dp::joint_interval(forms_u, a0, a1, forms_v, b0, b1);
+                    total += dcl_kernels::digit_dp::joint_interval_packed(
+                        forms_u, a0, a1, forms_v, b0, b1,
+                    );
                 }
                 iu += 1;
                 iv += 1;

@@ -309,6 +309,48 @@ impl Pool {
             })
             .collect()
     }
+
+    /// [`Pool::map_chunks`] over a mutable slice: `items` is pre-split at
+    /// the same deterministic `chunk_ranges` boundaries, and each chunk
+    /// job receives its index range plus **exclusive** mutable access to
+    /// the corresponding sub-slice (per-item scratch such as the derand
+    /// step's per-edge DP caches lives there, with no worker-count
+    /// dependence in the results). Per-chunk results return in chunk
+    /// order, exactly as `map_chunks`.
+    pub fn map_chunks_with<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(Range<usize>, &mut [T]) -> R + Sync,
+    {
+        let ranges = chunk_ranges(items.len(), self.threads);
+        // Pre-split into disjoint sub-slices so jobs can run concurrently.
+        let mut parts: Vec<Mutex<Option<&mut [T]>>> = Vec::with_capacity(ranges.len());
+        let mut rest = items;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            parts.push(Mutex::new(Some(head)));
+            rest = tail;
+        }
+        let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        self.run(ranges.len(), &|j| {
+            let chunk = parts[j]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("each chunk job runs exactly once");
+            let result = f(ranges[j].clone(), chunk);
+            *slots[j].lock().unwrap() = Some(result);
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("run() returns only after every job completed")
+            })
+            .collect()
+    }
 }
 
 impl Drop for Pool {
@@ -432,6 +474,30 @@ mod tests {
                     (0..items).collect::<Vec<_>>(),
                     "threads {threads} items {items}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_with_splits_at_the_same_boundaries() {
+        for threads in [1, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            for items in [0usize, 1, 63, 64, 65, 777] {
+                let mut scratch: Vec<usize> = vec![usize::MAX; items];
+                let starts = pool.map_chunks_with(&mut scratch, |range, chunk| {
+                    assert_eq!(range.len(), chunk.len(), "chunk/sub-slice mismatch");
+                    for (off, c) in chunk.iter_mut().enumerate() {
+                        *c = range.start + off;
+                    }
+                    range.start
+                });
+                // Every item was visited by exactly the chunk owning it.
+                assert!(
+                    scratch.iter().enumerate().all(|(i, &v)| v == i),
+                    "threads {threads} items {items}"
+                );
+                // Same deterministic boundaries as map_chunks.
+                assert_eq!(starts, pool.map_chunks(items, |r| r.start));
             }
         }
     }

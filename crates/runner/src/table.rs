@@ -76,10 +76,12 @@ pub struct MachineProfile {
     pub os: &'static str,
     /// `std::env::consts::ARCH`.
     pub arch: &'static str,
-    /// The kernel tier the numbers were recorded under
-    /// (`dcl_kernels::active_tier().name()`), so a baseline produced with
-    /// `DCL_KERNEL_TIER=reference` is never diffed against a SIMD run
-    /// unnoticed.
+    /// The kernel dispatch decision the numbers were recorded under
+    /// (`dcl_kernels::dispatch_label()`): a forced tier's name under a
+    /// `DCL_KERNEL_TIER`/`set_active_tier` override, else `"per-family"`
+    /// (each kernel family at its measured-best default) — so a baseline
+    /// produced with `DCL_KERNEL_TIER=reference` is never diffed against
+    /// a default run unnoticed.
     pub kernel_tier: &'static str,
     /// The `target_feature` set the SIMD tier can use on the recording
     /// machine (`dcl_kernels::simd_features()`).
@@ -95,7 +97,7 @@ impl MachineProfile {
                 .unwrap_or(1),
             os: std::env::consts::OS,
             arch: std::env::consts::ARCH,
-            kernel_tier: dcl_kernels::active_tier().name(),
+            kernel_tier: dcl_kernels::dispatch_label(),
             target_features: dcl_kernels::simd_features(),
         }
     }
@@ -196,13 +198,13 @@ mod tests {
             hardware_threads: 1,
             os: "linux",
             arch: "x86_64",
-            kernel_tier: "simd",
+            kernel_tier: "per-family",
             target_features: "sse2+avx2",
         };
         let j = baseline_json("bench_experiments/v1", &profile, 12.34, &[(t, 5.67)]);
         assert!(j.starts_with("{\n  \"schema\": \"bench_experiments/v1\",\n"));
         assert!(j.contains(
-            "  \"machine\": { \"hardware_threads\": 1, \"os\": \"linux\", \"arch\": \"x86_64\", \"kernel_tier\": \"simd\", \"target_features\": \"sse2+avx2\" },\n"
+            "  \"machine\": { \"hardware_threads\": 1, \"os\": \"linux\", \"arch\": \"x86_64\", \"kernel_tier\": \"per-family\", \"target_features\": \"sse2+avx2\" },\n"
         ));
         assert!(j.contains("  \"total_ms\": 12.3,\n"));
         assert!(j.contains("      \"id\": \"E9\",\n"));

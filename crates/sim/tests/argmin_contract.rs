@@ -8,9 +8,9 @@
 //!    must not depend on backend or kernel tier;
 //! 2. **NaN never wins** — a poisoned score must not hijack the schedule;
 //! 3. the result is **identical across `Backend::{Sequential, Parallel}`**
-//!    and across all three kernel tiers, for arbitrary score vectors.
+//!    and across all four kernel tiers, for arbitrary score vectors.
 
-use dcl_kernels::{detected_tier, set_active_tier, KernelTier};
+use dcl_kernels::{clear_active_tier, set_active_tier, KernelTier};
 use dcl_par::Pool;
 use dcl_sim::argmin_f64;
 use proptest::prelude::*;
@@ -24,14 +24,14 @@ fn lock_tier() -> MutexGuard<'static, ()> {
         .unwrap_or_else(|e| e.into_inner())
 }
 
-/// Runs `f` once per tier and restores CPU detection afterwards.
-fn per_tier<T>(mut f: impl FnMut() -> T) -> [T; 3] {
+/// Runs `f` once per tier and restores the default dispatch afterwards.
+fn per_tier<T>(mut f: impl FnMut() -> T) -> [T; 4] {
     let _guard = lock_tier();
     let out = KernelTier::all().map(|tier| {
         set_active_tier(tier);
         f()
     });
-    set_active_tier(detected_tier());
+    clear_active_tier();
     out
 }
 

@@ -7,10 +7,11 @@
 //! identical [`Report`]** — colors, metrics, extras, everything `PartialEq`
 //! sees — no matter which kernel tier is forced. This is the end-to-end
 //! statement of the float-association rule: swapping reference code for
-//! SoA or SIMD kernels is unobservable from outside the process.
+//! SoA, SIMD, or prefix-cached incremental kernels is unobservable from
+//! outside the process.
 
 use distributed_coloring::graphs::generators;
-use distributed_coloring::kernels::{detected_tier, set_active_tier, KernelTier};
+use distributed_coloring::kernels::{clear_active_tier, set_active_tier, KernelTier};
 use distributed_coloring::runner::Report;
 use distributed_coloring::scenarios;
 use distributed_coloring::{Backend, ExecConfig};
@@ -36,7 +37,7 @@ fn run_all(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// All six scenarios × all three tiers × both backends: bit-identical
+    /// All six scenarios × all four tiers × both backends: bit-identical
     /// reports (or identical typed rejections).
     #[test]
     fn every_scenario_is_tier_invariant(
@@ -55,7 +56,7 @@ proptest! {
                     run_all(&g, &exec)
                 })
                 .collect();
-            set_active_tier(detected_tier());
+            clear_active_tier();
 
             let anchor = &per_tier[0];
             for (tier, outcomes) in KernelTier::all().iter().zip(&per_tier) {
@@ -85,11 +86,15 @@ fn structured_families_are_tier_invariant() {
             set_active_tier(KernelTier::Reference);
             run_all(g, &exec)
         };
-        for tier in [KernelTier::Scalar, KernelTier::Simd] {
+        for tier in [
+            KernelTier::Scalar,
+            KernelTier::Simd,
+            KernelTier::Incremental,
+        ] {
             set_active_tier(tier);
             let got = run_all(g, &exec);
             assert_eq!(got, anchor, "{label} diverged under tier {}", tier.name());
         }
-        set_active_tier(detected_tier());
+        clear_active_tier();
     }
 }
