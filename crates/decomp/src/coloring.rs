@@ -19,7 +19,7 @@ use dcl_coloring::partial::{partial_coloring, PartialConfig};
 use dcl_congest::bfs::{BfsForest, BfsTree};
 use dcl_congest::network::{Metrics, Network};
 use dcl_graphs::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the Corollary 1.2 driver.
 ///
@@ -124,7 +124,7 @@ fn cluster_forest(
 /// Per-color congestion: the maximum number of color-`k` trees sharing one
 /// edge (the pipelining multiplier for that class).
 fn color_congestion(decomposition: &NetworkDecomposition, color: usize) -> u64 {
-    let mut usage: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+    let mut usage: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
     let mut kappa = 1u64;
     for cluster in decomposition.clusters.iter().filter(|c| c.color == color) {
         for (child, parent) in cluster.tree_edges() {

@@ -13,7 +13,7 @@
 //! reports the achieved `(α, β, κ)`.
 
 use dcl_graphs::{Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A cluster with its associated Steiner tree.
@@ -28,9 +28,9 @@ pub struct Cluster {
     /// Parent links of the tree: `parent[&v] = u` means the tree edge
     /// `{v, u}`; every tree node except the root has an entry. Tree nodes
     /// may include non-members (Steiner nodes).
-    pub parent: HashMap<NodeId, NodeId>,
+    pub parent: BTreeMap<NodeId, NodeId>,
     /// Depth of each tree node (root = 0).
-    pub depth: HashMap<NodeId, u32>,
+    pub depth: BTreeMap<NodeId, u32>,
 }
 
 impl Cluster {
@@ -237,7 +237,7 @@ impl NetworkDecomposition {
         }
         // (iv) Congestion: edges per color.
         let mut congestion = 0u32;
-        let mut usage: HashMap<(usize, NodeId, NodeId), u32> = HashMap::new();
+        let mut usage: BTreeMap<(usize, NodeId, NodeId), u32> = BTreeMap::new();
         for cluster in &self.clusters {
             for (child, parent) in cluster.tree_edges() {
                 let key = (cluster.color, child.min(parent), child.max(parent));
@@ -267,7 +267,7 @@ impl NetworkDecomposition {
 /// Exact diameter of a cluster tree (longest path in tree edges).
 fn tree_diameter(cluster: &Cluster) -> u32 {
     // Tree adjacency.
-    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
     for (&c, &p) in &cluster.parent {
         adj.entry(c).or_default().push(p);
         adj.entry(p).or_default().push(c);
@@ -277,7 +277,7 @@ fn tree_diameter(cluster: &Cluster) -> u32 {
     }
     // Double BFS.
     let far = |start: NodeId| -> (NodeId, u32) {
-        let mut dist: HashMap<NodeId, u32> = HashMap::new();
+        let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
         dist.insert(start, 0);
         let mut queue = std::collections::VecDeque::from([start]);
         let mut best = (start, 0);
@@ -288,7 +288,7 @@ fn tree_diameter(cluster: &Cluster) -> u32 {
             }
             if let Some(neighbors) = adj.get(&u) {
                 for &w in neighbors {
-                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(w) {
                         e.insert(du + 1);
                         queue.push_back(w);
                     }
@@ -314,15 +314,15 @@ mod tests {
             color: 0,
             members: vec![0, 1],
             root: 0,
-            parent: HashMap::from([(1, 0)]),
-            depth: HashMap::from([(0, 0), (1, 1)]),
+            parent: BTreeMap::from([(1, 0)]),
+            depth: BTreeMap::from([(0, 0), (1, 1)]),
         };
         let c1 = Cluster {
             color: 1,
             members: vec![2, 3],
             root: 2,
-            parent: HashMap::from([(3, 2)]),
-            depth: HashMap::from([(2, 0), (3, 1)]),
+            parent: BTreeMap::from([(3, 2)]),
+            depth: BTreeMap::from([(2, 0), (3, 1)]),
         };
         let d = NetworkDecomposition {
             clusters: vec![c0, c1],
@@ -398,15 +398,15 @@ mod tests {
             color: 0,
             members: vec![0, 2],
             root: 0,
-            parent: HashMap::from([(1, 0), (2, 1)]),
-            depth: HashMap::from([(0, 0), (1, 1), (2, 2)]),
+            parent: BTreeMap::from([(1, 0), (2, 1)]),
+            depth: BTreeMap::from([(0, 0), (1, 1), (2, 2)]),
         };
         let c1 = Cluster {
             color: 1,
             members: vec![1],
             root: 1,
-            parent: HashMap::new(),
-            depth: HashMap::from([(1, 0)]),
+            parent: BTreeMap::new(),
+            depth: BTreeMap::from([(1, 0)]),
         };
         let d = NetworkDecomposition {
             clusters: vec![c0, c1],
@@ -429,22 +429,22 @@ mod tests {
             color: 0,
             members: vec![1],
             root: 1,
-            parent: HashMap::from([(0, 1)]),
-            depth: HashMap::from([(1, 0), (0, 1)]),
+            parent: BTreeMap::from([(0, 1)]),
+            depth: BTreeMap::from([(1, 0), (0, 1)]),
         };
         let c1 = Cluster {
             color: 0,
             members: vec![2],
             root: 2,
-            parent: HashMap::from([(0, 2)]),
-            depth: HashMap::from([(2, 0), (0, 1)]),
+            parent: BTreeMap::from([(0, 2)]),
+            depth: BTreeMap::from([(2, 0), (0, 1)]),
         };
         let c2 = Cluster {
             color: 1,
             members: vec![0],
             root: 0,
-            parent: HashMap::new(),
-            depth: HashMap::from([(0, 0)]),
+            parent: BTreeMap::new(),
+            depth: BTreeMap::from([(0, 0)]),
         };
         let d = NetworkDecomposition {
             clusters: vec![c0, c1, c2],

@@ -37,7 +37,7 @@
 use crate::decomposition::{Cluster, NetworkDecomposition};
 use dcl_congest::network::Network;
 use dcl_graphs::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the decomposition construction.
 #[derive(Debug, Clone, Copy, Default)]
@@ -119,8 +119,8 @@ struct RunCluster {
     label: u64,
     root: NodeId,
     members: Vec<NodeId>,
-    parent: HashMap<NodeId, NodeId>,
-    depth: HashMap<NodeId, u32>,
+    parent: BTreeMap<NodeId, NodeId>,
+    depth: BTreeMap<NodeId, u32>,
     stopped: bool,
 }
 
@@ -141,15 +141,15 @@ fn run_once(net: &mut Network<'_>, participants: &[bool]) -> (Vec<Cluster>, u64)
                 label: v as u64,
                 root: v,
                 members: vec![v],
-                parent: HashMap::new(),
-                depth: HashMap::from([(v, 0)]),
+                parent: BTreeMap::new(),
+                depth: BTreeMap::from([(v, 0)]),
                 stopped: false,
             });
         }
     }
 
     // Per-edge usage count for the run (κ accounting for round charges).
-    let mut edge_usage: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+    let mut edge_usage: BTreeMap<(NodeId, NodeId), u32> = BTreeMap::new();
     let mut kappa = 1u32;
     let mut total_steps = 0u64;
 
@@ -163,7 +163,7 @@ fn run_once(net: &mut Network<'_>, participants: &[bool]) -> (Vec<Cluster>, u64)
         loop {
             // Collect proposals: blue vertex → (target cluster, via
             // neighbor). Sticky minimum target by label.
-            let mut proposals: HashMap<usize, Vec<(NodeId, NodeId)>> = HashMap::new();
+            let mut proposals: BTreeMap<usize, Vec<(NodeId, NodeId)>> = BTreeMap::new();
             let mut any = false;
             for v in 0..n {
                 if !alive[v] {

@@ -269,6 +269,7 @@ pub fn random_regular_detailed(n: usize, d: usize, seed: u64) -> (Graph, Regular
     for _attempt in 0..20 {
         stubs.shuffle(&mut rng);
         let mut b = GraphBuilder::new(n);
+        // dcl-lint: allow(no-hash-iter) — insert/contains dedup only, never iterated
         let mut seen = std::collections::HashSet::new();
         let mut ok = true;
         for pair in stubs.chunks_exact(2) {
@@ -288,6 +289,7 @@ pub fn random_regular_detailed(n: usize, d: usize, seed: u64) -> (Graph, Regular
     // Fallback: greedy matching of stubs skipping conflicts.
     stubs.shuffle(&mut rng);
     let mut b = GraphBuilder::new(n);
+    // dcl-lint: allow(no-hash-iter) — insert/contains dedup only, never iterated
     let mut seen = std::collections::HashSet::new();
     let mut pending: Option<NodeId> = None;
     for &s in &stubs {
@@ -376,7 +378,7 @@ pub fn cluster_chain(k: usize, size: usize, p: f64, seed: u64) -> Graph {
 /// [`gnp`], the draw sequence differs from the historical per-pair sampler,
 /// so a given seed yields a different (equally distributed) edge set.
 pub fn power_law(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Graph {
-    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(gamma > 1.0, "power-law exponent must be greater than 1");
     if n < 2 || avg_degree <= 0.0 {
         return Graph::empty(n);
     }

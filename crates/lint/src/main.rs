@@ -1,0 +1,81 @@
+//! `dcl_lint` binary: walks the workspace and reports contract violations.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo lint                 # via the .cargo/config.toml alias
+//! cargo run -p dcl_lint      # equivalent
+//! cargo run -p dcl_lint -- --list-rules
+//! cargo run -p dcl_lint -- <workspace-root>
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any unwaived violation remains.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(arg: Option<String>) -> PathBuf {
+    if let Some(root) = arg {
+        return PathBuf::from(root);
+    }
+    // When run through cargo, CARGO_MANIFEST_DIR = <root>/crates/lint.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(dir);
+        if let Some(root) = manifest.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root_arg = None;
+    for arg in &mut args {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in dcl_lint::RULES {
+                    println!("{:18} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dcl_lint — workspace static-analysis pass (DESIGN.md §9)\n\n\
+                     USAGE: dcl_lint [--list-rules] [workspace-root]\n\n\
+                     Waive a finding with `// dcl-lint: allow(rule) — reason` on or\n\
+                     directly above the offending line."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => root_arg = Some(other.to_string()),
+        }
+    }
+
+    let root = workspace_root(root_arg);
+    match dcl_lint::lint_workspace(&root) {
+        Ok((files, diagnostics)) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            if diagnostics.is_empty() {
+                println!("dcl_lint: {files} files checked, 0 violations");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "dcl_lint: {files} files checked, {} violation(s)",
+                    diagnostics.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("dcl_lint: i/o error walking {}: {err}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,3 @@
+//! Seeded violation: a crate root with no unsafe-code policy attribute.
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Clean crate root: forbids unsafe code outright.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

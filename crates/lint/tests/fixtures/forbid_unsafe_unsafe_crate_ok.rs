@@ -1,0 +1,5 @@
+//! Clean root for an unsafe-permitted crate (dcl_par / dcl_kernels).
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub fn noop() {}

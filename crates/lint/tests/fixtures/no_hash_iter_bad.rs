@@ -1,0 +1,11 @@
+//! Seeded violation: hash-table state in a deterministic crate.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut h: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h.into_iter().collect()
+}

@@ -1,0 +1,23 @@
+//! Clean: ordered map, deterministic iteration.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut h: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may compare against hash references freely.
+    use std::collections::HashSet;
+
+    #[test]
+    fn reference() {
+        let s: HashSet<u32> = [1, 2].into_iter().collect();
+        assert!(s.contains(&1));
+    }
+}

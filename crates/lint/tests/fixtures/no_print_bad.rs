@@ -1,0 +1,6 @@
+//! Seeded violation: stdout noise from library code.
+
+pub fn solve(x: u64) -> u64 {
+    println!("solving {x}");
+    x * 2
+}

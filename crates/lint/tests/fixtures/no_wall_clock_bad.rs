@@ -1,0 +1,9 @@
+//! Seeded violation: wall-clock read in metered code.
+
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,9 @@
+//! Clean: durations as pure data are fine; no clock is read.
+
+use std::time::Duration;
+
+pub const TICK: Duration = Duration::from_millis(5);
+
+pub fn double(d: Duration) -> Duration {
+    d * 2
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: a panic message with the stem "exceed" that the
+//! run_protected classifier can neither confirm as Budget nor as a
+//! past-tense safety net.
+
+pub fn check(v: usize, quota: usize) {
+    assert!(v <= quota, "node {v} exceeds its quota");
+}

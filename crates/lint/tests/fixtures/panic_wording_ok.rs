@@ -1,0 +1,12 @@
+//! Clean: both canonical wordings.
+
+pub fn check_budget(bits: u64, cap: u64, model: &str) {
+    assert!(
+        bits <= cap,
+        "message of {bits} bits exceeds {model} cap of {cap} bits"
+    );
+}
+
+pub fn check_progress(iterations: usize, cap: usize) {
+    assert!(iterations < cap, "iteration cap {cap} exceeded — progress bug");
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: `unsafe` without a // SAFETY: comment.
+
+pub fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,5 @@
+//! Clean: no intrinsics; plain arithmetic only.
+
+pub fn sum2(a: f64, b: f64) -> f64 {
+    a + b
+}

@@ -1,0 +1,8 @@
+//! Waiver syntax fixture: malformed waivers are themselves violations and
+//! do not suppress the findings they annotate.
+
+// dcl-lint: allow(no-hash-iter)
+use std::collections::HashSet;
+
+// dcl-lint: allow(not-a-rule) — the rule name does not exist
+pub fn noop() {}

@@ -1,0 +1,13 @@
+//! Waiver syntax fixture: every seeded violation below carries a valid
+//! per-line waiver, so the file lints clean.
+
+// dcl-lint: allow(no-hash-iter) — membership-only set, never iterated
+use std::collections::HashSet;
+
+pub fn dedup_count(xs: &[u32]) -> usize {
+    let mut seen = HashSet::new(); // dcl-lint: allow(no-hash-iter) — insert/contains only
+    xs.iter().filter(|&&x| seen.insert(x)).count()
+}
+
+// dcl-lint: allow(no-wall-clock, no-print) — demo of a multi-rule waiver
+pub fn trace(t: std::time::Instant) { println!("{:?}", t.elapsed()); }

@@ -38,6 +38,8 @@
 //! assert_eq!(flat, (0..10).map(|i| i * i).collect::<Vec<_>>());
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -33,6 +33,7 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
+// dcl-lint: allow(no-wall-clock) — TCP accept deadline only; never feeds metered state
 use std::time::{Duration, Instant};
 
 /// Which transport tier a round engine ships frames over.
@@ -699,11 +700,13 @@ impl TcpTransport {
                             to,
                             detail: "listener closed with dials pending".to_string(),
                         })?;
+                // dcl-lint: allow(no-wall-clock) — socket accept timeout, unmetered
                 let deadline = Instant::now() + TCP_DEADLINE;
                 let stream = loop {
                     match listener.accept() {
                         Ok((stream, _)) => break stream,
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            // dcl-lint: allow(no-wall-clock) — socket accept timeout, unmetered
                             if Instant::now() >= deadline {
                                 return Err(TransportError::Disconnected {
                                     from: to,
