@@ -1,6 +1,7 @@
-//! Experiment harness: workloads and the experiment implementations (E1–E14
+//! Experiment harness: workloads and the experiment implementations (E1–E15
 //! of `DESIGN.md` §4, including the E12/E13 bandwidth sweeps enabled by
-//! `dcl_sim::ExecConfig` and the E14 transport-tier overhead table).
+//! `dcl_sim::ExecConfig`, the E14 transport-tier overhead table, and the
+//! E15 service-tier overhead table).
 //!
 //! The paper is a theory paper without an empirical section, so every
 //! quantitative claim (potential invariants, progress guarantees, round
@@ -800,6 +801,83 @@ pub fn e14_transport_overhead() -> Table {
     t
 }
 
+/// E15 — service-tier overhead: every registered scenario shipped through
+/// the `dcl_service` request/response protocol over real localhost TCP,
+/// against direct `run_protected` calls. The served outcomes are
+/// bit-identical to direct execution at every worker count (the
+/// `matches_direct` column — the service determinism contract, `DESIGN.md`
+/// §10); what the service adds is the byte overhead metered here: request
+/// bytes up (graph edge list + knobs, framing included), response bytes
+/// down (the full `Report` wire form), per-request averages. Byte totals
+/// are exact deterministic counts — both sides' encoders are — so the rows
+/// recompute bit-identically like every other committed table.
+pub fn e15_service_overhead() -> Table {
+    use dcl_service::{
+        build_scenario, outcome_matches_direct, scenario_names, Server, ServiceClient,
+        ServiceConfig,
+    };
+
+    let mut t = Table::new(
+        "E15 (service tier): request/response byte overhead -- served results bit-identical to direct runs",
+        &[
+            "graph",
+            "n",
+            "m",
+            "workers",
+            "requests",
+            "req_bytes",
+            "resp_bytes",
+            "req_bytes/req",
+            "resp_bytes/req",
+            "matches_direct",
+        ],
+    );
+    for (label, g) in [
+        ("gnp(48,0.15)", generators::gnp(48, 0.15, 7)),
+        ("regular(96,6)", generators::random_regular(96, 6, 5)),
+        ("gnp(192,0.05)", generators::gnp(192, 0.05, 7)),
+    ] {
+        for workers in [1usize, 2, 4] {
+            let server = Server::bind(ServiceConfig::default().with_workers(workers))
+                .expect("bind loopback");
+            let addr = server.local_addr().expect("bound address");
+            let mut handle = server.start();
+            let mut client = ServiceClient::connect(addr).expect("connect");
+            let exec = dcl_sim::ExecConfig::default();
+            let ids: Vec<(u64, &str)> = scenario_names()
+                .into_iter()
+                .map(|name| (client.submit(name, &g, &exec).expect("submit"), name))
+                .collect();
+            let mut matches_direct = true;
+            for (id, name) in ids {
+                let served = client.wait(id);
+                let scenario = build_scenario(name).expect("registered");
+                let direct = dcl_runner::run_protected(scenario.as_ref(), &g, &exec);
+                matches_direct &= outcome_matches_direct(&served, &direct);
+            }
+            // Counters snapshot *before* close, so the goodbye exchange
+            // (whose read timing is up to the scheduler) never shifts a row.
+            let stats = client.stats();
+            client.close().expect("clean drain");
+            handle.shutdown();
+            let requests = stats.requests;
+            t.row(vec![
+                label.to_string(),
+                g.n().to_string(),
+                g.m().to_string(),
+                workers.to_string(),
+                requests.to_string(),
+                stats.bytes_sent.to_string(),
+                stats.bytes_received.to_string(),
+                (stats.bytes_sent / requests).to_string(),
+                (stats.bytes_received / requests).to_string(),
+                matches_direct.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// E11 — Section 5 toolbox: constant-round sort/prefix/set-difference.
 pub fn e11_mpc_tools() -> Table {
     use dcl_mpc::machine::Mpc;
@@ -925,6 +1003,10 @@ pub fn experiment_defs() -> Vec<ExperimentDef> {
             id: "E14",
             run: e14_transport_overhead,
         },
+        ExperimentDef {
+            id: "E15",
+            run: e15_service_overhead,
+        },
     ]
 }
 
@@ -951,7 +1033,7 @@ mod tests {
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E4b", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-                "E13", "E14"
+                "E13", "E14", "E15"
             ]
         );
         // The baseline JSON derives each id from the table title's leading

@@ -122,6 +122,43 @@ fn no_wall_clock_exempts_bench_and_duration_values() {
 }
 
 #[test]
+fn no_wall_clock_exempts_the_audited_deadline_module_by_exact_path() {
+    let bad = include_str!("fixtures/no_wall_clock_bad.rs");
+    // The one audited clock module may hold `Instant` without waivers…
+    assert!(lint("crates/sim/src/deadline.rs", bad).is_empty());
+    // …but the exemption is the exact file, not a name: a `deadline.rs`
+    // anywhere else in a deterministic crate is still flagged.
+    assert!(!lint("crates/service/src/deadline.rs", bad).is_empty());
+    assert!(!lint("crates/sim/src/deadline2.rs", bad).is_empty());
+}
+
+#[test]
+fn service_crate_is_held_to_the_determinism_contract() {
+    let bad = include_str!("fixtures/service_crate_bad.rs");
+    // Library code in crates/service is metered-adjacent: the server must
+    // produce byte-identical responses, so all three determinism rules
+    // apply there.
+    let diags = lint("crates/service/src/fixture.rs", bad);
+    let mut seen = rules(&diags);
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(
+        seen,
+        ["no-hash-iter", "no-print", "no-wall-clock"],
+        "{diags:?}"
+    );
+    // The server binary is operational, not metered: prints are fine
+    // there, but clocks and hash tables are still banned.
+    let bin = lint("crates/service/src/bin/dcl_serve.rs", bad);
+    let mut seen = rules(&bin);
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen, ["no-hash-iter", "no-wall-clock"], "{bin:?}");
+    // Integration tests of the service crate are exempt as everywhere.
+    assert!(lint("crates/service/tests/fixture.rs", bad).is_empty());
+}
+
+#[test]
 fn no_print_flags_library_prints() {
     let bad = include_str!("fixtures/no_print_bad.rs");
     let diags = lint("crates/runner/src/fixture.rs", bad);

@@ -1,0 +1,12 @@
+//! Seeded violations for the service-crate class: hash-table state,
+//! a raw wall-clock read, and stdout noise in what would be request
+//! handling — all three banned in `crates/service` library code.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn handle(pending: &HashMap<u64, Vec<u8>>) -> usize {
+    let t0 = Instant::now();
+    println!("draining {} requests", pending.len());
+    t0.elapsed().as_millis() as usize
+}

@@ -21,6 +21,10 @@
 //!   `dcl_delta::DeltaError` recoverable via [`RunError::rejection`], and —
 //!   through [`run_protected`] — the simulators' budget assertions).
 //!
+//! The [`wire`] module adds wire-serializable forms of both result types
+//! ([`WireReport`], [`WireRunError`]) so the service tier can ship them over
+//! sockets with the shared [`dcl_sim::Wire`] codec.
+//!
 //! On top sits the declarative sweep harness: [`Runner`] drives one
 //! scenario over a [`GraphSpec`] × [`CapSpec`] × [`dcl_par::Backend`] grid
 //! (the loops the experiment bins used to hand-roll) and returns a
@@ -37,9 +41,11 @@ pub mod error;
 pub mod scenario;
 pub mod sweep;
 pub mod table;
+pub mod wire;
 
 pub use dcl_sim::{TransportError, TransportSpec};
 pub use error::{run_protected, RunError};
 pub use scenario::{Model, Report, Scenario};
 pub use sweep::{CapSpec, Cell, GraphSpec, Runner, Sweep};
 pub use table::{baseline_json, MachineProfile, Table};
+pub use wire::{RunErrorKind, WireReport, WireRunError};

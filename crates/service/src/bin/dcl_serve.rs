@@ -1,0 +1,91 @@
+//! The coloring service binary: a long-lived localhost TCP server
+//! answering [`dcl_service`] protocol requests for every registered
+//! scenario.
+//!
+//! ```text
+//! dcl_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]
+//!           [--timeout-ms MS]
+//! ```
+//!
+//! Defaults mirror [`ServiceConfig::default`] (loopback with an OS-chosen
+//! port, 2 workers). The bound address is printed as `listening on ADDR`
+//! once the socket is ready, so harnesses that pass `--addr 127.0.0.1:0`
+//! can scrape the port. Runs until killed.
+
+use dcl_service::{scenario_names, Server, ServiceConfig};
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Duration;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("dcl_serve: {message}");
+    eprintln!(
+        "usage: dcl_serve [--addr HOST:PORT] [--workers N] [--max-inflight N] [--timeout-ms MS]"
+    );
+    exit(2);
+}
+
+fn parse_config(args: &[String]) -> ServiceConfig {
+    let mut config = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                let raw = value_of("--addr");
+                let addr: SocketAddr = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad address '{raw}'")));
+                config = config.with_addr(addr);
+            }
+            "--workers" => {
+                let raw = value_of("--workers");
+                let workers: usize = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad worker count '{raw}'")));
+                config = config.with_workers(workers);
+            }
+            "--max-inflight" => {
+                let raw = value_of("--max-inflight");
+                let max: usize = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad inflight limit '{raw}'")));
+                config = config.with_max_inflight(max);
+            }
+            "--timeout-ms" => {
+                let raw = value_of("--timeout-ms");
+                let ms: u64 = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad timeout '{raw}'")));
+                config = config.with_request_timeout(Duration::from_millis(ms));
+            }
+            other => usage_error(&format!("unknown flag '{other}'")),
+        }
+    }
+    config
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = parse_config(&args);
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dcl_serve: bind {} failed: {e}", config.addr);
+            exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("listening on {addr}");
+    println!(
+        "workers={} max-inflight={} timeout-ms={} scenarios={}",
+        config.workers,
+        config.max_inflight,
+        config.request_timeout.as_millis(),
+        scenario_names().join(",")
+    );
+    server.run();
+}

@@ -1,0 +1,620 @@
+//! The long-lived coloring server: localhost TCP listener, per-connection
+//! reader/writer threads, and one sharded worker pool shared by every
+//! connection.
+//!
+//! # Threading model
+//!
+//! ```text
+//! accept loop ──spawns──▶ connection threads ──admit──▶ shared job queue
+//!                         (one reader + one                  │
+//!                          writer per socket)                ▼
+//!                               ▲                 dispatcher thread
+//!                               │                 (dcl_par::Pool, one
+//!                               └──── mpsc ◀───── shard per worker)
+//! ```
+//!
+//! Requests are admitted under an exact max-inflight limit — over the limit
+//! they are shed immediately with a typed [`Reject::Busy`] (never queued,
+//! so the accept loop and readers never stall behind slow work). Admitted
+//! jobs are batched by the dispatcher and sharded by `request.id %
+//! workers`: equal ids always land on the same shard, so a repeated request
+//! cannot race itself, and each shard runs its jobs in arrival order. The
+//! run itself goes through [`dcl_runner::run_protected`], so scenario
+//! panics and budget violations come back as typed rejects instead of
+//! killing a worker.
+//!
+//! # Determinism
+//!
+//! A request's outcome depends only on the request (scenario registry +
+//! `run_protected` are deterministic); concurrency exists only *across*
+//! requests. The service determinism suite pins this: the same request
+//! yields byte-identical response payloads, alone or under concurrent load.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] (also run on drop) stops the accept loop,
+//! lets every connection finish its drain — each connection waits for its
+//! outstanding admitted jobs, answers them, then sends its goodbye frame —
+//! and only then stops the dispatcher. Clients always see every admitted
+//! request answered before the goodbye.
+
+use crate::execute_request;
+use crate::proto::{
+    check_hello, decode_request, encode_goodbye, encode_hello, encode_response, Reject, Request,
+    Response, ServiceError,
+};
+use dcl_par::Pool;
+use dcl_sim::deadline::{park_tick, Deadline};
+use dcl_sim::transport::{FrameKind, FrameReader};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How long a socket read blocks before the loop re-checks its deadline
+/// and the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(10);
+
+/// Liveness bound on the handshake and on waiting for a response to start
+/// arriving.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Liveness bound on a connection's shutdown drain — how long it waits for
+/// its outstanding jobs before giving up and saying goodbye anyway.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Server tuning knobs.
+///
+/// `#[non_exhaustive]` — build with [`Default`] plus the `with_*` setters,
+/// so future knobs are not semver breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceConfig {
+    /// Listen address (default `127.0.0.1:0` — loopback, OS-chosen port).
+    pub addr: SocketAddr,
+    /// Worker shard count of the execution pool (clamped to ≥ 1).
+    pub workers: usize,
+    /// Admission limit: requests beyond this many in flight are shed with
+    /// [`Reject::Busy`]. `0` sheds everything (the deterministic
+    /// always-busy configuration the tests use).
+    pub max_inflight: usize,
+    /// Per-request deadline, measured from admission to a worker picking
+    /// the job up. `Duration::ZERO` times everything out (the
+    /// deterministic always-late configuration the tests use).
+    pub request_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 2,
+            max_inflight: 64,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the listen address (builder style).
+    #[must_use]
+    pub fn with_addr(mut self, addr: SocketAddr) -> Self {
+        self.addr = addr;
+        self
+    }
+
+    /// Sets the worker shard count (builder style).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission limit (builder style).
+    #[must_use]
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// Sets the per-request deadline (builder style).
+    #[must_use]
+    pub fn with_request_timeout(mut self, request_timeout: Duration) -> Self {
+        self.request_timeout = request_timeout;
+        self
+    }
+}
+
+/// What a connection's writer thread ships next.
+enum Outbound {
+    /// One response frame.
+    Response(Response),
+    /// Drain is complete: write the goodbye frame and exit.
+    End,
+}
+
+/// One admitted request waiting for a worker.
+struct Job {
+    request: Request,
+    deadline: Deadline,
+    reply: ReplyHandle,
+}
+
+/// The job's way back to its connection: the writer channel plus the
+/// connection's outstanding-job counter (drained before goodbye).
+#[derive(Clone)]
+struct ReplyHandle {
+    tx: mpsc::Sender<Outbound>,
+    outstanding: Arc<AtomicUsize>,
+}
+
+impl ReplyHandle {
+    fn respond(&self, response: Response) {
+        // The send completes before the decrement, so a connection that
+        // observes `outstanding == 0` knows every response is already in
+        // the channel ahead of its goodbye. A send error just means the
+        // connection died first; the decrement must still happen.
+        let _ = self.tx.send(Outbound::Response(response));
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// State shared by the accept loop, connection threads and dispatcher.
+struct Shared {
+    config: ServiceConfig,
+    /// Set once by [`ServerHandle::shutdown`]; everything winds down.
+    shutdown: AtomicBool,
+    /// Set by the accept loop after every connection thread has finished
+    /// (no more jobs can arrive); the dispatcher exits once this is set
+    /// and the queue is empty.
+    drained: AtomicBool,
+    /// Exact count of admitted, unanswered requests across all
+    /// connections.
+    inflight: AtomicUsize,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+}
+
+impl Shared {
+    /// Admission control: either reserves an inflight slot (exactly, via
+    /// compare-exchange — two racing requests cannot both take the last
+    /// slot) and queues the job, or sheds the request with a typed busy
+    /// response.
+    fn admit(&self, request: Request, tx: &mpsc::Sender<Outbound>, outstanding: &Arc<AtomicUsize>) {
+        let max = self.config.max_inflight;
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                (v < max).then_some(v + 1)
+            })
+            .is_ok();
+        if !admitted {
+            let _ = tx.send(Outbound::Response(Response {
+                id: request.id,
+                outcome: Err(Reject::Busy {
+                    inflight: self.inflight.load(Ordering::SeqCst) as u64,
+                    max_inflight: max as u64,
+                }),
+            }));
+            return;
+        }
+        outstanding.fetch_add(1, Ordering::SeqCst);
+        let job = Job {
+            request,
+            deadline: Deadline::after(self.config.request_timeout),
+            reply: ReplyHandle {
+                tx: tx.clone(),
+                outstanding: outstanding.clone(),
+            },
+        };
+        let mut queue = self.queue.lock().expect("service queue lock poisoned");
+        queue.push_back(job);
+        drop(queue);
+        self.queue_cv.notify_all();
+    }
+
+    /// Runs one job to a response and ships it back.
+    fn process(&self, job: Job) {
+        let Job {
+            request,
+            deadline,
+            reply,
+        } = job;
+        let outcome = if deadline.expired() {
+            Err(Reject::TimedOut {
+                limit_ms: self.config.request_timeout.as_millis() as u64,
+            })
+        } else {
+            execute_request(&request)
+        };
+        let response = Response {
+            id: request.id,
+            outcome,
+        };
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        reply.respond(response);
+    }
+}
+
+/// The dispatcher: drains the queue in batches, shards each batch by
+/// `request.id % workers`, and runs the shards on the pool. Within a shard
+/// jobs run in arrival order on one worker, so identical ids can never
+/// race; across shards the pool runs them concurrently.
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    let workers = shared.config.workers.max(1);
+    let pool = Pool::new(workers);
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = shared.queue.lock().expect("service queue lock poisoned");
+            loop {
+                if !queue.is_empty() {
+                    break queue.drain(..).collect();
+                }
+                if shared.drained.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, READ_TICK)
+                    .expect("service queue lock poisoned");
+                queue = guard;
+            }
+        };
+        let mut shards: Vec<Vec<Job>> = (0..workers).map(|_| Vec::new()).collect();
+        for job in batch {
+            let shard = (job.request.id % workers as u64) as usize;
+            shards[shard].push(job);
+        }
+        let shards: Vec<Mutex<Vec<Job>>> = shards.into_iter().map(Mutex::new).collect();
+        pool.run(workers, &|w| {
+            let jobs = std::mem::take(&mut *shards[w].lock().expect("shard lock poisoned"));
+            for job in jobs {
+                shared.process(job);
+            }
+        });
+    }
+}
+
+/// One nonblocking-read tick's outcome.
+enum ReadEvent {
+    /// Some bytes arrived and were pushed into the frame reader.
+    Bytes,
+    /// The read timed out; check deadlines/flags and try again.
+    Idle,
+    /// The peer closed the stream.
+    Eof,
+}
+
+/// Reads once from `stream` (bounded by its read timeout) into `reader`.
+fn read_tick(stream: &mut TcpStream, reader: &mut FrameReader) -> Result<ReadEvent, ServiceError> {
+    let mut buf = [0u8; 4096];
+    match stream.read(&mut buf) {
+        Ok(0) => Ok(ReadEvent::Eof),
+        Ok(n) => {
+            reader.push(&buf[..n]);
+            Ok(ReadEvent::Bytes)
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+            ) =>
+        {
+            Ok(ReadEvent::Idle)
+        }
+        Err(e) => Err(ServiceError::Disconnected {
+            detail: format!("read failed: {e}"),
+        }),
+    }
+}
+
+/// Reads whole frames until one arrives, bounded by `deadline`.
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    deadline: Deadline,
+) -> Result<dcl_sim::transport::RawFrame, ServiceError> {
+    loop {
+        if let Some(frame) = reader.next_frame().map_err(|e| ServiceError::Protocol {
+            detail: e.to_string(),
+        })? {
+            return Ok(frame);
+        }
+        if deadline.expired() {
+            return Err(ServiceError::Disconnected {
+                detail: "peer sent no frame before the deadline".to_string(),
+            });
+        }
+        match read_tick(stream, reader)? {
+            ReadEvent::Eof => {
+                return Err(ServiceError::Disconnected {
+                    detail: "peer closed the stream mid-frame".to_string(),
+                })
+            }
+            ReadEvent::Bytes | ReadEvent::Idle => {}
+        }
+    }
+}
+
+/// The read half of one connection: decode requests and admit them until
+/// the client says goodbye, closes the stream, or the server shuts down.
+fn read_requests(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    tx: &mpsc::Sender<Outbound>,
+    outstanding: &Arc<AtomicUsize>,
+) -> Result<(), ServiceError> {
+    loop {
+        while let Some(frame) = reader.next_frame().map_err(|e| ServiceError::Protocol {
+            detail: e.to_string(),
+        })? {
+            match frame.kind {
+                FrameKind::Data => shared.admit(decode_request(&frame)?, tx, outstanding),
+                FrameKind::EndRound => return Ok(()),
+                FrameKind::Hello => {
+                    return Err(ServiceError::Protocol {
+                        detail: "unexpected hello after the handshake".to_string(),
+                    })
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match read_tick(stream, reader)? {
+            ReadEvent::Eof => return Ok(()),
+            ReadEvent::Bytes | ReadEvent::Idle => {}
+        }
+    }
+}
+
+/// The write half: serializes outbound frames onto the socket; on
+/// [`Outbound::End`] writes the goodbye frame and exits.
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<Outbound>) {
+    let mut out = Vec::new();
+    for message in rx {
+        out.clear();
+        match message {
+            Outbound::Response(response) => encode_response(&response, &mut out),
+            Outbound::End => {
+                encode_goodbye(&mut out);
+                let _ = stream.write_all(&out);
+                let _ = stream.flush();
+                return;
+            }
+        }
+        if stream.write_all(&out).is_err() {
+            return; // connection died; readers/jobs notice independently
+        }
+    }
+}
+
+/// One accepted connection, start to finish: handshake, request loop,
+/// drain, goodbye. Errors tear the connection down without touching the
+/// rest of the server.
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<(), ServiceError> {
+    let fail = |what: &'static str| {
+        move |e: io::Error| ServiceError::Disconnected {
+            detail: format!("{what}: {e}"),
+        }
+    };
+    stream.set_nodelay(true).map_err(fail("set_nodelay"))?;
+    stream
+        .set_read_timeout(Some(READ_TICK))
+        .map_err(fail("set_read_timeout"))?;
+
+    let mut reader = FrameReader::new();
+    let hello = read_frame_deadline(&mut stream, &mut reader, Deadline::after(HANDSHAKE_TIMEOUT))?;
+    check_hello(&hello)?;
+    let mut out = Vec::new();
+    encode_hello(&mut out);
+    stream.write_all(&out).map_err(fail("hello write"))?;
+
+    let (tx, rx) = mpsc::channel();
+    let outstanding = Arc::new(AtomicUsize::new(0));
+    let writer_stream = stream.try_clone().map_err(fail("stream clone"))?;
+    let writer = thread::spawn(move || writer_loop(writer_stream, &rx));
+
+    let result = read_requests(shared, &mut stream, &mut reader, &tx, &outstanding);
+
+    // Graceful drain: every admitted job must be answered (the dispatcher
+    // keeps running until after all connections finish) before the goodbye
+    // frame goes out.
+    let drain = Deadline::after(DRAIN_TIMEOUT);
+    while outstanding.load(Ordering::SeqCst) > 0 && !drain.expired() {
+        park_tick();
+    }
+    let _ = tx.send(Outbound::End);
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+/// The accept loop: hands each connection to its own thread, reaps
+/// finished ones, and on shutdown joins the rest before releasing the
+/// dispatcher.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                connections.push(thread::spawn(move || {
+                    // A failed connection affects only itself.
+                    let _ = serve_connection(&shared, stream);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => park_tick(),
+            Err(_) => park_tick(), // transient accept failure; keep listening
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    // No connection threads remain, so no new jobs can be admitted; let
+    // the dispatcher exit once the queue runs dry.
+    shared.drained.store(true, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+}
+
+/// A bound-but-not-yet-serving server. Splitting bind from serve lets
+/// callers learn the OS-chosen port before any client dials.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("config", &self.config)
+            .field("inflight", &self.inflight)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener (nonblocking accepts; the loop parks through
+    /// [`dcl_sim::deadline::park_tick`]).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket error if binding fails.
+    pub fn bind(config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                shutdown: AtomicBool::new(false),
+                drained: AtomicBool::new(false),
+                inflight: AtomicUsize::new(0),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The bound address (port resolved if the config asked for `:0`).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket error if the address cannot be read back.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts serving on background threads and returns the controlling
+    /// handle.
+    #[must_use]
+    pub fn start(self) -> ServerHandle {
+        let addr = self
+            .listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            thread::spawn(move || dispatcher_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&self.shared);
+            let listener = self.listener;
+            thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        ServerHandle {
+            addr,
+            shared: self.shared,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Serves on the calling thread (the `dcl_serve` binary's mode); only
+    /// the dispatcher runs in the background. Returns when another thread
+    /// flips the shutdown flag — for the binary, effectively never.
+    pub fn run(self) {
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            thread::spawn(move || dispatcher_loop(&shared))
+        };
+        accept_loop(&self.shared, &self.listener);
+        let _ = dispatcher.join();
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down gracefully
+/// (drain, then stop).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients dial.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection drain its
+    /// admitted requests and say goodbye, stop the dispatcher. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders_set_each_knob() {
+        let config = ServiceConfig::default()
+            .with_workers(5)
+            .with_max_inflight(9)
+            .with_request_timeout(Duration::from_millis(250))
+            .with_addr(SocketAddr::from(([127, 0, 0, 1], 4000)));
+        assert_eq!(config.workers, 5);
+        assert_eq!(config.max_inflight, 9);
+        assert_eq!(config.request_timeout, Duration::from_millis(250));
+        assert_eq!(config.addr.port(), 4000);
+        let defaults = ServiceConfig::default();
+        assert!(defaults.max_inflight > 0);
+        assert!(defaults.request_timeout > Duration::ZERO);
+        assert_eq!(defaults.addr.ip().to_string(), "127.0.0.1");
+    }
+
+    #[test]
+    fn bind_resolves_an_os_chosen_port() {
+        let server = Server::bind(ServiceConfig::default()).expect("bind loopback");
+        let addr = server.local_addr().expect("addr");
+        assert_ne!(addr.port(), 0);
+        let mut handle = server.start();
+        assert_eq!(handle.addr(), addr);
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+    }
+}

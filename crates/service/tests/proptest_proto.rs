@@ -1,0 +1,264 @@
+//! Service-protocol fuzz, mirroring the transport tier's
+//! `proptest_wire.rs`: every [`Request`]/[`Response`] shape survives the
+//! full physical path (encode → frame → split at arbitrary boundaries →
+//! [`FrameReader`] reassembly → decode) as the identity, and truncated or
+//! corrupted streams surface as typed errors or silence — never a panic
+//! and never a decoder lie (a frame that parses still has a consistent
+//! header).
+
+use dcl_runner::{Model, RunErrorKind, WireReport, WireRunError};
+use dcl_service::proto::{
+    decode_request, decode_response, encode_request, encode_response, ExecSpec, Reject, Request,
+    Response,
+};
+use dcl_sim::transport::FrameReader;
+use dcl_sim::SimMetrics;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// The shim's `any` has no `String` instance; map byte vectors through a
+/// charset instead (scenario names and error details are free-form UTF-8 on
+/// the wire, so a few non-ASCII characters are part of the space).
+fn arb_string() -> impl Strategy<Value = String> {
+    const CHARSET: [char; 16] = [
+        'a', 'b', 'z', '0', '9', '-', '_', ' ', '.', '/', 'Δ', 'é', '≤', '"', '\\', '\n',
+    ];
+    proptest::collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| CHARSET[b as usize % CHARSET.len()])
+            .collect()
+    })
+}
+
+fn arb_exec_spec() -> impl Strategy<Value = ExecSpec> {
+    ((any::<bool>(), any::<u64>()), (any::<bool>(), any::<u32>())).prop_map(
+        |((has_threads, threads), (has_cap, cap))| ExecSpec {
+            threads: has_threads.then_some(threads),
+            cap_bits: has_cap.then_some(cap),
+        },
+    )
+}
+
+/// Codec-level requests: arbitrary ids, names, node counts and edge lists
+/// (the codec must round-trip them whether or not they describe a valid
+/// graph — validation is the server's job, after decode).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        any::<u64>(),
+        arb_string(),
+        any::<u64>(),
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..16),
+        arb_exec_spec(),
+    )
+        .prop_map(|(id, scenario, n, edges, exec)| Request {
+            id,
+            scenario,
+            n,
+            edges,
+            exec,
+        })
+}
+
+fn arb_wire_report() -> impl Strategy<Value = WireReport> {
+    (
+        (arb_string(), any::<u8>(), any::<bool>()),
+        (
+            proptest::collection::vec(any::<u64>(), 0..24),
+            any::<u64>(),
+            0usize..64,
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>()),
+        proptest::collection::vec((arb_string(), any::<u64>()), 0..4),
+    )
+        .prop_map(
+            |(
+                (scenario, model, proper),
+                (colors, palette, colors_used),
+                (rounds, messages, bits, max_message_bits),
+                extras,
+            )| WireReport {
+                scenario,
+                model: match model % 3 {
+                    0 => Model::Congest,
+                    1 => Model::CongestedClique,
+                    _ => Model::Mpc,
+                },
+                colors,
+                palette,
+                colors_used,
+                proper,
+                metrics: SimMetrics {
+                    rounds,
+                    messages,
+                    bits,
+                    max_message_bits,
+                },
+                extras,
+            },
+        )
+}
+
+fn arb_reject() -> impl Strategy<Value = Reject> {
+    (any::<u8>(), any::<u64>(), any::<u64>(), arb_string()).prop_map(|(variant, a, b, text)| {
+        match variant % 5 {
+            0 => Reject::Busy {
+                inflight: a,
+                max_inflight: b,
+            },
+            1 => Reject::TimedOut { limit_ms: a },
+            2 => Reject::UnknownScenario { name: text },
+            3 => Reject::BadInput { detail: text },
+            _ => Reject::Run(WireRunError {
+                kind: match a % 6 {
+                    0 => RunErrorKind::Graph,
+                    1 => RunErrorKind::Job,
+                    2 => RunErrorKind::Rejected,
+                    3 => RunErrorKind::Budget,
+                    4 => RunErrorKind::Transport,
+                    _ => RunErrorKind::Panic,
+                },
+                message: text,
+            }),
+        }
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (any::<u64>(), any::<bool>(), arb_wire_report(), arb_reject()).prop_map(
+        |(id, ok, report, reject)| Response {
+            id,
+            outcome: if ok { Ok(report) } else { Err(reject) },
+        },
+    )
+}
+
+/// Splits `stream` at the given cut points and reassembles every frame.
+fn reassemble(stream: &[u8], cuts: &[usize]) -> Result<Vec<dcl_sim::transport::RawFrame>, String> {
+    let mut boundaries: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+    boundaries.push(stream.len());
+    boundaries.sort_unstable();
+    let mut reader = FrameReader::new();
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    for b in boundaries {
+        reader.push(&stream[pos..b]);
+        pos = b;
+        while let Some(frame) = reader.next_frame().map_err(|e| e.to_string())? {
+            frames.push(frame);
+        }
+    }
+    if reader.pending_bytes() > 0 {
+        return Err(format!("{} trailing bytes", reader.pending_bytes()));
+    }
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Requests survive framing and arbitrary stream splits as the
+    /// identity.
+    #[test]
+    fn requests_survive_framing(
+        requests in proptest::collection::vec(arb_request(), 1..6),
+        cuts in proptest::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let mut stream = Vec::new();
+        for request in &requests {
+            encode_request(request, &mut stream);
+        }
+        let frames = reassemble(&stream, &cuts)
+            .map_err(|e| TestCaseError::Fail(format!("valid stream rejected: {e}")))?;
+        prop_assert_eq!(frames.len(), requests.len());
+        for (frame, expected) in frames.iter().zip(&requests) {
+            let decoded = decode_request(frame)
+                .map_err(|e| TestCaseError::Fail(format!("valid request rejected: {e}")))?;
+            prop_assert_eq!(&decoded, expected);
+        }
+    }
+
+    /// Responses — every outcome and reject variant — survive framing and
+    /// arbitrary stream splits as the identity.
+    #[test]
+    fn responses_survive_framing(
+        responses in proptest::collection::vec(arb_response(), 1..6),
+        cuts in proptest::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let mut stream = Vec::new();
+        for response in &responses {
+            encode_response(response, &mut stream);
+        }
+        let frames = reassemble(&stream, &cuts)
+            .map_err(|e| TestCaseError::Fail(format!("valid stream rejected: {e}")))?;
+        prop_assert_eq!(frames.len(), responses.len());
+        for (frame, expected) in frames.iter().zip(&responses) {
+            let decoded = decode_response(frame)
+                .map_err(|e| TestCaseError::Fail(format!("valid response rejected: {e}")))?;
+            prop_assert_eq!(&decoded, expected);
+        }
+    }
+
+    /// Truncating an encoded frame anywhere never panics: the reader either
+    /// waits for more bytes or reports a typed error, and a frame that does
+    /// complete never decodes (its payload or header is short).
+    #[test]
+    fn truncation_is_typed_or_silent(
+        request in arb_request(),
+        response in arb_response(),
+        keep_num in any::<u32>(),
+    ) {
+        for stream in [
+            { let mut s = Vec::new(); encode_request(&request, &mut s); s },
+            { let mut s = Vec::new(); encode_response(&response, &mut s); s },
+        ] {
+            let keep = keep_num as usize % stream.len(); // strictly shorter
+            let mut reader = FrameReader::new();
+            reader.push(&stream[..keep]);
+            match reader.next_frame() {
+                Ok(None) => {}                       // incomplete: waiting for more
+                Err(_) => {}                         // typed protocol error
+                Ok(Some(frame)) => {
+                    // A length prefix small enough to complete early; the
+                    // decoders must reject the short payload, not panic.
+                    prop_assert!(decode_request(&frame).is_err());
+                    prop_assert!(decode_response(&frame).is_err());
+                }
+            }
+        }
+    }
+
+    /// Flipping any single byte never panics anywhere in the path; if the
+    /// frame still parses and decodes, the decoded value re-encodes
+    /// consistently (the decoder never fabricates an unencodable value).
+    #[test]
+    fn corruption_is_typed_never_a_panic(
+        response in arb_response(),
+        pos_num in any::<u32>(),
+        flip in 1u8..=255,
+    ) {
+        let mut stream = Vec::new();
+        encode_response(&response, &mut stream);
+        let pos = pos_num as usize % stream.len();
+        stream[pos] ^= flip;
+
+        let mut reader = FrameReader::new();
+        reader.push(&stream);
+        loop {
+            match reader.next_frame() {
+                Ok(None) => break,
+                Err(_) => break, // typed framing error
+                Ok(Some(frame)) => {
+                    if let Ok(decoded) = decode_response(&frame) {
+                        let mut reencoded = Vec::new();
+                        encode_response(&decoded, &mut reencoded);
+                        let roundtrip = reassemble(&reencoded, &[]).map_err(TestCaseError::Fail)?;
+                        prop_assert_eq!(roundtrip.len(), 1);
+                        let redecoded = decode_response(&roundtrip[0]);
+                        prop_assert_eq!(redecoded.as_ref(), Ok(&decoded));
+                    }
+                }
+            }
+        }
+    }
+}

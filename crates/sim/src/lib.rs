@@ -18,6 +18,9 @@
 //!   owning pool execution, per-worker validation/accounting, deterministic
 //!   panic propagation and the sender-order inbox merge, plus the
 //!   deterministic [`argmin_f64`] used by the drivers' central loops;
+//! - [`deadline`] — [`Deadline`]/[`deadline::park_tick`]: the workspace's
+//!   single audited wall-clock site, shared by every socket liveness
+//!   timeout (the TCP transport and the `dcl_service` server/client);
 //! - [`transport`] — the pluggable [`Transport`] tier under the engine:
 //!   in-memory reference, `mpsc` channel matrix, and localhost TCP sockets
 //!   shipping length-prefixed [`Wire`]-encoded frames, proven bit-identical
@@ -54,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod cap;
+pub mod deadline;
 pub mod engine;
 pub mod exec;
 pub mod metrics;
@@ -66,6 +70,7 @@ pub mod test_util;
 
 pub use cap::BandwidthCap;
 pub use dcl_par::{Backend, Pool};
+pub use deadline::Deadline;
 pub use engine::{
     argmin_f64, deliver, map_indexed, par_map_jobs, Inboxes, RoundEngine, SendPolicy,
 };

@@ -1,6 +1,7 @@
 //! Unified cost counters for every simulated model.
 
 use crate::cap::BandwidthCap;
+use crate::wire::Wire;
 
 /// Cost counters accumulated by a simulator.
 ///
@@ -84,9 +85,56 @@ impl SimMetrics {
     }
 }
 
+/// Metrics cross the wire as their four counters in declaration order, so a
+/// served `Report` carries the same rounds/messages/bits accounting a local
+/// run would produce (`dcl_service` relies on this for its bit-identical
+/// service-vs-direct pins).
+impl Wire for SimMetrics {
+    fn wire_bits(&self) -> u32 {
+        self.rounds.wire_bits()
+            + self.messages.wire_bits()
+            + self.bits.wire_bits()
+            + self.max_message_bits.wire_bits()
+    }
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.rounds.wire_encode(out);
+        self.messages.wire_encode(out);
+        self.bits.wire_encode(out);
+        self.max_message_bits.wire_encode(out);
+    }
+    fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(SimMetrics {
+            rounds: u64::wire_decode(buf)?,
+            messages: u64::wire_decode(buf)?,
+            bits: u64::wire_decode(buf)?,
+            max_message_bits: u32::wire_decode(buf)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_wire_impl_roundtrips() {
+        let m = SimMetrics {
+            rounds: 7,
+            messages: 1 << 40,
+            bits: u64::MAX,
+            max_message_bits: 4096,
+        };
+        let mut bytes = Vec::new();
+        m.wire_encode(&mut bytes);
+        let mut view = bytes.as_slice();
+        assert_eq!(SimMetrics::wire_decode(&mut view), Some(m));
+        assert!(view.is_empty());
+        // Truncation surfaces as a typed decode failure, not a panic.
+        assert_eq!(
+            SimMetrics::wire_decode(&mut &bytes[..bytes.len() - 1]),
+            None
+        );
+    }
 
     #[test]
     fn absorb_sums_and_maxes() {

@@ -28,13 +28,13 @@
 //! simulated tier does not and break the oracle.
 
 use crate::cap::BandwidthCap;
+use crate::deadline::{park_tick, Deadline};
 use crate::engine::SendPolicy;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
-// dcl-lint: allow(no-wall-clock) — TCP accept deadline only; never feeds metered state
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which transport tier a round engine ships frames over.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -700,21 +700,19 @@ impl TcpTransport {
                             to,
                             detail: "listener closed with dials pending".to_string(),
                         })?;
-                // dcl-lint: allow(no-wall-clock) — socket accept timeout, unmetered
-                let deadline = Instant::now() + TCP_DEADLINE;
+                let deadline = Deadline::after(TCP_DEADLINE);
                 let stream = loop {
                     match listener.accept() {
                         Ok((stream, _)) => break stream,
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            // dcl-lint: allow(no-wall-clock) — socket accept timeout, unmetered
-                            if Instant::now() >= deadline {
+                            if deadline.expired() {
                                 return Err(TransportError::Disconnected {
                                     from: to,
                                     to,
                                     detail: "accept deadline expired".to_string(),
                                 });
                             }
-                            std::thread::sleep(Duration::from_millis(1));
+                            park_tick();
                         }
                         Err(e) => {
                             return Err(TransportError::Disconnected {

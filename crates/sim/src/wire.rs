@@ -181,6 +181,29 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
     }
 }
 
+/// Strings cross the wire as a length-prefixed UTF-8 byte run (scenario
+/// names and error details in the `dcl_service` protocol). Charged the
+/// length prefix plus 8 bits per byte; decode validates UTF-8 and rejects
+/// length prefixes promising more bytes than remain, like `Vec<T>`.
+impl Wire for String {
+    fn wire_bits(&self) -> u32 {
+        bit_len(self.len() as u64) + 8 * self.len() as u32
+    }
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        encode_varint(self.len() as u64, out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = usize::try_from(decode_varint(buf)?).ok()?;
+        if len > buf.len() {
+            return None; // corrupt prefix must not trigger a huge allocation
+        }
+        let text = std::str::from_utf8(&buf[..len]).ok()?.to_string();
+        *buf = &buf[len..];
+        Some(text)
+    }
+}
+
 impl<T: Wire> Wire for Option<T> {
     fn wire_bits(&self) -> u32 {
         1 + self.as_ref().map_or(0, Wire::wire_bits)
@@ -274,6 +297,24 @@ mod tests {
         let mut buf = bytes.as_slice();
         assert_eq!(T::wire_decode(&mut buf), Some(value));
         assert!(buf.is_empty(), "decode must consume the whole encoding");
+    }
+
+    #[test]
+    fn string_wire_impl_roundtrips_and_rejects_corruption() {
+        roundtrip(String::new());
+        roundtrip(String::from("mpc-sublinear"));
+        roundtrip(String::from("Δ-coloring — ünïcode"));
+        assert_eq!("ab".to_string().wire_bits(), 2 + 16);
+        // Length prefix promising more bytes than remain.
+        let mut bytes = Vec::new();
+        encode_varint(100, &mut bytes);
+        bytes.push(b'x');
+        assert_eq!(String::wire_decode(&mut bytes.as_slice()), None);
+        // Invalid UTF-8 payload.
+        let mut bytes = Vec::new();
+        encode_varint(2, &mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(String::wire_decode(&mut bytes.as_slice()), None);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Coloring as a service: every scenario shipped through the `dcl_service`
+//! wire protocol and checked bit-identical against a direct in-process run.
+//!
+//! With no arguments the example hosts the server itself on an ephemeral
+//! loopback port — a self-contained round trip. Pass an address to drive an
+//! external `dcl_serve` instead:
+//!
+//! ```text
+//! cargo run --example service_roundtrip --release
+//! cargo run --release -p dcl_service --bin dcl_serve -- --addr 127.0.0.1:7070 &
+//! cargo run --example service_roundtrip --release -- 127.0.0.1:7070
+//! ```
+//!
+//! Two extra modes exercise the service's typed refusal paths (CI drives
+//! them against servers configured to shed or to time out):
+//!
+//! ```text
+//! service_roundtrip ADDR --expect-busy     # server ran with --max-inflight 0
+//! service_roundtrip ADDR --expect-timeout  # server ran with --timeout-ms 0
+//! ```
+//!
+//! The example exits nonzero on any mismatch, so it doubles as an
+//! end-to-end smoke test.
+
+use std::process::exit;
+
+use distributed_coloring::graphs::generators;
+use distributed_coloring::runner::run_protected;
+use distributed_coloring::service::{
+    build_scenario, outcome_matches_direct, scenario_names, Reject, Server, ServiceClient,
+    ServiceConfig, ServiceError,
+};
+use distributed_coloring::ExecConfig;
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut expect: Option<&str> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--expect-busy" => expect = Some("busy"),
+            "--expect-timeout" => expect = Some("timeout"),
+            "--help" | "-h" => {
+                println!("usage: service_roundtrip [ADDR] [--expect-busy | --expect-timeout]");
+                return;
+            }
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                exit(2);
+            }
+        }
+    }
+
+    // Host the server in-process unless the caller points at an external one.
+    let (addr, _handle) = match addr {
+        Some(a) => (a, None),
+        None => {
+            let server = Server::bind(ServiceConfig::default().with_workers(2))
+                .expect("bind an ephemeral loopback port");
+            let local = server.local_addr().expect("bound address").to_string();
+            println!("hosting in-process server on {local}");
+            (local, Some(server.start()))
+        }
+    };
+
+    let mut client = ServiceClient::connect(addr.as_str()).expect("connect to the service");
+    println!(
+        "connected; server speaks protocol v{}",
+        client.server_version()
+    );
+
+    match expect {
+        Some(mode) => expect_refusal(&mut client, mode),
+        None => round_trip(&mut client),
+    }
+
+    let stats = client.close().expect("clean drain on close");
+    println!(
+        "\nclosed: {} requests, {} responses, {} bytes up, {} bytes down",
+        stats.requests, stats.responses, stats.bytes_sent, stats.bytes_received
+    );
+}
+
+/// Submits every registered scenario pipelined, then checks each served
+/// outcome — success or typed rejection — against a direct run.
+fn round_trip(client: &mut ServiceClient) {
+    let graph = generators::gnp(48, 0.15, 7);
+    let exec = ExecConfig::default();
+    println!(
+        "\ncoloring gnp(48,0.15) (n = {}, m = {}) through the service:\n",
+        graph.n(),
+        graph.m()
+    );
+
+    // Pipelined: all six requests go out before the first response is read.
+    let ids: Vec<(u64, &str)> = scenario_names()
+        .into_iter()
+        .map(|name| {
+            let id = client.submit(name, &graph, &exec).expect("submit");
+            (id, name)
+        })
+        .collect();
+
+    let mut mismatches = 0;
+    for (id, name) in ids {
+        let served = client.wait(id);
+        let direct = run_protected(
+            build_scenario(name).expect("registered scenario").as_ref(),
+            &graph,
+            &exec,
+        );
+        let matches = outcome_matches_direct(&served, &direct);
+        match &served {
+            Ok(report) => println!(
+                "  {name:<14} {:>3} colors  {:>4} rounds  {:>8} bits  match={matches}",
+                report.colors_used, report.metrics.rounds, report.metrics.bits
+            ),
+            Err(err) => println!("  {name:<14} rejected: {err}  match={matches}"),
+        }
+        mismatches += usize::from(!matches);
+    }
+    if mismatches > 0 {
+        eprintln!("{mismatches} served outcome(s) differ from direct runs");
+        exit(1);
+    }
+    println!("\nall served outcomes bit-identical to direct runs");
+}
+
+/// Drives one request into a server configured to refuse it, and checks the
+/// refusal is the expected *typed* rejection (never a hang or a dropped
+/// connection).
+fn expect_refusal(client: &mut ServiceClient, mode: &str) {
+    let graph = generators::gnp(24, 0.2, 3);
+    let id = client
+        .submit("congest", &graph, &ExecConfig::default())
+        .expect("submit");
+    match (mode, client.wait(id)) {
+        ("busy", Err(ServiceError::Rejected(Reject::Busy { max_inflight, .. }))) => {
+            println!("typed Busy rejection as expected (max_inflight = {max_inflight})");
+        }
+        ("timeout", Err(ServiceError::Rejected(Reject::TimedOut { limit_ms }))) => {
+            println!("typed TimedOut rejection as expected (limit = {limit_ms} ms)");
+        }
+        (_, outcome) => {
+            eprintln!("expected a typed {mode} rejection, got {outcome:?}");
+            exit(1);
+        }
+    }
+}

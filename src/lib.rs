@@ -30,6 +30,11 @@
 //!   pipeline implements, the unified [`runner::Report`]/[`runner::RunError`]
 //!   types, and the declarative [`runner::Runner`] sweep harness. The
 //!   ready-made scenario objects are gathered in [`scenarios`].
+//! - [`service`] — coloring as a service: the versioned request/response
+//!   protocol over the transport tier's framing, the `dcl_serve` TCP
+//!   server (sharded worker pool, backpressure, graceful drain) and the
+//!   pipelining [`service::ServiceClient`] — served results are
+//!   bit-identical to direct [`runner::Scenario`] runs.
 //!
 //! # Quickstart
 //!
@@ -71,6 +76,7 @@ pub use dcl_kernels as kernels;
 pub use dcl_mpc as mpc;
 pub use dcl_par::{Backend, Pool};
 pub use dcl_runner as runner;
+pub use dcl_service as service;
 pub use dcl_sim as sim;
 pub use dcl_sim::{BandwidthCap, ExecConfig, TransportError, TransportSpec};
 
