@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! dcl_serve [--addr HOST:PORT] [--workers N] [--max-inflight N]
-//!           [--timeout-ms MS]
+//!           [--timeout-ms MS] [--max-nodes N] [--max-edges N]
+//!           [--max-threads N]
 //! ```
 //!
 //! Defaults mirror [`ServiceConfig::default`] (loopback with an OS-chosen
@@ -20,7 +21,8 @@ use std::time::Duration;
 fn usage_error(message: &str) -> ! {
     eprintln!("dcl_serve: {message}");
     eprintln!(
-        "usage: dcl_serve [--addr HOST:PORT] [--workers N] [--max-inflight N] [--timeout-ms MS]"
+        "usage: dcl_serve [--addr HOST:PORT] [--workers N] [--max-inflight N] [--timeout-ms MS] \
+         [--max-nodes N] [--max-edges N] [--max-threads N]"
     );
     exit(2);
 }
@@ -62,6 +64,27 @@ fn parse_config(args: &[String]) -> ServiceConfig {
                     .unwrap_or_else(|_| usage_error(&format!("bad timeout '{raw}'")));
                 config = config.with_request_timeout(Duration::from_millis(ms));
             }
+            "--max-nodes" => {
+                let raw = value_of("--max-nodes");
+                let max: u64 = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad node limit '{raw}'")));
+                config = config.with_limits(config.limits.with_max_nodes(max));
+            }
+            "--max-edges" => {
+                let raw = value_of("--max-edges");
+                let max: u64 = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad edge limit '{raw}'")));
+                config = config.with_limits(config.limits.with_max_edges(max));
+            }
+            "--max-threads" => {
+                let raw = value_of("--max-threads");
+                let max: u64 = raw
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad thread limit '{raw}'")));
+                config = config.with_limits(config.limits.with_max_threads(max));
+            }
             other => usage_error(&format!("unknown flag '{other}'")),
         }
     }
@@ -81,10 +104,14 @@ fn main() {
     let addr = server.local_addr().expect("bound listener has an address");
     println!("listening on {addr}");
     println!(
-        "workers={} max-inflight={} timeout-ms={} scenarios={}",
+        "workers={} max-inflight={} timeout-ms={} max-nodes={} max-edges={} max-threads={} \
+         scenarios={}",
         config.workers,
         config.max_inflight,
         config.request_timeout.as_millis(),
+        config.limits.max_nodes,
+        config.limits.max_edges,
+        config.limits.max_threads,
         scenario_names().join(",")
     );
     server.run();

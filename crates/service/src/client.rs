@@ -11,14 +11,14 @@
 
 use crate::proto::{
     check_hello, decode_response, encode_goodbye, encode_hello, encode_request, Reject, Request,
-    ServiceError,
+    Response, ServiceError,
 };
 use dcl_graphs::Graph;
 use dcl_runner::WireReport;
 use dcl_sim::deadline::Deadline;
 use dcl_sim::transport::{FrameKind, FrameReader};
 use dcl_sim::ExecConfig;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -59,8 +59,10 @@ pub struct ServiceClient {
     next_id: u64,
     /// Responses that arrived while waiting for a different id, filed by
     /// id until their `wait` call (sorted map — no hash-order iteration in
-    /// determinism-tier code).
-    ready: BTreeMap<u64, Result<WireReport, Reject>>,
+    /// determinism-tier code). Each id holds a queue in arrival order:
+    /// [`ServiceClient::submit_request`] supports reusing an id, so two
+    /// responses to the same id must both survive until their `wait`s.
+    ready: BTreeMap<u64, VecDeque<Result<WireReport, Reject>>>,
     stats: ClientStats,
     server_version: u32,
     /// Set once the server's goodbye frame arrives; no more responses will
@@ -142,6 +144,8 @@ impl ServiceClient {
 
     /// Submits a caller-built [`Request`] verbatim (id included) — the
     /// determinism tests use this to send the *same* request twice.
+    /// Reused ids are fully supported: their responses are filed in
+    /// arrival order, one per [`wait`](ServiceClient::wait) call.
     ///
     /// # Errors
     ///
@@ -166,7 +170,7 @@ impl ServiceClient {
     pub fn wait(&mut self, id: u64) -> Result<WireReport, ServiceError> {
         let deadline = Deadline::after(RESPONSE_TIMEOUT);
         loop {
-            if let Some(outcome) = self.ready.remove(&id) {
+            if let Some(outcome) = self.take_ready(id) {
                 return outcome.map_err(ServiceError::Rejected);
             }
             if self.server_done {
@@ -176,11 +180,7 @@ impl ServiceClient {
             }
             if let Some(frame) = self.parse_frame()? {
                 match frame.kind {
-                    FrameKind::Data => {
-                        let response = decode_response(&frame)?;
-                        self.stats.responses += 1;
-                        self.ready.insert(response.id, response.outcome);
-                    }
+                    FrameKind::Data => self.file_response(decode_response(&frame)?),
                     FrameKind::EndRound => self.server_done = true,
                     FrameKind::Hello => {
                         return Err(ServiceError::Protocol {
@@ -230,9 +230,7 @@ impl ServiceClient {
                     FrameKind::Data => {
                         // Responses to requests nobody waited on; count and
                         // file them like any other.
-                        let response = decode_response(&frame)?;
-                        self.stats.responses += 1;
-                        self.ready.insert(response.id, response.outcome);
+                        self.file_response(decode_response(&frame)?);
                     }
                     FrameKind::EndRound => self.server_done = true,
                     FrameKind::Hello => {
@@ -246,6 +244,27 @@ impl ServiceClient {
             self.read_tick(&deadline, "server never said goodbye")?;
         }
         Ok(self.stats)
+    }
+
+    /// Counts and files one received response under its id, behind any
+    /// earlier unclaimed response to the same id.
+    fn file_response(&mut self, response: Response) {
+        self.stats.responses += 1;
+        self.ready
+            .entry(response.id)
+            .or_default()
+            .push_back(response.outcome);
+    }
+
+    /// Pops the oldest filed response for `id`, dropping the id's queue
+    /// once empty.
+    fn take_ready(&mut self, id: u64) -> Option<Result<WireReport, Reject>> {
+        let queue = self.ready.get_mut(&id)?;
+        let outcome = queue.pop_front();
+        if queue.is_empty() {
+            self.ready.remove(&id);
+        }
+        outcome
     }
 
     fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), ServiceError> {

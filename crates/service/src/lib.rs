@@ -51,7 +51,8 @@ pub mod server;
 
 pub use client::{ClientStats, ServiceClient};
 pub use proto::{
-    ExecSpec, Reject, Request, Response, ServiceError, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    ExecSpec, Reject, Request, RequestLimits, Response, ServiceError, PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerHandle, ServiceConfig};
 
@@ -88,13 +89,25 @@ pub fn build_scenario(name: &str) -> Option<Box<dyn Scenario>> {
 
 /// Runs one request to its outcome — the exact function the server's
 /// worker shards execute (minus admission and deadline checks, which need
-/// server state). Deterministic: the outcome depends only on `request`.
-pub fn execute_request(request: &Request) -> Result<WireReport, Reject> {
+/// server state). Deterministic: the outcome depends only on `request`
+/// and `limits`.
+///
+/// `limits` is checked before anything is allocated or spawned for the
+/// request — an oversized declared node count, edge list, or thread count
+/// comes back as [`Reject::BadInput`] instead of reaching
+/// [`Request::graph`]'s `O(n)` allocation or `Backend::Parallel`'s thread
+/// spawns with remote-controlled sizes. The server passes its configured
+/// [`ServiceConfig::limits`]; local callers usually pass
+/// `&RequestLimits::default()`.
+pub fn execute_request(request: &Request, limits: &RequestLimits) -> Result<WireReport, Reject> {
     let Some(scenario) = build_scenario(&request.scenario) else {
         return Err(Reject::UnknownScenario {
             name: request.scenario.clone(),
         });
     };
+    limits
+        .check(request)
+        .map_err(|detail| Reject::BadInput { detail })?;
     let exec = request
         .exec
         .to_exec()
@@ -139,6 +152,7 @@ mod tests {
 
     #[test]
     fn execute_request_types_every_failure() {
+        let limits = RequestLimits::default();
         let unknown = Request {
             id: 1,
             scenario: "no-such-scenario".to_string(),
@@ -147,7 +161,7 @@ mod tests {
             exec: ExecSpec::default(),
         };
         assert!(matches!(
-            execute_request(&unknown),
+            execute_request(&unknown, &limits),
             Err(Reject::UnknownScenario { .. })
         ));
 
@@ -159,7 +173,7 @@ mod tests {
             exec: ExecSpec::default(),
         };
         assert!(matches!(
-            execute_request(&bad_graph),
+            execute_request(&bad_graph, &limits),
             Err(Reject::BadInput { .. })
         ));
 
@@ -174,8 +188,44 @@ mod tests {
             },
         };
         assert!(matches!(
-            execute_request(&bad_exec),
+            execute_request(&bad_exec, &limits),
             Err(Reject::BadInput { .. })
         ));
+    }
+
+    #[test]
+    fn execute_request_bounces_oversized_requests_before_allocating() {
+        // A 20-byte request declaring 2^50 nodes must reject via the
+        // limits check, not abort in `Graph::from_sorted_edges`'s
+        // `vec![0; n]`, and must not spawn remote-controlled threads.
+        let huge = Request {
+            id: 1,
+            scenario: "congest".to_string(),
+            n: 1 << 50,
+            edges: vec![],
+            exec: ExecSpec::default(),
+        };
+        let limits = RequestLimits::default();
+        match execute_request(&huge, &limits) {
+            Err(Reject::BadInput { detail }) => assert!(detail.contains("nodes"), "got: {detail}"),
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+
+        let greedy = Request {
+            id: 2,
+            scenario: "congest".to_string(),
+            n: 2,
+            edges: vec![(0, 1)],
+            exec: ExecSpec {
+                threads: Some(1 << 40),
+                cap_bits: None,
+            },
+        };
+        match execute_request(&greedy, &limits) {
+            Err(Reject::BadInput { detail }) => {
+                assert!(detail.contains("threads"), "got: {detail}")
+            }
+            other => panic!("expected BadInput, got {other:?}"),
+        }
     }
 }

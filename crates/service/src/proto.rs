@@ -138,6 +138,12 @@ impl Request {
     /// local caller (rejects self loops, duplicate or unsorted edges,
     /// out-of-range endpoints).
     ///
+    /// Construction allocates `O(n + edges)` up front, so callers holding
+    /// remote input must pass the request through
+    /// [`RequestLimits::check`] *first* (as [`crate::execute_request`]
+    /// does) — a declared `n` in the 2^50 range would otherwise abort the
+    /// process on allocation failure before any validation runs.
+    ///
     /// # Errors
     ///
     /// A human-readable message when the payload does not describe a valid
@@ -178,6 +184,99 @@ impl Wire for Request {
             edges: Vec::wire_decode(buf)?,
             exec: ExecSpec::wire_decode(buf)?,
         })
+    }
+}
+
+/// Server-side admission bounds on what a [`Request`] may ask for,
+/// checked *before* anything is allocated or spawned on its behalf.
+///
+/// The declared node count is the protocol's one allocation amplifier: a
+/// few wire bytes claiming `n = 2^50` would otherwise reach
+/// `Graph::from_sorted_edges`' `vec![0; n]` and abort the process (an
+/// allocation failure does not unwind). Thread counts are the spawn
+/// amplifier: `Backend::Parallel(t)` takes the remote `t` at face value.
+/// [`RequestLimits::check`] rejects both with a typed message — remote
+/// input must reject, not panic — and the server applies its configured
+/// limits ([`crate::ServiceConfig::limits`]) on every worker.
+///
+/// `#[non_exhaustive]` — build with [`Default`] plus the `with_*`
+/// setters, so future bounds are not semver breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RequestLimits {
+    /// Largest accepted [`Request::n`].
+    pub max_nodes: u64,
+    /// Largest accepted [`Request::edges`] length.
+    pub max_edges: u64,
+    /// Largest accepted [`ExecSpec::threads`] value (`Some(0)` = one
+    /// thread per server core is always accepted).
+    pub max_threads: u64,
+}
+
+impl Default for RequestLimits {
+    /// Generous for every workload the experiments run (≤ 2^20 nodes,
+    /// ≤ 2^22 edges, ≤ 512 threads) while keeping the worst-case
+    /// per-request allocation a few tens of MiB.
+    fn default() -> Self {
+        RequestLimits {
+            max_nodes: 1 << 20,
+            max_edges: 1 << 22,
+            max_threads: 512,
+        }
+    }
+}
+
+impl RequestLimits {
+    /// Sets the node bound (builder style).
+    #[must_use]
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets the edge bound (builder style).
+    #[must_use]
+    pub fn with_max_edges(mut self, max_edges: u64) -> Self {
+        self.max_edges = max_edges;
+        self
+    }
+
+    /// Sets the thread bound (builder style).
+    #[must_use]
+    pub fn with_max_threads(mut self, max_threads: u64) -> Self {
+        self.max_threads = max_threads;
+        self
+    }
+
+    /// Validates `request` against these bounds without allocating.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the violated bound (the server
+    /// wraps it in [`Reject::BadInput`]).
+    pub fn check(&self, request: &Request) -> Result<(), String> {
+        if request.n > self.max_nodes {
+            return Err(format!(
+                "request declares {} nodes, over this server's limit of {}",
+                request.n, self.max_nodes
+            ));
+        }
+        if request.edges.len() as u64 > self.max_edges {
+            return Err(format!(
+                "request carries {} edges, over this server's limit of {}",
+                request.edges.len(),
+                self.max_edges
+            ));
+        }
+        if let Some(threads) = request.exec.threads {
+            if threads > self.max_threads {
+                return Err(format!(
+                    "request asks for {threads} threads, over this server's limit of {}",
+                    self.max_threads
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -529,6 +628,44 @@ mod tests {
         };
         assert!(spec.to_exec().is_err(), "zero cap must reject, not panic");
         assert_eq!(ExecSpec::default().to_exec(), Ok(ExecConfig::default()));
+    }
+
+    #[test]
+    fn request_limits_reject_each_oversized_dimension_without_allocating() {
+        let limits = RequestLimits::default();
+        let ok = Request {
+            id: 1,
+            scenario: "congest".to_string(),
+            n: 4,
+            edges: vec![(0, 1), (1, 2)],
+            exec: ExecSpec::default(),
+        };
+        assert_eq!(limits.check(&ok), Ok(()));
+
+        // The allocation-amplifier case from the wire: a tiny payload
+        // declaring an astronomical node count must bounce here, before
+        // `Request::graph` can reach `vec![0; n]`.
+        let mut huge_n = ok.clone();
+        huge_n.n = 1 << 50;
+        let err = limits.check(&huge_n).expect_err("oversized n rejects");
+        assert!(err.contains("nodes"), "got: {err}");
+
+        let tight = RequestLimits::default().with_max_edges(1);
+        let err = tight.check(&ok).expect_err("oversized edge list rejects");
+        assert!(err.contains("edges"), "got: {err}");
+
+        let mut greedy = ok.clone();
+        greedy.exec.threads = Some(u64::MAX);
+        let err = limits.check(&greedy).expect_err("oversized threads reject");
+        assert!(err.contains("threads"), "got: {err}");
+        // `Some(0)` = one thread per server core — always in bounds.
+        greedy.exec.threads = Some(0);
+        assert_eq!(limits.check(&greedy), Ok(()));
+
+        let loose = RequestLimits::default()
+            .with_max_nodes(1 << 50)
+            .with_max_threads(u64::MAX);
+        assert_eq!(loose.check(&huge_n), Ok(()));
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! cannot race itself, and each shard runs its jobs in arrival order. The
 //! run itself goes through [`dcl_runner::run_protected`], so scenario
 //! panics and budget violations come back as typed rejects instead of
-//! killing a worker.
+//! killing a worker; before it, the configured [`RequestLimits`] bound
+//! what a request may declare (nodes, edges, threads) so remote input can
+//! never size an allocation or a thread pool.
 //!
 //! # Determinism
 //!
@@ -41,9 +43,10 @@
 use crate::execute_request;
 use crate::proto::{
     check_hello, decode_request, encode_goodbye, encode_hello, encode_response, Reject, Request,
-    Response, ServiceError,
+    RequestLimits, Response, ServiceError,
 };
 use dcl_par::Pool;
+use dcl_runner::{RunErrorKind, WireRunError};
 use dcl_sim::deadline::{park_tick, Deadline};
 use dcl_sim::transport::{FrameKind, FrameReader};
 use std::collections::VecDeque;
@@ -85,6 +88,10 @@ pub struct ServiceConfig {
     /// the job up. `Duration::ZERO` times everything out (the
     /// deterministic always-late configuration the tests use).
     pub request_timeout: Duration,
+    /// Admission bounds on each request's declared sizes (nodes, edges,
+    /// threads), checked before any allocation or spawn — see
+    /// [`RequestLimits`]. Violations come back as [`Reject::BadInput`].
+    pub limits: RequestLimits,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +101,7 @@ impl Default for ServiceConfig {
             workers: 2,
             max_inflight: 64,
             request_timeout: Duration::from_secs(10),
+            limits: RequestLimits::default(),
         }
     }
 }
@@ -124,6 +132,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_request_timeout(mut self, request_timeout: Duration) -> Self {
         self.request_timeout = request_timeout;
+        self
+    }
+
+    /// Sets the per-request admission bounds (builder style).
+    #[must_use]
+    pub fn with_limits(mut self, limits: RequestLimits) -> Self {
+        self.limits = limits;
         self
     }
 }
@@ -217,6 +232,14 @@ impl Shared {
     }
 
     /// Runs one job to a response and ships it back.
+    ///
+    /// The execution is double-shielded: [`execute_request`] checks the
+    /// configured [`RequestLimits`] before allocating anything on the
+    /// request's behalf, and the whole call sits under a `catch_unwind` —
+    /// this runs on a dispatcher pool worker *outside*
+    /// `run_protected`'s shield (which only covers the scenario run), so a
+    /// stray panic in graph reconstruction or knob validation must become
+    /// a typed reject here instead of killing the dispatcher.
     fn process(&self, job: Job) {
         let Job {
             request,
@@ -228,7 +251,20 @@ impl Shared {
                 limit_ms: self.config.request_timeout.as_millis() as u64,
             })
         } else {
-            execute_request(&request)
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_request(&request, &self.config.limits)
+            }))
+            .unwrap_or_else(|payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| String::from("<non-string panic payload>"));
+                Err(Reject::Run(WireRunError {
+                    kind: RunErrorKind::Panic,
+                    message,
+                }))
+            })
         };
         let response = Response {
             id: request.id,
@@ -596,15 +632,19 @@ mod tests {
             .with_workers(5)
             .with_max_inflight(9)
             .with_request_timeout(Duration::from_millis(250))
-            .with_addr(SocketAddr::from(([127, 0, 0, 1], 4000)));
+            .with_addr(SocketAddr::from(([127, 0, 0, 1], 4000)))
+            .with_limits(RequestLimits::default().with_max_nodes(100));
         assert_eq!(config.workers, 5);
         assert_eq!(config.max_inflight, 9);
         assert_eq!(config.request_timeout, Duration::from_millis(250));
         assert_eq!(config.addr.port(), 4000);
+        assert_eq!(config.limits.max_nodes, 100);
         let defaults = ServiceConfig::default();
         assert!(defaults.max_inflight > 0);
         assert!(defaults.request_timeout > Duration::ZERO);
         assert_eq!(defaults.addr.ip().to_string(), "127.0.0.1");
+        assert!(defaults.limits.max_nodes > 0);
+        assert!(defaults.limits.max_threads > 0);
     }
 
     #[test]

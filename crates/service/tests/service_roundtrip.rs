@@ -330,6 +330,76 @@ fn unknown_scenarios_and_bad_graphs_reject_typed() {
     handle.shutdown();
 }
 
+/// A tiny request declaring an astronomical node count (or a
+/// remote-controlled thread count) bounces off the server's admission
+/// limits as a typed `BadInput` — the `O(n)` graph allocation and the
+/// thread spawns never happen, and the server keeps serving.
+#[test]
+fn oversized_requests_reject_typed_and_leave_the_server_up() {
+    let (addr, mut handle) = start_server(lenient());
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    client
+        .submit_request(&Request {
+            id: 50,
+            scenario: "congest".to_string(),
+            n: 1 << 50,
+            edges: vec![],
+            exec: ExecSpec::default(),
+        })
+        .expect("submit");
+    match client.wait(50) {
+        Err(ServiceError::Rejected(Reject::BadInput { detail })) => {
+            assert!(detail.contains("nodes"), "got: {detail}");
+        }
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+
+    client
+        .submit_request(&Request {
+            id: 51,
+            scenario: "congest".to_string(),
+            n: 3,
+            edges: vec![(0, 1), (1, 2)],
+            exec: ExecSpec {
+                threads: Some(1 << 40),
+                cap_bits: None,
+            },
+        })
+        .expect("submit");
+    match client.wait(51) {
+        Err(ServiceError::Rejected(Reject::BadInput { detail })) => {
+            assert!(detail.contains("threads"), "got: {detail}");
+        }
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+
+    let report = client
+        .color(&generators::ring(8), "congest", &ExecConfig::default())
+        .expect("the server is still fully alive");
+    assert!(report.proper);
+    client.close().expect("clean close");
+    handle.shutdown();
+}
+
+/// A reused id through the `ServiceClient`: both responses are filed in
+/// arrival order and each `wait` claims exactly one — the second response
+/// is not lost to an overwrite.
+#[test]
+fn a_reused_id_keeps_both_responses() {
+    let (addr, mut handle) = start_server(lenient());
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let request = Request::for_graph(7, "congest", &solvable_graph(), &ExecConfig::default());
+    client.submit_request(&request).expect("first submit");
+    client.submit_request(&request).expect("second submit");
+    let first = client.wait(7).expect("first response");
+    let second = client.wait(7).expect("second response");
+    assert_eq!(first, second, "identical requests, identical reports");
+    let stats = client.close().expect("clean close");
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.responses, 2);
+    handle.shutdown();
+}
+
 /// A peer that opens with garbage instead of a hello is dropped without
 /// taking the server down: the socket closes, and a well-behaved client
 /// still gets full service afterwards.

@@ -38,30 +38,37 @@ use std::time::Instant;
 /// gate error returns, never data).
 #[derive(Debug, Clone, Copy)]
 pub struct Deadline {
-    end: Instant,
+    /// `None` = never expires (a `timeout` too large to represent as an
+    /// `Instant`, e.g. `--timeout-ms u64::MAX`).
+    end: Option<Instant>,
 }
 
 impl Deadline {
     /// A deadline expiring `timeout` from now. A zero `timeout` is already
     /// expired — the deterministic always-times-out configuration the
-    /// service tests use.
+    /// service tests use. A `timeout` that overflows `Instant` saturates
+    /// to "never expires" instead of panicking.
     #[must_use]
     pub fn after(timeout: Duration) -> Self {
         Deadline {
-            end: Instant::now() + timeout,
+            end: Instant::now().checked_add(timeout),
         }
     }
 
     /// Whether the deadline has passed.
     #[must_use]
     pub fn expired(&self) -> bool {
-        Instant::now() >= self.end
+        self.end.is_some_and(|end| Instant::now() >= end)
     }
 
-    /// Time left before expiry (zero once expired).
+    /// Time left before expiry (zero once expired, [`Duration::MAX`] for a
+    /// never-expiring deadline).
     #[must_use]
     pub fn remaining(&self) -> Duration {
-        self.end.saturating_duration_since(Instant::now())
+        match self.end {
+            Some(end) => end.saturating_duration_since(Instant::now()),
+            None => Duration::MAX,
+        }
     }
 }
 
@@ -91,6 +98,15 @@ mod tests {
         park_tick();
         assert!(!d.expired());
         assert!(d.remaining() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn overflowing_timeout_saturates_to_never_expires() {
+        // `--timeout-ms u64::MAX` must not panic at admission: the sum
+        // overflows `Instant`, which means "never expires".
+        let d = Deadline::after(Duration::MAX);
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), Duration::MAX);
     }
 
     #[test]
